@@ -1,0 +1,72 @@
+#ifndef TRANSER_BENCH_BENCH_UTIL_H_
+#define TRANSER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace transer {
+namespace bench {
+
+/// \brief Tiny --key=value flag parser shared by the bench binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const std::string* raw = Find(name);
+    double value = fallback;
+    if (raw != nullptr && !ParseDouble(*raw, &value)) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", name.c_str(),
+                   raw->c_str());
+      std::exit(2);
+    }
+    return value;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    const std::string* raw = Find(name);
+    int64_t value = fallback;
+    if (raw != nullptr && !ParseInt64(*raw, &value)) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", name.c_str(),
+                   raw->c_str());
+      std::exit(2);
+    }
+    return value;
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    const std::string* raw = Find(name);
+    if (raw == nullptr) return fallback;
+    return *raw != "false" && *raw != "0";
+  }
+
+ private:
+  const std::string* Find(const std::string& name) const {
+    const std::string prefix = "--" + name + "=";
+    for (const auto& arg : args_) {
+      if (StartsWith(arg, prefix)) {
+        static thread_local std::string value;
+        value = arg.substr(prefix.size());
+        return &value;
+      }
+      if (arg == "--" + name) {
+        static thread_local std::string truthy = "true";
+        return &truthy;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> args_;
+};
+
+}  // namespace bench
+}  // namespace transer
+
+#endif  // TRANSER_BENCH_BENCH_UTIL_H_

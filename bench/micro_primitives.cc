@@ -1,0 +1,116 @@
+// google-benchmark micro benchmarks of the performance-critical
+// primitives: similarity functions, KD-tree queries, classifier training
+// and TransER's SEL phase.
+
+#include <benchmark/benchmark.h>
+
+#include "core/transer.h"
+#include "data/feature_space_generator.h"
+#include "knn/kd_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+#include "text/jaro_winkler.h"
+#include "text/set_similarity.h"
+#include "util/random.h"
+
+namespace transer {
+namespace {
+
+void BM_JaroWinkler(benchmark::State& state) {
+  const std::string a = "margaret thompson";
+  const std::string b = "margret thomson";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_QGramJaccard(benchmark::State& state) {
+  const std::string a = "efficient entity resolution methods";
+  const std::string b = "eficient entity resolution method";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QGramJaccardSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_QGramJaccard);
+
+Matrix RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims; ++d) points(i, d) = rng.NextDouble();
+  }
+  return points;
+}
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const Matrix points =
+      RandomPoints(static_cast<size_t>(state.range(0)), 8, 1);
+  for (auto _ : state) {
+    KdTree tree(points);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_KdTreeQuery(benchmark::State& state) {
+  const Matrix points =
+      RandomPoints(static_cast<size_t>(state.range(0)), 8, 2);
+  const KdTree tree(points);
+  Rng rng(3);
+  std::vector<double> query(8);
+  for (auto _ : state) {
+    for (double& v : query) v = rng.NextDouble();
+    benchmark::DoNotOptimize(tree.Query(query, 7));
+  }
+}
+BENCHMARK(BM_KdTreeQuery)->Arg(1000)->Arg(10000);
+
+FeatureMatrix BenchData(size_t n) {
+  FeatureSpaceGenerator generator({5, 40, 7});
+  FeatureDomainSpec spec;
+  spec.num_instances = n;
+  spec.seed = 8;
+  return generator.Generate(spec);
+}
+
+void BM_LogisticRegressionFit(benchmark::State& state) {
+  const FeatureMatrix data = BenchData(static_cast<size_t>(state.range(0)));
+  const Matrix x = data.ToMatrix();
+  for (auto _ : state) {
+    LogisticRegression lr;
+    lr.Fit(x, data.labels());
+    benchmark::DoNotOptimize(lr.intercept());
+  }
+}
+BENCHMARK(BM_LogisticRegressionFit)->Arg(1000);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const FeatureMatrix data = BenchData(static_cast<size_t>(state.range(0)));
+  const Matrix x = data.ToMatrix();
+  for (auto _ : state) {
+    RandomForestOptions options;
+    options.num_trees = 16;
+    RandomForest forest(options);
+    forest.Fit(x, data.labels());
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(1000);
+
+void BM_TransERSelect(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const FeatureMatrix source = BenchData(n);
+  const FeatureMatrix target = BenchData(n).WithoutLabels();
+  TransER transer;
+  for (auto _ : state) {
+    auto selected = transer.SelectInstances(source, target, {});
+    benchmark::DoNotOptimize(selected.value().size());
+  }
+}
+BENCHMARK(BM_TransERSelect)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace transer
+
+BENCHMARK_MAIN();

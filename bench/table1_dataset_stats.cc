@@ -1,0 +1,77 @@
+// Reproduces Table 1: per-domain feature-vector statistics (match %,
+// non-match %, ambiguous %) and common-feature-vector statistics (same
+// class / diff class / ambiguous) for the four scenario pairs, with
+// vectors rounded to two decimal places.
+//
+// Flags: --scale (default 0.025), --seed.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/dataset_statistics.h"
+#include "data/scenario.h"
+#include "eval/table_printer.h"
+#include "util/string_util.h"
+
+namespace transer {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  ScenarioScale scale;
+  scale.scale = flags.GetDouble("scale", 0.025);
+  scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
+
+  std::printf(
+      "Table 1: characteristics of the (synthetic) ER data sets\n"
+      "scale=%.4g of paper sizes; vectors rounded to 2 decimals\n\n",
+      scale.scale);
+
+  TablePrinter table({"m", "Domain A", "total", "M%", "N%", "Amb%",
+                      "Domain B", "total", "M%", "N%", "Amb%",
+                      "Common", "Same%", "Diff%", "Amb%"});
+
+  // One row per pair; the forward scenario of each pair carries both
+  // domains.
+  const ScenarioId pairs[] = {
+      ScenarioId::kDblpAcmToDblpScholar,
+      ScenarioId::kMsdToMb,
+      ScenarioId::kIosBpDpToKilBpDp,
+      ScenarioId::kIosBpBpToKilBpBp,
+  };
+  for (ScenarioId id : pairs) {
+    const TransferScenario scenario = BuildScenario(id, scale);
+    const DomainPairStatistics stats = ComputePairStatistics(
+        scenario.source_name, scenario.source, scenario.target_name,
+        scenario.target);
+    auto pct = [](double v) { return StrFormat("%.1f", v * 100.0); };
+    table.AddRow({
+        std::to_string(stats.num_features),
+        stats.domain_a,
+        std::to_string(stats.stats_a.total_instances),
+        pct(stats.stats_a.match_fraction),
+        pct(stats.stats_a.nonmatch_fraction),
+        pct(stats.stats_a.ambiguous_fraction),
+        stats.domain_b,
+        std::to_string(stats.stats_b.total_instances),
+        pct(stats.stats_b.match_fraction),
+        pct(stats.stats_b.nonmatch_fraction),
+        pct(stats.stats_b.ambiguous_fraction),
+        std::to_string(stats.common.common_distinct_vectors),
+        pct(stats.common.same_class_fraction),
+        pct(stats.common.diff_class_fraction),
+        pct(stats.common.ambiguous_fraction),
+    });
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (Table 1): ambiguity rises from the bibliographic\n"
+      "pair (3.6%% / 0.2%%) through music (2.5%% / 22.1%%) to the\n"
+      "demographic pairs (10.6%% - 19.6%%).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace transer
+
+int main(int argc, char** argv) { return transer::Main(argc, argv); }

@@ -1,0 +1,110 @@
+// Reproduces Table 2: precision, recall, F*, F1 (mean ± std over the
+// SVM / random-forest / logistic-regression / decision-tree suite) of
+// TransER against the Naive, DTAL*, DR, LocIT*, TCA and Coral baselines
+// on all eight source -> target scenarios.
+//
+// Flags: --scale (default 0.015 of the paper's data set sizes),
+//        --time-limit (seconds per run, the scaled stand-in for the
+//        paper's 72 h cap; default 30),
+//        --memory-limit-mb (the scaled stand-in for the 200 GB cap;
+//        default 64), --seed.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "data/scenario.h"
+#include "eval/table_printer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transer {
+namespace {
+
+std::string Cell(const MethodScenarioResult& result,
+                 const MeanStd& measure) {
+  if (!result.failure.empty()) return result.failure;
+  return measure.ToString();
+}
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  ScenarioScale scale;
+  scale.scale = flags.GetDouble("scale", 0.015);
+  scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
+  TransferRunOptions run_options;
+  run_options.time_limit_seconds = flags.GetDouble("time-limit", 30.0);
+  run_options.memory_limit_bytes =
+      static_cast<size_t>(flags.GetInt("memory-limit-mb", 64)) << 20;
+  run_options.seed = scale.seed;
+
+  SetLogLevel(LogLevel::kError);
+  std::printf(
+      "Table 2: linkage quality (mean ±std over SVM/RF/LR/DT)\n"
+      "scale=%.4g of paper sizes, time limit %.0fs/run, memory %zu MB\n\n",
+      scale.scale, run_options.time_limit_seconds,
+      run_options.memory_limit_bytes >> 20);
+
+  const auto methods = DefaultMethodLineup();
+  std::vector<std::string> header = {"Scenario", "M"};
+  for (const auto& method : methods) header.push_back(method->name());
+  TablePrinter table(header);
+
+  // Per-method accumulation for the paper's Averages block.
+  std::map<std::string, std::vector<LinkageQuality>> all_results;
+
+  const char* measure_names[] = {"P", "R", "F*", "F1"};
+  for (ScenarioId id : AllScenarioIds()) {
+    const TransferScenario scenario = BuildScenario(id, scale);
+    std::vector<MethodScenarioResult> row_results;
+    for (const auto& method : methods) {
+      MethodScenarioResult result = RunMethodOnScenario(
+          *method, scenario, DefaultClassifierSuite(), run_options);
+      all_results[method->name()].insert(
+          all_results[method->name()].end(), result.per_classifier.begin(),
+          result.per_classifier.end());
+      row_results.push_back(std::move(result));
+    }
+    for (int measure = 0; measure < 4; ++measure) {
+      std::vector<std::string> row = {
+          measure == 0 ? scenario.name : std::string(),
+          measure_names[measure]};
+      for (const auto& result : row_results) {
+        const QualityAggregate& q = result.quality;
+        const MeanStd& cell = measure == 0   ? q.precision
+                              : measure == 1 ? q.recall
+                              : measure == 2 ? q.f_star
+                                             : q.f1;
+        row.push_back(Cell(result, cell));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::fprintf(stderr, "done: %s\n", scenario.name.c_str());
+  }
+
+  // Averages over all completed (scenario, classifier) runs.
+  for (int measure = 0; measure < 4; ++measure) {
+    std::vector<std::string> row = {
+        measure == 0 ? std::string("Averages") : std::string(),
+        measure_names[measure]};
+    for (const auto& method : methods) {
+      const QualityAggregate agg =
+          AggregateQuality(all_results[method->name()]);
+      const MeanStd& cell = measure == 0   ? agg.precision
+                            : measure == 1 ? agg.recall
+                            : measure == 2 ? agg.f_star
+                                           : agg.f1;
+      row.push_back(cell.ToString());
+    }
+    table.AddRow(std::move(row));
+  }
+
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace transer
+
+int main(int argc, char** argv) { return transer::Main(argc, argv); }

@@ -1,0 +1,76 @@
+// Demographic record linkage: transferring labels between two Scottish
+// civil-registration districts, mirroring the paper's IOS -> KIL
+// scenarios.
+//
+// The source district has curated Bp-Dp links (birth parents linked to
+// death-certificate parents); the target district is unlabelled. Both
+// districts share the same 8-attribute schema (parent names, parish,
+// occupation, years), so homogeneous transfer applies. The example also
+// shows how each classifier family in the paper's suite behaves.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/transer.h"
+#include "data/demographic_generator.h"
+#include "eval/table_printer.h"
+#include "ml/classifier.h"
+
+int main() {
+  using namespace transer;
+
+  // Source district: Isle-of-Skye-like — small, carefully transcribed.
+  DemographicOptions source_options;
+  source_options.left_name = "ios_births";
+  source_options.right_name = "ios_deaths";
+  source_options.num_families = 900;
+  source_options.seed = 7;
+  source_options.left_corruption.typo_probability = 0.10;
+  source_options.right_corruption.typo_probability = 0.15;
+  const LinkageProblem source_problem = GenerateDemographic(source_options);
+
+  // Target district: Kilmarnock-like — larger and messier transcription
+  // (more typos, OCR confusions, abbreviated given names).
+  DemographicOptions target_options;
+  target_options.left_name = "kil_births";
+  target_options.right_name = "kil_deaths";
+  target_options.num_families = 1400;
+  target_options.seed = 8;
+  target_options.left_corruption.typo_probability = 0.25;
+  target_options.left_corruption.ocr_probability = 0.10;
+  target_options.right_corruption.typo_probability = 0.30;
+  target_options.right_corruption.ocr_probability = 0.12;
+  target_options.right_corruption.abbreviate_probability = 0.20;
+  target_options.right_corruption.nickname_probability = 0.15;
+  const LinkageProblem target_problem = GenerateDemographic(target_options);
+
+  std::printf("Source: %zu + %zu certificates (labelled Bp-Dp links)\n",
+              source_problem.left.size(), source_problem.right.size());
+  std::printf("Target: %zu + %zu certificates (unlabelled)\n\n",
+              target_problem.left.size(), target_problem.right.size());
+
+  TransER transer;
+  TablePrinter table({"classifier", "P", "R", "F*", "F1"});
+  for (const auto& family : DefaultClassifierSuite()) {
+    auto result = RunTransferPipeline(source_problem, target_problem,
+                                      transer, family.make);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", family.name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const LinkageQuality& q = result.value().quality;
+    auto pct = [](double v) {
+      char buffer[16];
+      std::snprintf(buffer, sizeof(buffer), "%.2f", v * 100.0);
+      return std::string(buffer);
+    };
+    table.AddRow({family.name, pct(q.precision), pct(q.recall),
+                  pct(q.f_star), pct(q.f1)});
+  }
+  table.Print();
+  std::printf(
+      "\nAll four families of the paper's suite classify the unlabelled\n"
+      "district using only the source district's curated links.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Music-domain linkage with method comparison: links a Million-Songs-like
+// catalogue against a Musicbrainz-like one using labels transferred from
+// a cleaner, already-linked music pair, and compares TransER against the
+// Naive and CORAL baselines — the paper's hardest domain (Table 1: up to
+// 22% ambiguous feature vectors from album variants and re-releases).
+
+#include <cstdio>
+#include <memory>
+
+#include "core/pipeline.h"
+#include "core/transer.h"
+#include "data/music_generator.h"
+#include "eval/table_printer.h"
+#include "ml/random_forest.h"
+#include "transfer/coral.h"
+#include "transfer/naive_transfer.h"
+
+int main() {
+  using namespace transer;
+
+  // Source: a clean, curated song pair (few album variants).
+  MusicOptions source_options;
+  source_options.left_name = "catalog_a";
+  source_options.right_name = "catalog_b";
+  source_options.num_entities = 1000;
+  source_options.album_variant_rate = 0.05;
+  source_options.seed = 21;
+  const LinkageProblem source_problem = GenerateMusic(source_options);
+
+  // Target: crowd-sourced-style data — heavy corruption plus frequent
+  // album variants (the conflicting-label phenomenon of Section 1).
+  MusicOptions target_options;
+  target_options.left_name = "msd";
+  target_options.right_name = "mb";
+  target_options.num_entities = 1200;
+  target_options.album_variant_rate = 0.30;
+  target_options.seed = 22;
+  target_options.right_corruption.typo_probability = 0.35;
+  target_options.right_corruption.drop_word_probability = 0.10;
+  const LinkageProblem target_problem = GenerateMusic(target_options);
+
+  const auto make_rf = []() -> std::unique_ptr<Classifier> {
+    return std::make_unique<RandomForest>();
+  };
+
+  TransER transer;
+  NaiveTransfer naive;
+  CoralTransfer coral;
+  const TransferMethod* methods[] = {&transer, &naive, &coral};
+
+  TablePrinter table({"method", "P", "R", "F*", "F1"});
+  for (const TransferMethod* method : methods) {
+    auto result = RunTransferPipeline(source_problem, target_problem,
+                                      *method, make_rf);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", method->name().c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const LinkageQuality& q = result.value().quality;
+    auto pct = [](double v) {
+      char buffer[16];
+      std::snprintf(buffer, sizeof(buffer), "%.2f", v * 100.0);
+      return std::string(buffer);
+    };
+    table.AddRow({method->name(), pct(q.precision), pct(q.recall),
+                  pct(q.f_star), pct(q.f1)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: transfer-classify an unlabelled target domain from a
+// labelled source domain in ~30 lines.
+//
+// We synthesise two homogeneous feature-space domains (in real use these
+// come from your blocking + comparison pipeline, or FeatureMatrix::
+// FromCsvFile), run TransER with the paper's default parameters, and
+// evaluate against the held-back target ground truth.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/transer.h"
+#include "data/feature_space_generator.h"
+#include "eval/metrics.h"
+#include "ml/random_forest.h"
+
+int main() {
+  using namespace transer;
+
+  // Two domains over the same 4-feature space: the target's modes sit
+  // lower (marginal shift) and its labels are hidden from the method.
+  FeatureSpaceGenerator generator({/*num_features=*/4,
+                                   /*num_ambiguous_prototypes=*/40});
+  FeatureDomainSpec source_spec;
+  source_spec.name = "source";
+  source_spec.num_instances = 2000;
+  source_spec.seed = 1;
+  FeatureDomainSpec target_spec = source_spec;
+  target_spec.name = "target";
+  target_spec.match_mean = 0.72;  // messier matches than the source's 0.80
+  target_spec.match_stddev = 0.13;
+  target_spec.seed = 2;
+
+  const FeatureMatrix source = generator.Generate(source_spec);
+  const FeatureMatrix target = generator.Generate(target_spec);
+
+  // TransER with the paper defaults (t_c=0.9, t_l=0.9, t_p=0.99, k=7,
+  // b=3), using a random forest as the underlying classifier family.
+  TransER transer;
+  TransERReport report;
+  auto predicted = transer.RunWithReport(
+      source, target.WithoutLabels(),
+      []() -> std::unique_ptr<Classifier> {
+        return std::make_unique<RandomForest>();
+      },
+      TransferRunOptions{}, &report);
+  if (!predicted.ok()) {
+    std::fprintf(stderr, "TransER failed: %s\n",
+                 predicted.status().ToString().c_str());
+    return 1;
+  }
+
+  const LinkageQuality quality =
+      EvaluateLinkage(target.labels(), predicted.value());
+  std::printf("TransER on %zu source -> %zu target instances\n",
+              source.size(), target.size());
+  std::printf("  SEL kept %zu transferable source instances\n",
+              report.selected_instances);
+  std::printf("  GEN/TCL trained on %zu confident pseudo-labels "
+              "(%zu balanced)\n",
+              report.candidate_instances, report.balanced_instances);
+  std::printf("  quality: %s\n", quality.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Command-line TransER: classify an unlabelled target feature matrix
+// (CSV) using a labelled source feature matrix (CSV) and write the
+// predicted labels back out.
+//
+// Usage:
+//   transer_csv_tool --source=source.csv --target=target.csv \
+//       [--out=labels.csv] [--classifier=rf|lr|svm|dt|nb|knn]
+//       [--tc=0.9] [--tl=0.9] [--tp=0.99] [--k=7] [--b=3]
+//
+// CSV format: one column per feature plus a final "label" column
+// (1 = match, 0 = non-match, -1 = unlabelled), as written by
+// FeatureMatrix::ToCsvFile. Target labels are ignored for prediction;
+// when present they are used to print evaluation measures.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/transer.h"
+#include "eval/metrics.h"
+#include "features/feature_matrix.h"
+#include "ml/decision_tree.h"
+#include "ml/knn_classifier.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "util/string_util.h"
+
+namespace transer {
+namespace {
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], prefix)) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double GetDoubleFlag(int argc, char** argv, const std::string& name,
+                     double fallback) {
+  const std::string raw = GetFlag(argc, argv, name, "");
+  double value = fallback;
+  if (!raw.empty() && !ParseDouble(raw, &value)) {
+    std::fprintf(stderr, "bad value for --%s: %s\n", name.c_str(),
+                 raw.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+ClassifierFactory MakeFactory(const std::string& name) {
+  if (name == "rf") {
+    return []() -> std::unique_ptr<Classifier> {
+      return std::make_unique<RandomForest>();
+    };
+  }
+  if (name == "lr") {
+    return []() -> std::unique_ptr<Classifier> {
+      return std::make_unique<LogisticRegression>();
+    };
+  }
+  if (name == "svm") {
+    return []() -> std::unique_ptr<Classifier> {
+      return std::make_unique<LinearSvm>();
+    };
+  }
+  if (name == "dt") {
+    return []() -> std::unique_ptr<Classifier> {
+      return std::make_unique<DecisionTree>();
+    };
+  }
+  if (name == "nb") {
+    return []() -> std::unique_ptr<Classifier> {
+      return std::make_unique<GaussianNaiveBayes>();
+    };
+  }
+  if (name == "knn") {
+    return []() -> std::unique_ptr<Classifier> {
+      return std::make_unique<KnnClassifier>();
+    };
+  }
+  std::fprintf(stderr, "unknown classifier '%s' (rf|lr|svm|dt|nb|knn)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int Main(int argc, char** argv) {
+  const std::string source_path = GetFlag(argc, argv, "source", "");
+  const std::string target_path = GetFlag(argc, argv, "target", "");
+  if (source_path.empty() || target_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --source=source.csv --target=target.csv "
+                 "[--out=labels.csv] [--classifier=rf]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto source = FeatureMatrix::FromCsvFile(source_path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "cannot load source: %s\n",
+                 source.status().ToString().c_str());
+    return 1;
+  }
+  auto target = FeatureMatrix::FromCsvFile(target_path);
+  if (!target.ok()) {
+    std::fprintf(stderr, "cannot load target: %s\n",
+                 target.status().ToString().c_str());
+    return 1;
+  }
+
+  TransEROptions options;
+  options.t_c = GetDoubleFlag(argc, argv, "tc", options.t_c);
+  options.t_l = GetDoubleFlag(argc, argv, "tl", options.t_l);
+  options.t_p = GetDoubleFlag(argc, argv, "tp", options.t_p);
+  options.k = static_cast<size_t>(GetDoubleFlag(argc, argv, "k",
+                                                static_cast<double>(options.k)));
+  options.b = GetDoubleFlag(argc, argv, "b", options.b);
+
+  TransER transer(options);
+  TransERReport report;
+  auto predicted = transer.RunWithReport(
+      source.value(), target.value().WithoutLabels(),
+      MakeFactory(GetFlag(argc, argv, "classifier", "rf")),
+      TransferRunOptions{}, &report);
+  if (!predicted.ok()) {
+    std::fprintf(stderr, "TransER failed: %s\n",
+                 predicted.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("source: %zu instances (%zu matches), target: %zu\n",
+              source.value().size(), source.value().CountMatches(),
+              target.value().size());
+  std::printf("SEL kept %zu; TCL trained on %zu balanced instances\n",
+              report.selected_instances, report.balanced_instances);
+  size_t predicted_matches = 0;
+  for (int label : predicted.value()) predicted_matches += label == 1;
+  std::printf("predicted %zu matches / %zu pairs\n", predicted_matches,
+              predicted.value().size());
+
+  // If the target CSV carried labels, report quality against them.
+  if (target.value().CountUnlabeled() < target.value().size()) {
+    std::printf("quality vs target labels: %s\n",
+                EvaluateLinkage(target.value().labels(), predicted.value())
+                    .ToString()
+                    .c_str());
+  }
+
+  const std::string out_path = GetFlag(argc, argv, "out", "");
+  if (!out_path.empty()) {
+    const FeatureMatrix labelled =
+        target.value().WithLabels(predicted.value());
+    const Status status = labelled.ToCsvFile(out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace transer
+
+int main(int argc, char** argv) { return transer::Main(argc, argv); }

@@ -1,0 +1,21 @@
+#include "blocking/blocking_metrics.h"
+
+namespace transer {
+
+BlockingQuality EvaluateBlocking(const LinkageProblem& problem,
+                                 const std::vector<PairRef>& pairs) {
+  BlockingQuality quality;
+  quality.candidate_pairs = pairs.size();
+  quality.true_matches_total = problem.CountTrueMatches();
+  quality.comparison_space = problem.left.size() * problem.right.size();
+  for (const PairRef& pair : pairs) {
+    const Record& l = problem.left.record(pair.left_index);
+    const Record& r = problem.right.record(pair.right_index);
+    if (l.entity_id >= 0 && l.entity_id == r.entity_id) {
+      ++quality.true_matches_in_candidates;
+    }
+  }
+  return quality;
+}
+
+}  // namespace transer

@@ -1,0 +1,51 @@
+#ifndef TRANSER_BLOCKING_BLOCKING_METRICS_H_
+#define TRANSER_BLOCKING_BLOCKING_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "features/feature_matrix.h"
+
+namespace transer {
+
+/// \brief Standard blocking-quality measures [Christen 2012; Papadakis et
+/// al. 2020] over a candidate-pair set.
+struct BlockingQuality {
+  size_t candidate_pairs = 0;
+  size_t true_matches_total = 0;
+  size_t true_matches_in_candidates = 0;
+  size_t comparison_space = 0;  ///< |left| * |right|
+
+  /// Pairs completeness: fraction of true matches surviving blocking.
+  double PairsCompleteness() const {
+    return true_matches_total == 0
+               ? 0.0
+               : static_cast<double>(true_matches_in_candidates) /
+                     static_cast<double>(true_matches_total);
+  }
+
+  /// Reduction ratio: 1 - candidates / full comparison space.
+  double ReductionRatio() const {
+    return comparison_space == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(candidate_pairs) /
+                           static_cast<double>(comparison_space);
+  }
+
+  /// Pairs quality: fraction of candidates that are true matches.
+  double PairsQuality() const {
+    return candidate_pairs == 0
+               ? 0.0
+               : static_cast<double>(true_matches_in_candidates) /
+                     static_cast<double>(candidate_pairs);
+  }
+};
+
+/// Evaluates a blocker's candidate pairs against the ground truth encoded
+/// in the records' entity ids.
+BlockingQuality EvaluateBlocking(const LinkageProblem& problem,
+                                 const std::vector<PairRef>& pairs);
+
+}  // namespace transer
+
+#endif  // TRANSER_BLOCKING_BLOCKING_METRICS_H_

@@ -1,0 +1,37 @@
+#ifndef TRANSER_BLOCKING_SORTED_NEIGHBOURHOOD_H_
+#define TRANSER_BLOCKING_SORTED_NEIGHBOURHOOD_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/standard_blocking.h"
+#include "data/dataset.h"
+#include "features/feature_matrix.h"
+
+namespace transer {
+
+/// \brief Options for sorted-neighbourhood blocking.
+struct SortedNeighbourhoodOptions {
+  size_t window = 5;  ///< sliding window over the merged sorted key list
+};
+
+/// \brief Sorted-neighbourhood method: both databases are sorted on a
+/// sorting key and a fixed window slides over the merged order; records of
+/// opposite databases inside one window become candidates [Christen 2012].
+class SortedNeighbourhoodBlocker {
+ public:
+  SortedNeighbourhoodBlocker(BlockingKeyFn key_fn,
+                             SortedNeighbourhoodOptions options = {})
+      : key_fn_(std::move(key_fn)), options_(options) {}
+
+  /// Returns deduplicated candidate pairs between `left` and `right`.
+  std::vector<PairRef> Block(const Dataset& left, const Dataset& right) const;
+
+ private:
+  BlockingKeyFn key_fn_;
+  SortedNeighbourhoodOptions options_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_BLOCKING_SORTED_NEIGHBOURHOOD_H_

@@ -1,0 +1,51 @@
+#include "blocking/standard_blocking.h"
+
+#include <unordered_map>
+
+#include "text/normalize.h"
+#include "util/logging.h"
+
+namespace transer {
+
+std::vector<PairRef> StandardBlocker::Block(const Dataset& left,
+                                            const Dataset& right) const {
+  // Key -> record indices, per side.
+  std::unordered_map<std::string, std::vector<size_t>> left_blocks;
+  std::unordered_map<std::string, std::vector<size_t>> right_blocks;
+  for (size_t i = 0; i < left.size(); ++i) {
+    std::string key = key_fn_(left.record(i));
+    if (!key.empty()) left_blocks[std::move(key)].push_back(i);
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    std::string key = key_fn_(right.record(j));
+    if (!key.empty()) right_blocks[std::move(key)].push_back(j);
+  }
+
+  std::vector<PairRef> pairs;
+  for (const auto& [key, lefts] : left_blocks) {
+    auto it = right_blocks.find(key);
+    if (it == right_blocks.end()) continue;
+    const auto& rights = it->second;
+    if (lefts.size() > options_.max_block_size ||
+        rights.size() > options_.max_block_size) {
+      continue;  // oversized block: skip, as standard ER systems do
+    }
+    for (size_t li : lefts) {
+      for (size_t rj : rights) {
+        pairs.push_back(PairRef{li, rj});
+      }
+    }
+  }
+  return pairs;
+}
+
+BlockingKeyFn StandardBlocker::AttributePrefixKey(size_t attribute_index,
+                                                  size_t prefix_len) {
+  return [attribute_index, prefix_len](const Record& record) -> std::string {
+    if (attribute_index >= record.values.size()) return std::string();
+    const std::string norm = NormalizeValue(record.values[attribute_index]);
+    return norm.substr(0, std::min(prefix_len, norm.size()));
+  };
+}
+
+}  // namespace transer

@@ -1,0 +1,45 @@
+#ifndef TRANSER_BLOCKING_STANDARD_BLOCKING_H_
+#define TRANSER_BLOCKING_STANDARD_BLOCKING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "features/feature_matrix.h"
+
+namespace transer {
+
+/// Derives a blocking key from a record (e.g. first 3 chars of surname).
+using BlockingKeyFn = std::function<std::string(const Record&)>;
+
+/// \brief Options for key-based standard blocking.
+struct StandardBlockingOptions {
+  /// Blocks larger than this (per side) are skipped as non-discriminative.
+  size_t max_block_size = 500;
+};
+
+/// \brief Classic key-equality blocking: records with equal blocking keys
+/// land in the same block; candidate pairs are the cross product of a
+/// block's left and right members [Christen 2012, Papadakis et al. 2020].
+class StandardBlocker {
+ public:
+  explicit StandardBlocker(BlockingKeyFn key_fn,
+                           StandardBlockingOptions options = {})
+      : key_fn_(std::move(key_fn)), options_(options) {}
+
+  /// Returns deduplicated candidate pairs between `left` and `right`.
+  std::vector<PairRef> Block(const Dataset& left, const Dataset& right) const;
+
+  /// Convenience key: lower-cased prefix of the given attribute.
+  static BlockingKeyFn AttributePrefixKey(size_t attribute_index,
+                                          size_t prefix_len);
+
+ private:
+  BlockingKeyFn key_fn_;
+  StandardBlockingOptions options_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_BLOCKING_STANDARD_BLOCKING_H_

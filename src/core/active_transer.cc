@@ -1,0 +1,96 @@
+#include "core/active_transer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/sampling.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace transer {
+
+Result<ActiveTransERResult> ActiveTransER::Run(
+    const FeatureMatrix& source, const FeatureMatrix& target,
+    const ClassifierFactory& make_classifier, const LabelOracle& oracle,
+    const TransferRunOptions& run_options) const {
+  if (source.num_features() != target.num_features()) {
+    return Status::InvalidArgument(
+        "source and target feature spaces differ");
+  }
+  if (source.empty() || target.empty()) {
+    return Status::InvalidArgument("empty domain");
+  }
+
+  const TransER transer(options_.transer);
+
+  // --- Phase (i): SEL, exactly as in plain TransER ---
+  FeatureMatrix transferred = source;
+  if (options_.transer.use_sel) {
+    auto selected = transer.SelectInstances(source, target, run_options);
+    if (!selected.ok()) return selected.status();
+    FeatureMatrix chosen = source.Select(selected.value());
+    if (chosen.CountMatches() > 0 && chosen.CountNonMatches() > 0) {
+      transferred = std::move(chosen);
+    }
+  }
+
+  // --- Phase (ii): GEN ---
+  auto classifier_u = make_classifier();
+  classifier_u->Fit(transferred.ToMatrix(),
+                    transfer_internal::RequireLabels(transferred));
+  const Matrix x_target = target.ToMatrix();
+  const std::vector<double> proba = classifier_u->PredictProbaAll(x_target);
+
+  std::vector<int> labels(proba.size());
+  std::vector<double> confidence(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) {
+    labels[i] = proba[i] >= 0.5 ? kMatch : kNonMatch;
+    confidence[i] = proba[i] >= 0.5 ? proba[i] : 1.0 - proba[i];
+  }
+
+  // --- Active step: the least-confident instances go to the oracle ---
+  ActiveTransERResult result;
+  std::vector<size_t> order(proba.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&confidence](size_t a, size_t b) {
+              return confidence[a] < confidence[b];
+            });
+  const size_t budget = std::min(options_.budget, order.size());
+  for (size_t q = 0; q < budget; ++q) {
+    const size_t index = order[q];
+    labels[index] = oracle(index) == kMatch ? kMatch : kNonMatch;
+    confidence[index] = 1.0;  // oracle labels are ground truth
+    result.queried_indices.push_back(index);
+  }
+
+  // --- Phase (iii): TCL over confident pseudo labels + oracle labels ---
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < confidence.size(); ++i) {
+    if (confidence[i] >= options_.transer.t_p) candidates.push_back(i);
+  }
+  std::vector<int> candidate_labels;
+  candidate_labels.reserve(candidates.size());
+  for (size_t index : candidates) candidate_labels.push_back(labels[index]);
+  FeatureMatrix x_v = target.Select(candidates).WithLabels(candidate_labels);
+
+  Rng rng(run_options.seed + 71);
+  const FeatureMatrix x_vb =
+      x_v.Select(UndersampleNonMatches(x_v.labels(), options_.transer.b,
+                                       &rng));
+  if (x_vb.CountMatches() == 0 || x_vb.CountNonMatches() == 0 ||
+      x_vb.size() < 4) {
+    result.predicted = std::move(labels);
+    return result;
+  }
+  auto classifier_v = make_classifier();
+  classifier_v->Fit(x_vb.ToMatrix(), x_vb.labels());
+  result.predicted = classifier_v->PredictAll(x_target);
+  // Oracle answers are authoritative; never overrule them.
+  for (size_t index : result.queried_indices) {
+    result.predicted[index] = labels[index];
+  }
+  return result;
+}
+
+}  // namespace transer

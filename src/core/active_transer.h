@@ -1,0 +1,54 @@
+#ifndef TRANSER_CORE_ACTIVE_TRANSER_H_
+#define TRANSER_CORE_ACTIVE_TRANSER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/transer.h"
+
+namespace transer {
+
+/// An oracle that returns the true label (kMatch / kNonMatch) of target
+/// instance `index` — a human reviewer in practice.
+using LabelOracle = std::function<int(size_t index)>;
+
+/// \brief Options for the active-learning extension.
+struct ActiveTransEROptions {
+  TransEROptions transer;
+  /// Number of oracle queries allowed.
+  size_t budget = 50;
+};
+
+/// \brief Outcome of an active TransER run.
+struct ActiveTransERResult {
+  std::vector<int> predicted;           ///< final target labels
+  std::vector<size_t> queried_indices;  ///< instances sent to the oracle
+};
+
+/// \brief TransER + uncertainty-sampling active learning: after the GEN
+/// phase, the `budget` target instances with the *least confident* pseudo
+/// labels are sent to the oracle; their true labels join the confident
+/// pseudo-labelled set that trains the final target classifier.
+/// Implements the paper's future-work item "integrate our framework with
+/// active learning techniques" (Section 6) in the spirit of DTAL's active
+/// component [Kasai et al. 2019].
+class ActiveTransER {
+ public:
+  explicit ActiveTransER(ActiveTransEROptions options = {})
+      : options_(options) {}
+
+  /// Runs the three phases with the oracle in the loop. The target's own
+  /// labels are ignored; only the oracle provides target supervision.
+  Result<ActiveTransERResult> Run(const FeatureMatrix& source,
+                                  const FeatureMatrix& target,
+                                  const ClassifierFactory& make_classifier,
+                                  const LabelOracle& oracle,
+                                  const TransferRunOptions& run_options) const;
+
+ private:
+  ActiveTransEROptions options_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_CORE_ACTIVE_TRANSER_H_

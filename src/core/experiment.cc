@@ -1,0 +1,65 @@
+#include "core/experiment.h"
+
+#include "core/transer.h"
+#include "transfer/coral.h"
+#include "transfer/dr_transfer.h"
+#include "transfer/dtal.h"
+#include "transfer/locit.h"
+#include "transfer/naive_transfer.h"
+#include "transfer/tca.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+std::string FailureShorthand(const Status& status) {
+  if (status.message().find("(TE)") != std::string::npos) return "TE";
+  if (status.message().find("(ME)") != std::string::npos) return "ME";
+  return status.ToString();
+}
+
+MethodScenarioResult RunMethodOnScenario(
+    const TransferMethod& method, const TransferScenario& scenario,
+    const std::vector<NamedClassifierFactory>& suite,
+    const TransferRunOptions& base_options) {
+  MethodScenarioResult result;
+  result.method = method.name();
+  result.scenario = scenario.name;
+
+  const FeatureMatrix unlabeled_target = scenario.target.WithoutLabels();
+  const std::vector<int>& truth = scenario.target.labels();
+
+  Stopwatch total;
+  uint64_t run_index = 0;
+  for (const auto& family : suite) {
+    TransferRunOptions run_options = base_options;
+    run_options.seed = base_options.seed + 1000 * (run_index++);
+    auto predicted =
+        method.Run(scenario.source, unlabeled_target, family.make,
+                   run_options);
+    if (!predicted.ok()) {
+      result.failure = FailureShorthand(predicted.status());
+      break;  // the next classifier would fail the same way
+    }
+    result.per_classifier.push_back(
+        EvaluateLinkage(truth, predicted.value()));
+    ++result.completed_runs;
+  }
+  result.total_runtime_seconds = total.ElapsedSeconds();
+  result.quality = AggregateQuality(result.per_classifier);
+  return result;
+}
+
+std::vector<std::unique_ptr<TransferMethod>> DefaultMethodLineup() {
+  std::vector<std::unique_ptr<TransferMethod>> methods;
+  methods.push_back(std::make_unique<TransER>());
+  methods.push_back(std::make_unique<NaiveTransfer>());
+  methods.push_back(std::make_unique<DtalTransfer>());
+  methods.push_back(std::make_unique<DrTransfer>());
+  methods.push_back(std::make_unique<LocItTransfer>());
+  methods.push_back(std::make_unique<TcaTransfer>());
+  methods.push_back(std::make_unique<CoralTransfer>());
+  return methods;
+}
+
+}  // namespace transer

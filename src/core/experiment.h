@@ -1,0 +1,49 @@
+#ifndef TRANSER_CORE_EXPERIMENT_H_
+#define TRANSER_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/scenario.h"
+#include "eval/aggregate.h"
+#include "eval/metrics.h"
+#include "ml/classifier.h"
+#include "transfer/transfer_method.h"
+
+namespace transer {
+
+/// \brief Outcome of one (method, scenario) cell of Tables 2 / 3:
+/// linkage quality aggregated over the classifier suite plus runtime.
+struct MethodScenarioResult {
+  std::string method;
+  std::string scenario;
+  QualityAggregate quality;
+  std::vector<LinkageQuality> per_classifier;
+  double total_runtime_seconds = 0.0;
+  size_t completed_runs = 0;
+  /// Non-empty when the method failed: "TE" (time), "ME" (memory), or the
+  /// status message.
+  std::string failure;
+};
+
+/// \brief Runs one transfer method on one scenario for every classifier in
+/// the suite and aggregates (the protocol of Section 5.1.1: per-method
+/// averages ± std over SVM / RF / LR / DT). A TE/ME failure on the first
+/// classifier short-circuits the remaining runs.
+MethodScenarioResult RunMethodOnScenario(
+    const TransferMethod& method, const TransferScenario& scenario,
+    const std::vector<NamedClassifierFactory>& suite,
+    const TransferRunOptions& base_options);
+
+/// Classifies a failure status into the paper's table shorthand:
+/// "TE" for time, "ME" for memory, otherwise the status text.
+std::string FailureShorthand(const Status& status);
+
+/// The baseline line-up of Section 5.1.3 in table order: TransER first,
+/// then Naive, DTAL*, DR, LocIT*, TCA, Coral.
+std::vector<std::unique_ptr<TransferMethod>> DefaultMethodLineup();
+
+}  // namespace transer
+
+#endif  // TRANSER_CORE_EXPERIMENT_H_

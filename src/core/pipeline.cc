@@ -1,0 +1,79 @@
+#include "core/pipeline.h"
+
+#include <unordered_map>
+
+namespace transer {
+
+namespace {
+
+size_t CountCandidateTrueMatches(const LinkageProblem& problem,
+                                 const std::vector<PairRef>& pairs) {
+  size_t count = 0;
+  for (const PairRef& pair : pairs) {
+    const Record& l = problem.left.record(pair.left_index);
+    const Record& r = problem.right.record(pair.right_index);
+    if (l.entity_id >= 0 && l.entity_id == r.entity_id) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<FeatureMatrix> BuildDomainFeatures(const LinkageProblem& problem,
+                                          const PipelineOptions& options,
+                                          PipelineBuildInfo* info) {
+  if (!problem.left.schema().CompatibleWith(problem.right.schema())) {
+    return Status::InvalidArgument(
+        "left and right database schemas are incompatible");
+  }
+  const MinHashLshBlocker blocker(options.blocking);
+  const std::vector<PairRef> pairs = blocker.Block(problem.left,
+                                                   problem.right);
+
+  auto comparator = PairComparator::Create(problem.left.schema(),
+                                           problem.right.schema(),
+                                           options.comparison);
+  if (!comparator.ok()) return comparator.status();
+  FeatureMatrix features =
+      comparator.value().CompareAll(problem.left, problem.right, pairs);
+
+  if (info != nullptr) {
+    info->candidate_pairs = pairs.size();
+    info->true_matches_in_candidates =
+        CountCandidateTrueMatches(problem, pairs);
+    info->true_matches_total = problem.CountTrueMatches();
+  }
+  return features;
+}
+
+Result<EndToEndResult> RunTransferPipeline(
+    const LinkageProblem& source_problem,
+    const LinkageProblem& target_problem, const TransferMethod& method,
+    const ClassifierFactory& make_classifier, const PipelineOptions& options,
+    const TransferRunOptions& run_options) {
+  EndToEndResult result;
+  auto source = BuildDomainFeatures(source_problem, options,
+                                    &result.source_info);
+  if (!source.ok()) return source.status();
+  auto target = BuildDomainFeatures(target_problem, options,
+                                    &result.target_info);
+  if (!target.ok()) return target.status();
+
+  if (source.value().num_features() != target.value().num_features()) {
+    return Status::InvalidArgument(
+        "source and target pipelines produced different feature spaces");
+  }
+  result.source_instances = source.value().size();
+  result.target_instances = target.value().size();
+
+  auto predicted = method.Run(source.value(),
+                              target.value().WithoutLabels(),
+                              make_classifier, run_options);
+  if (!predicted.ok()) return predicted.status();
+
+  result.quality =
+      EvaluateLinkage(target.value().labels(), predicted.value());
+  return result;
+}
+
+}  // namespace transer

@@ -1,0 +1,110 @@
+#include "core/source_selection.h"
+
+#include <algorithm>
+
+#include "knn/kd_tree.h"
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace transer {
+
+namespace {
+
+std::vector<double> NeighbourhoodCentroid(
+    const Matrix& points, const std::vector<Neighbour>& neighbours) {
+  std::vector<double> centroid(points.cols(), 0.0);
+  if (neighbours.empty()) return centroid;
+  for (const auto& nb : neighbours) {
+    const double* row = points.Row(nb.index);
+    for (size_t c = 0; c < centroid.size(); ++c) centroid[c] += row[c];
+  }
+  const double inv = 1.0 / static_cast<double>(neighbours.size());
+  for (double& v : centroid) v *= inv;
+  return centroid;
+}
+
+}  // namespace
+
+Result<SourceScore> ScoreSourceDomain(const FeatureMatrix& source,
+                                      const FeatureMatrix& target,
+                                      const SourceSelectionOptions& options) {
+  if (source.num_features() != target.num_features()) {
+    return Status::InvalidArgument(
+        "candidate source does not share the target's feature space");
+  }
+  if (source.empty() || target.empty()) {
+    return Status::InvalidArgument("empty domain");
+  }
+
+  const Matrix x_source = source.ToMatrix();
+  const Matrix x_target = target.ToMatrix();
+  const size_t m = source.num_features();
+  const KdTree source_tree(x_source);
+  const KdTree target_tree(x_target);
+
+  Rng rng(options.seed);
+  const size_t sample =
+      std::min(options.sample_size, source.size());
+  const std::vector<size_t> rows =
+      rng.SampleWithoutReplacement(source.size(), sample);
+
+  const size_t k_source = std::min(
+      options.transer.k, source.size() > 1 ? source.size() - 1 : size_t{1});
+  const size_t k_target = std::min(options.transer.k, target.size());
+
+  size_t transferable = 0;
+  double structural_total = 0.0;
+  for (size_t s : rows) {
+    const std::span<const double> row(x_source.Row(s), m);
+    const auto n_s =
+        source_tree.Query(row, k_source, static_cast<ptrdiff_t>(s));
+    const auto n_t = target_tree.Query(row, k_target);
+
+    size_t same_label = 0;
+    for (const auto& nb : n_s) {
+      if (source.label(nb.index) == source.label(s)) ++same_label;
+    }
+    const double sim_c =
+        n_s.empty() ? 0.0
+                    : static_cast<double>(same_label) /
+                          static_cast<double>(n_s.size());
+    const double sim_l = TransER::StructuralSimilarityFromDistance(
+        L2Distance(NeighbourhoodCentroid(x_source, n_s),
+                   NeighbourhoodCentroid(x_target, n_t)),
+        m);
+    structural_total += sim_l;
+    if (sim_c >= options.transer.t_c && sim_l >= options.transer.t_l) {
+      ++transferable;
+    }
+  }
+
+  SourceScore score;
+  score.transferable_fraction =
+      static_cast<double>(transferable) / static_cast<double>(sample);
+  score.mean_structural_similarity =
+      structural_total / static_cast<double>(sample);
+  return score;
+}
+
+Result<std::vector<SourceScore>> RankSourceDomains(
+    const std::vector<const FeatureMatrix*>& sources,
+    const FeatureMatrix& target, const SourceSelectionOptions& options) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("no candidate source domains");
+  }
+  std::vector<SourceScore> scores;
+  scores.reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    auto score = ScoreSourceDomain(*sources[i], target, options);
+    if (!score.ok()) return score.status();
+    score.value().source_index = i;
+    scores.push_back(score.value());
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const SourceScore& a, const SourceScore& b) {
+              return a.Score() > b.Score();
+            });
+  return scores;
+}
+
+}  // namespace transer

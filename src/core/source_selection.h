@@ -1,0 +1,53 @@
+#ifndef TRANSER_CORE_SOURCE_SELECTION_H_
+#define TRANSER_CORE_SOURCE_SELECTION_H_
+
+#include <vector>
+
+#include "core/transer.h"
+#include "features/feature_matrix.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief Transferability profile of one candidate source domain against
+/// a target domain.
+struct SourceScore {
+  size_t source_index = 0;
+  /// Fraction of (sampled) source instances passing SEL's filters — the
+  /// share of the source TransER could actually use.
+  double transferable_fraction = 0.0;
+  /// Mean structural similarity (Eq. 2) over the sampled instances,
+  /// independent of the thresholds.
+  double mean_structural_similarity = 0.0;
+
+  /// Combined ranking score.
+  double Score() const {
+    return 0.5 * transferable_fraction + 0.5 * mean_structural_similarity;
+  }
+};
+
+/// \brief Options for multi-source selection.
+struct SourceSelectionOptions {
+  TransEROptions transer;      ///< thresholds used for the SEL probe
+  size_t sample_size = 500;    ///< source instances sampled per domain
+  uint64_t seed = 77;
+};
+
+/// Scores one candidate source domain against the target: how much of it
+/// is transferable under TransER's SEL criteria, and how similar its
+/// local structures are. Implements the paper's future-work item
+/// "choose the best source domain when multiple semantically related
+/// labelled data sets are available" (Section 6).
+Result<SourceScore> ScoreSourceDomain(const FeatureMatrix& source,
+                                      const FeatureMatrix& target,
+                                      const SourceSelectionOptions& options);
+
+/// Scores every candidate and returns them sorted by descending Score().
+/// All candidates must share the target's feature space.
+Result<std::vector<SourceScore>> RankSourceDomains(
+    const std::vector<const FeatureMatrix*>& sources,
+    const FeatureMatrix& target, const SourceSelectionOptions& options = {});
+
+}  // namespace transer
+
+#endif  // TRANSER_CORE_SOURCE_SELECTION_H_

@@ -1,0 +1,230 @@
+#include "core/transer.h"
+
+#include <cmath>
+
+#include "knn/kd_tree.h"
+#include "linalg/covariance.h"
+#include "linalg/vector_ops.h"
+#include "ml/sampling.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace transer {
+
+namespace {
+
+/// Mean of the neighbour rows of `points`.
+std::vector<double> NeighbourhoodCentroid(
+    const Matrix& points, const std::vector<Neighbour>& neighbours) {
+  std::vector<double> centroid(points.cols(), 0.0);
+  if (neighbours.empty()) return centroid;
+  for (const auto& nb : neighbours) {
+    const double* row = points.Row(nb.index);
+    for (size_t c = 0; c < centroid.size(); ++c) centroid[c] += row[c];
+  }
+  const double inv = 1.0 / static_cast<double>(neighbours.size());
+  for (double& v : centroid) v *= inv;
+  return centroid;
+}
+
+/// Sample covariance of the neighbour rows (for the sim_v ablation).
+Matrix NeighbourhoodCovariance(const Matrix& points,
+                               const std::vector<Neighbour>& neighbours) {
+  std::vector<size_t> rows;
+  rows.reserve(neighbours.size());
+  for (const auto& nb : neighbours) rows.push_back(nb.index);
+  return SampleCovarianceOfRows(points, rows);
+}
+
+}  // namespace
+
+TransER::TransER(TransEROptions options) : options_(options) {
+  TRANSER_CHECK_GT(options_.k, 0u);
+  TRANSER_CHECK_GT(options_.b, 0.0);
+}
+
+double TransER::StructuralSimilarityFromDistance(double distance,
+                                                 size_t num_features) {
+  TRANSER_CHECK_GT(num_features, 0u);
+  // Normalise by the maximum possible distance sqrt(m) (features in
+  // [0, 1]), then apply the e^{-5x} decay chosen in Figure 5.
+  const double normalized =
+      distance / std::sqrt(static_cast<double>(num_features));
+  return std::exp(-5.0 * normalized);
+}
+
+Result<std::vector<size_t>> TransER::SelectInstances(
+    const FeatureMatrix& source, const FeatureMatrix& target,
+    const TransferRunOptions& run_options) const {
+  transfer_internal::Deadline deadline(run_options.time_limit_seconds);
+
+  const Matrix x_source = source.ToMatrix();
+  const Matrix x_target = target.ToMatrix();
+  const size_t m = source.num_features();
+
+  // k is clamped so the self-excluded source query stays satisfiable.
+  const size_t k_source =
+      std::min(options_.k, source.size() > 1 ? source.size() - 1 : size_t{1});
+  const size_t k_target = std::min(options_.k, target.size());
+  if (k_target == 0) {
+    return Status::InvalidArgument("target domain is empty");
+  }
+
+  const KdTree source_tree(x_source);
+  const KdTree target_tree(x_target);
+
+  std::vector<size_t> selected;
+  selected.reserve(source.size());
+  for (size_t s = 0; s < source.size(); ++s) {
+    if (deadline.Expired()) {
+      return transfer_internal::Deadline::Exceeded("transer");
+    }
+    const std::span<const double> row(x_source.Row(s), m);
+    const auto n_s =
+        source_tree.Query(row, k_source, static_cast<ptrdiff_t>(s));
+    const auto n_t = target_tree.Query(row, k_target);
+
+    // Equation (1): fraction of source neighbours sharing the label.
+    if (options_.use_sim_c) {
+      size_t same_label = 0;
+      for (const auto& nb : n_s) {
+        if (source.label(nb.index) == source.label(s)) ++same_label;
+      }
+      const double sim_c = n_s.empty()
+                               ? 0.0
+                               : static_cast<double>(same_label) /
+                                     static_cast<double>(n_s.size());
+      if (sim_c < options_.t_c) continue;
+    }
+
+    // Equation (2): decayed distance between neighbourhood centroids.
+    if (options_.use_sim_l) {
+      const std::vector<double> centroid_s =
+          NeighbourhoodCentroid(x_source, n_s);
+      const std::vector<double> centroid_t =
+          NeighbourhoodCentroid(x_target, n_t);
+      const double sim_l = StructuralSimilarityFromDistance(
+          L2Distance(centroid_s, centroid_t), m);
+      if (sim_l < options_.t_l) continue;
+    }
+
+    // Optional covariance filter (the "+ sim_v" ablation).
+    if (options_.use_sim_v) {
+      const Matrix cov_s = NeighbourhoodCovariance(x_source, n_s);
+      const Matrix cov_t = NeighbourhoodCovariance(x_target, n_t);
+      const double sim_v =
+          std::exp(-5.0 * cov_s.Subtract(cov_t).FrobeniusNorm() /
+                   static_cast<double>(m));
+      if (sim_v < options_.t_v) continue;
+    }
+
+    selected.push_back(s);
+  }
+  return selected;
+}
+
+Result<std::vector<int>> TransER::RunWithReport(
+    const FeatureMatrix& source, const FeatureMatrix& target,
+    const ClassifierFactory& make_classifier,
+    const TransferRunOptions& run_options, TransERReport* report) const {
+  if (source.num_features() != target.num_features()) {
+    return Status::InvalidArgument(
+        "source and target feature spaces differ");
+  }
+  if (source.empty()) {
+    return Status::InvalidArgument("source domain is empty");
+  }
+  TransERReport local_report;
+  local_report.source_instances = source.size();
+
+  // --- Phase (i): instance selector (SEL) ---
+  FeatureMatrix transferred;  // X^U with labels Y^U
+  if (options_.use_sel) {
+    auto selected = SelectInstances(source, target, run_options);
+    if (!selected.ok()) return selected.status();
+    transferred = source.Select(selected.value());
+  } else {
+    transferred = source;
+  }
+  // Degenerate selections cannot train a two-class model; fall back to
+  // the full source (equivalent to disabling SEL for this run).
+  if (transferred.CountMatches() == 0 || transferred.CountNonMatches() == 0) {
+    TRANSER_LOG(Warning) << "TransER SEL kept " << transferred.size()
+                         << " instances with a single class; falling back "
+                            "to the full source";
+    transferred = source;
+  }
+  local_report.selected_instances = transferred.size();
+
+  // --- Phase (ii): pseudo-label generator (GEN) ---
+  auto classifier_u = make_classifier();
+  classifier_u->Fit(transferred.ToMatrix(),
+                    transfer_internal::RequireLabels(transferred));
+
+  const Matrix x_target = target.ToMatrix();
+  const std::vector<double> proba = classifier_u->PredictProbaAll(x_target);
+  std::vector<int> pseudo_labels(proba.size());
+  std::vector<double> confidence(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) {
+    pseudo_labels[i] = proba[i] >= 0.5 ? kMatch : kNonMatch;
+    confidence[i] = proba[i] >= 0.5 ? proba[i] : 1.0 - proba[i];
+  }
+
+  if (!options_.use_gen_tcl) {
+    // Ablation "without GEN & TCL": classify the target directly with the
+    // classifier trained on the transferred instances.
+    if (report != nullptr) *report = local_report;
+    return pseudo_labels;
+  }
+
+  // --- Phase (iii): target domain classifier (TCL) ---
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < confidence.size(); ++i) {
+    if (confidence[i] >= options_.t_p) candidates.push_back(i);
+  }
+  local_report.candidate_instances = candidates.size();
+
+  FeatureMatrix x_v = target.Select(candidates).WithLabels([&] {
+    std::vector<int> labels;
+    labels.reserve(candidates.size());
+    for (size_t index : candidates) labels.push_back(pseudo_labels[index]);
+    return labels;
+  }());
+  for (int label : x_v.labels()) {
+    if (label == kMatch) ++local_report.pseudo_matches;
+  }
+
+  // Balance classes to 1 : b by under-sampling non-matches.
+  Rng rng(run_options.seed + 71);
+  const std::vector<size_t> balanced_rows =
+      UndersampleNonMatches(x_v.labels(), options_.b, &rng);
+  const FeatureMatrix x_vb = x_v.Select(balanced_rows);
+  local_report.balanced_instances = x_vb.size();
+
+  // Degenerate candidate sets cannot train C^V; the pseudo labels are the
+  // best available answer.
+  if (x_vb.CountMatches() == 0 || x_vb.CountNonMatches() == 0 ||
+      x_vb.size() < 4) {
+    TRANSER_LOG(Warning)
+        << "TransER TCL skipped: confident pseudo-label set degenerate ("
+        << x_vb.size() << " instances)";
+    if (report != nullptr) *report = local_report;
+    return pseudo_labels;
+  }
+
+  auto classifier_v = make_classifier();
+  classifier_v->Fit(x_vb.ToMatrix(), x_vb.labels());
+  local_report.tcl_trained = true;
+  if (report != nullptr) *report = local_report;
+  return classifier_v->PredictAll(x_target);
+}
+
+Result<std::vector<int>> TransER::Run(
+    const FeatureMatrix& source, const FeatureMatrix& target,
+    const ClassifierFactory& make_classifier,
+    const TransferRunOptions& run_options) const {
+  return RunWithReport(source, target, make_classifier, run_options,
+                       nullptr);
+}
+
+}  // namespace transer

@@ -1,0 +1,94 @@
+#include "data/bibliographic_generator.h"
+
+#include "data/vocabulary.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+Schema BibliographicSchema() {
+  return Schema({
+      {"title", "word_jaccard"},
+      {"authors", "monge_elkan"},
+      {"venue", "word_jaccard"},
+      {"year", "year"},
+  });
+}
+
+namespace {
+
+// One clean ground-truth publication.
+struct Publication {
+  std::string title;
+  std::string authors;
+  std::string venue;
+  std::string year;
+};
+
+Publication MakePublication(Rng* rng) {
+  Publication pub;
+  const size_t title_words = static_cast<size_t>(rng->NextInt(3, 7));
+  pub.title = Vocabulary::PickPhrase(Vocabulary::TitleWords(), title_words, rng);
+  const int num_authors = rng->NextInt(1, 3);
+  std::vector<std::string> authors;
+  for (int a = 0; a < num_authors; ++a) {
+    authors.push_back(Vocabulary::Pick(Vocabulary::GivenNames(), rng) + " " +
+                      Vocabulary::Pick(Vocabulary::Surnames(), rng));
+  }
+  pub.authors = Join(authors, " ");
+  pub.venue = Vocabulary::Pick(Vocabulary::Venues(), rng);
+  pub.year = std::to_string(rng->NextInt(1995, 2021));
+  return pub;
+}
+
+Record ToRecord(const Publication& pub, const std::string& id,
+                int64_t entity_id) {
+  Record record;
+  record.id = id;
+  record.entity_id = entity_id;
+  record.values = {pub.title, pub.authors, pub.venue, pub.year};
+  return record;
+}
+
+}  // namespace
+
+LinkageProblem GenerateBibliographic(const BibliographicOptions& options) {
+  Rng rng(options.seed);
+  Corruptor corruptor(options.right_corruption);
+
+  LinkageProblem problem;
+  problem.left = Dataset(options.left_name, BibliographicSchema());
+  problem.right = Dataset(options.right_name, BibliographicSchema());
+
+  for (size_t e = 0; e < options.num_entities; ++e) {
+    const Publication pub = MakePublication(&rng);
+    const int64_t entity_id = static_cast<int64_t>(e);
+    // Every entity appears on the left; overlapping ones also appear on
+    // the right with corrupted values (plus occasional year drift, a
+    // common inconsistency between bibliographic sources).
+    problem.left.Add(ToRecord(
+        pub, options.left_name + "_" + std::to_string(e), entity_id));
+    if (rng.Bernoulli(options.overlap)) {
+      Publication copy = pub;
+      copy.title = corruptor.Corrupt(copy.title, &rng);
+      copy.authors = corruptor.Corrupt(copy.authors, &rng);
+      copy.venue = corruptor.Corrupt(copy.venue, &rng);
+      if (rng.Bernoulli(0.1)) {
+        int64_t year = 0;
+        if (ParseInt64(copy.year, &year)) {
+          copy.year = std::to_string(year + rng.NextInt(-1, 1));
+        }
+      }
+      problem.right.Add(ToRecord(
+          copy, options.right_name + "_" + std::to_string(e), entity_id));
+    } else if (rng.Bernoulli(0.5)) {
+      // A right-only publication keeps databases from being subsets.
+      const Publication other = MakePublication(&rng);
+      problem.right.Add(
+          ToRecord(other, options.right_name + "_x" + std::to_string(e),
+                   static_cast<int64_t>(options.num_entities + e)));
+    }
+  }
+  return problem;
+}
+
+}  // namespace transer

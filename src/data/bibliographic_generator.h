@@ -1,0 +1,33 @@
+#ifndef TRANSER_DATA_BIBLIOGRAPHIC_GENERATOR_H_
+#define TRANSER_DATA_BIBLIOGRAPHIC_GENERATOR_H_
+
+#include <string>
+
+#include "data/corruptor.h"
+#include "data/dataset.h"
+
+namespace transer {
+
+/// \brief Options for the bibliographic (DBLP/ACM/Scholar-like) generator.
+struct BibliographicOptions {
+  std::string left_name = "dblp";
+  std::string right_name = "acm";
+  size_t num_entities = 1000;      ///< distinct publications
+  double overlap = 0.6;            ///< fraction present in both databases
+  /// Corruption applied to the right database (the left stays clean-ish,
+  /// like DBLP). A "Scholar"-like right database uses heavier settings.
+  CorruptorOptions right_corruption;
+  uint64_t seed = 7;
+};
+
+/// Schema: title (word_jaccard), authors (monge_elkan),
+/// venue (word_jaccard), year (year) — four attributes, matching the
+/// DBLP-ACM/DBLP-Scholar feature space of the paper (Table 1).
+Schema BibliographicSchema();
+
+/// Generates a two-database publication linkage problem with ground truth.
+LinkageProblem GenerateBibliographic(const BibliographicOptions& options);
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_BIBLIOGRAPHIC_GENERATOR_H_

@@ -1,0 +1,176 @@
+#include "data/corruptor.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "text/tokenize.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+namespace {
+
+constexpr std::string_view kAlphabet = "abcdefghijklmnopqrstuvwxyz";
+
+// Keyboard-adjacency for substitution errors (QWERTY rows).
+char AdjacentKey(char c, Rng* rng) {
+  static constexpr std::string_view kRows[] = {"qwertyuiop", "asdfghjkl",
+                                               "zxcvbnm"};
+  for (std::string_view row : kRows) {
+    const size_t pos = row.find(c);
+    if (pos == std::string_view::npos) continue;
+    if (pos == 0) return row[1];
+    if (pos + 1 == row.size()) return row[pos - 1];
+    return rng->Bernoulli(0.5) ? row[pos - 1] : row[pos + 1];
+  }
+  return kAlphabet[rng->NextUint64Below(kAlphabet.size())];
+}
+
+// Visually-confusable pairs seen in OCR output.
+constexpr std::pair<char, char> kOcrPairs[] = {
+    {'l', '1'}, {'o', '0'}, {'s', '5'}, {'b', '6'}, {'g', '9'},
+    {'m', 'n'}, {'u', 'v'}, {'c', 'e'}, {'i', 'j'}, {'a', 'o'},
+};
+
+// Common given-name <-> nickname pairs (both directions apply).
+constexpr std::pair<std::string_view, std::string_view> kNicknames[] = {
+    {"james", "jim"},        {"robert", "bob"},    {"william", "bill"},
+    {"margaret", "peggy"},   {"elizabeth", "betsy"}, {"katherine", "kate"},
+    {"richard", "dick"},     {"charles", "chuck"}, {"thomas", "tom"},
+    {"dorothy", "dot"},      {"patricia", "patsy"}, {"alexander", "sandy"},
+    {"john", "jack"},        {"mary", "molly"},    {"christina", "tina"},
+    {"isabella", "bella"},   {"andrew", "andy"},   {"archibald", "archie"},
+};
+
+}  // namespace
+
+std::string Corruptor::ApplyTypo(const std::string& value, Rng* rng) {
+  if (value.empty()) return value;
+  std::string out = value;
+  const int op = rng->NextInt(0, 3);
+  const size_t pos = rng->NextUint64Below(out.size());
+  switch (op) {
+    case 0:  // insert
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                 kAlphabet[rng->NextUint64Below(kAlphabet.size())]);
+      break;
+    case 1:  // delete
+      out.erase(out.begin() + static_cast<ptrdiff_t>(pos));
+      break;
+    case 2:  // substitute with a keyboard-adjacent character
+      out[pos] = AdjacentKey(out[pos], rng);
+      break;
+    case 3:  // transpose with next character
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string Corruptor::ApplyOcrError(const std::string& value, Rng* rng) {
+  if (value.empty()) return value;
+  std::string out = value;
+  // Collect positions with a known confusion partner.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (const auto& [a, b] : kOcrPairs) {
+      if (out[i] == a || out[i] == b) {
+        candidates.push_back(i);
+        break;
+      }
+    }
+  }
+  if (candidates.empty()) return ApplyTypo(value, rng);
+  const size_t pos = candidates[rng->NextUint64Below(candidates.size())];
+  for (const auto& [a, b] : kOcrPairs) {
+    if (out[pos] == a) {
+      out[pos] = b;
+      break;
+    }
+    if (out[pos] == b) {
+      out[pos] = a;
+      break;
+    }
+  }
+  return out;
+}
+
+std::string Corruptor::ApplyAbbreviation(const std::string& value, Rng* rng) {
+  std::vector<std::string> words = WordTokens(value);
+  if (words.empty()) return value;
+  const size_t idx = rng->NextUint64Below(words.size());
+  if (words[idx].size() > 1) words[idx] = words[idx].substr(0, 1);
+  return Join(words, " ");
+}
+
+std::string Corruptor::ApplyDropWord(const std::string& value, Rng* rng) {
+  std::vector<std::string> words = WordTokens(value);
+  if (words.size() < 2) return value;
+  words.erase(words.begin() +
+              static_cast<ptrdiff_t>(rng->NextUint64Below(words.size())));
+  return Join(words, " ");
+}
+
+std::string Corruptor::ApplySwapWords(const std::string& value, Rng* rng) {
+  std::vector<std::string> words = WordTokens(value);
+  if (words.size() < 2) return value;
+  const size_t idx = rng->NextUint64Below(words.size() - 1);
+  std::swap(words[idx], words[idx + 1]);
+  return Join(words, " ");
+}
+
+std::string Corruptor::ApplyNickname(const std::string& value, Rng* rng) {
+  std::vector<std::string> words = WordTokens(value);
+  // Collect (word index, replacement) options, then pick one at random.
+  std::vector<std::pair<size_t, std::string_view>> options;
+  for (size_t w = 0; w < words.size(); ++w) {
+    for (const auto& [full, nick] : kNicknames) {
+      if (words[w] == full) options.emplace_back(w, nick);
+      if (words[w] == nick) options.emplace_back(w, full);
+    }
+  }
+  if (options.empty()) return value;
+  const auto& [index, replacement] =
+      options[rng->NextUint64Below(options.size())];
+  words[index] = std::string(replacement);
+  return Join(words, " ");
+}
+
+std::string Corruptor::Corrupt(const std::string& value, Rng* rng) const {
+  if (value.empty()) return value;
+  if (rng->Bernoulli(options_.missing_probability)) return std::string();
+
+  std::string out = value;
+  const int edits = rng->NextInt(1, std::max(1, options_.max_edits_per_value));
+  for (int e = 0; e < edits; ++e) {
+    if (rng->Bernoulli(options_.typo_probability)) {
+      out = ApplyTypo(out, rng);
+    }
+    if (rng->Bernoulli(options_.ocr_probability)) {
+      out = ApplyOcrError(out, rng);
+    }
+    if (rng->Bernoulli(options_.abbreviate_probability)) {
+      out = ApplyAbbreviation(out, rng);
+    }
+    if (rng->Bernoulli(options_.drop_word_probability)) {
+      out = ApplyDropWord(out, rng);
+    }
+    if (rng->Bernoulli(options_.swap_words_probability)) {
+      out = ApplySwapWords(out, rng);
+    }
+    if (rng->Bernoulli(options_.nickname_probability)) {
+      out = ApplyNickname(out, rng);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Corruptor::CorruptAll(
+    const std::vector<std::string>& values, Rng* rng) const {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (const auto& value : values) out.push_back(Corrupt(value, rng));
+  return out;
+}
+
+}  // namespace transer

@@ -1,0 +1,69 @@
+#ifndef TRANSER_DATA_CORRUPTOR_H_
+#define TRANSER_DATA_CORRUPTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace transer {
+
+/// \brief Per-attribute corruption intensities. Probabilities apply per
+/// value; a corrupted value receives 1..max_edits_per_value edit
+/// operations.
+struct CorruptorOptions {
+  double typo_probability = 0.2;        ///< keyboard-style char edits
+  double ocr_probability = 0.05;        ///< visually-confusable swaps
+  double abbreviate_probability = 0.1;  ///< truncate word to initial
+  double drop_word_probability = 0.05;  ///< delete a random word
+  double swap_words_probability = 0.05; ///< transpose adjacent words
+  double nickname_probability = 0.0;    ///< replace a name by its nickname
+  double missing_probability = 0.02;    ///< blank the value entirely
+  int max_edits_per_value = 2;
+};
+
+/// \brief Injects realistic data-quality problems into attribute values:
+/// typographical errors, OCR confusions, abbreviations, word drops/swaps,
+/// and missing values — the error model the paper's demographic data sets
+/// exhibit (manual entry, scanning, transcription [Christen 2012]).
+class Corruptor {
+ public:
+  explicit Corruptor(CorruptorOptions options = {}) : options_(options) {}
+
+  /// Returns a (possibly) corrupted copy of `value`.
+  std::string Corrupt(const std::string& value, Rng* rng) const;
+
+  /// Corrupts each field of a record's values independently.
+  std::vector<std::string> CorruptAll(const std::vector<std::string>& values,
+                                      Rng* rng) const;
+
+  const CorruptorOptions& options() const { return options_; }
+
+  // Individual operators, exposed for targeted tests.
+
+  /// One random keyboard-style edit: insert/delete/substitute/transpose.
+  static std::string ApplyTypo(const std::string& value, Rng* rng);
+
+  /// Replaces one character by a visually-confusable one (e.g. 'l'<->'1').
+  static std::string ApplyOcrError(const std::string& value, Rng* rng);
+
+  /// Truncates one random word to its initial ("james" -> "j").
+  static std::string ApplyAbbreviation(const std::string& value, Rng* rng);
+
+  /// Deletes one random word (no-op for single-word values).
+  static std::string ApplyDropWord(const std::string& value, Rng* rng);
+
+  /// Swaps two adjacent words (no-op for single-word values).
+  static std::string ApplySwapWords(const std::string& value, Rng* rng);
+
+  /// Replaces a known given name by a common nickname or vice versa
+  /// ("james" <-> "jim"); a no-op when no word has a known alias.
+  static std::string ApplyNickname(const std::string& value, Rng* rng);
+
+ private:
+  CorruptorOptions options_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_CORRUPTOR_H_

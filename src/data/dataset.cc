@@ -1,0 +1,82 @@
+#include "data/dataset.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+void Dataset::Add(Record record) {
+  TRANSER_CHECK_EQ(record.values.size(), schema_.size());
+  records_.push_back(std::move(record));
+}
+
+Result<Dataset> Dataset::FromCsvFile(const std::string& path,
+                                     std::string name, Schema schema) {
+  auto table = Csv::ReadFile(path, /*has_header=*/true);
+  if (!table.ok()) return table.status();
+  const size_t expected_cols = 2 + schema.size();
+  if (table.value().header.size() != expected_cols) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu columns (id, entity_id, %zu attributes), "
+                  "found %zu",
+                  expected_cols, schema.size(),
+                  table.value().header.size()));
+  }
+  Dataset dataset(std::move(name), std::move(schema));
+  dataset.Reserve(table.value().rows.size());
+  for (size_t r = 0; r < table.value().rows.size(); ++r) {
+    const auto& row = table.value().rows[r];
+    if (row.size() != expected_cols) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu columns, expected %zu", r, row.size(),
+                    expected_cols));
+    }
+    Record record;
+    record.id = row[0];
+    if (!ParseInt64(row[1], &record.entity_id)) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: entity_id '%s' is not an integer", r,
+                    row[1].c_str()));
+    }
+    record.values.assign(row.begin() + 2, row.end());
+    dataset.Add(std::move(record));
+  }
+  return dataset;
+}
+
+Status Dataset::ToCsvFile(const std::string& path) const {
+  CsvTable table;
+  table.header = {"id", "entity_id"};
+  for (const auto& attr : schema_.attributes()) {
+    table.header.push_back(attr.name);
+  }
+  table.rows.reserve(records_.size());
+  for (const auto& record : records_) {
+    std::vector<std::string> row = {record.id,
+                                    std::to_string(record.entity_id)};
+    row.insert(row.end(), record.values.begin(), record.values.end());
+    table.rows.push_back(std::move(row));
+  }
+  return Csv::WriteFile(path, table);
+}
+
+size_t LinkageProblem::CountTrueMatches() const {
+  std::unordered_map<int64_t, size_t> left_entities;
+  for (const auto& record : left.records()) {
+    if (record.entity_id >= 0) ++left_entities[record.entity_id];
+  }
+  size_t matches = 0;
+  for (const auto& record : right.records()) {
+    auto it = left_entities.find(record.entity_id);
+    if (record.entity_id >= 0 && it != left_entities.end()) {
+      matches += it->second;
+    }
+  }
+  return matches;
+}
+
+}  // namespace transer

@@ -1,0 +1,60 @@
+#ifndef TRANSER_DATA_DATASET_H_
+#define TRANSER_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief A named database of records sharing one schema.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const Record& record(size_t i) const { return records_[i]; }
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Appends a record; its value count must equal the schema width.
+  void Add(Record record);
+
+  /// Reserves storage for `n` records.
+  void Reserve(size_t n) { records_.reserve(n); }
+
+  /// Loads a dataset from CSV. Expected columns: id, entity_id, then one
+  /// column per schema attribute (header required and checked by count).
+  static Result<Dataset> FromCsvFile(const std::string& path,
+                                     std::string name, Schema schema);
+
+  /// Writes the dataset as CSV (id, entity_id, attributes...).
+  Status ToCsvFile(const std::string& path) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Record> records_;
+};
+
+/// \brief An ER linkage problem: two databases to link. Ground truth is
+/// implied by matching `entity_id`s across the two.
+struct LinkageProblem {
+  Dataset left;
+  Dataset right;
+
+  /// Number of true cross-database matches (pairs with equal entity_id).
+  size_t CountTrueMatches() const;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_DATASET_H_

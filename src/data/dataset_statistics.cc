@@ -1,0 +1,92 @@
+#include "data/dataset_statistics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace transer {
+
+DomainPairStatistics ComputePairStatistics(const std::string& name_a,
+                                           const FeatureMatrix& a,
+                                           const std::string& name_b,
+                                           const FeatureMatrix& b) {
+  TRANSER_CHECK_EQ(a.num_features(), b.num_features());
+  AmbiguityAnalyzer analyzer(/*decimals=*/2);
+  DomainPairStatistics stats;
+  stats.domain_a = name_a;
+  stats.domain_b = name_b;
+  stats.num_features = a.num_features();
+  stats.stats_a = analyzer.Analyze(a);
+  stats.stats_b = analyzer.Analyze(b);
+  stats.common = analyzer.AnalyzeCommon(a, b);
+  return stats;
+}
+
+size_t SimilarityHistogram::ArgMax() const {
+  TRANSER_CHECK(!counts.empty());
+  return static_cast<size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+bool SimilarityHistogram::IsBimodal(double valley_ratio) const {
+  if (counts.size() < 3) return false;
+  // Smooth with a 3-bin moving average to ignore jitter peaks.
+  std::vector<double> smooth(counts.size(), 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    double total = static_cast<double>(counts[i]);
+    double cells = 1.0;
+    if (i > 0) {
+      total += static_cast<double>(counts[i - 1]);
+      cells += 1.0;
+    }
+    if (i + 1 < counts.size()) {
+      total += static_cast<double>(counts[i + 1]);
+      cells += 1.0;
+    }
+    smooth[i] = total / cells;
+  }
+  // Find the two highest local maxima and the valley between them.
+  std::vector<size_t> peaks;
+  for (size_t i = 1; i + 1 < smooth.size(); ++i) {
+    if (smooth[i] >= smooth[i - 1] && smooth[i] >= smooth[i + 1] &&
+        smooth[i] > 0.0) {
+      peaks.push_back(i);
+    }
+  }
+  if (smooth[0] > smooth[1]) peaks.insert(peaks.begin(), 0);
+  if (smooth.back() > smooth[smooth.size() - 2]) {
+    peaks.push_back(smooth.size() - 1);
+  }
+  if (peaks.size() < 2) return false;
+  std::sort(peaks.begin(), peaks.end(),
+            [&smooth](size_t l, size_t r) { return smooth[l] > smooth[r]; });
+  size_t p1 = peaks[0];
+  size_t p2 = peaks[1];
+  if (p1 > p2) std::swap(p1, p2);
+  if (p2 - p1 < 2) return false;
+  double valley = smooth[p1];
+  for (size_t i = p1; i <= p2; ++i) valley = std::min(valley, smooth[i]);
+  const double smaller_peak = std::min(smooth[p1], smooth[p2]);
+  return valley <= valley_ratio * smaller_peak;
+}
+
+SimilarityHistogram ComputeSimilarityHistogram(const FeatureMatrix& x,
+                                               size_t bins) {
+  TRANSER_CHECK_GT(bins, 0u);
+  SimilarityHistogram hist;
+  hist.bins = bins;
+  hist.counts.assign(bins, 0);
+  for (size_t i = 0; i < x.size(); ++i) {
+    double total = 0.0;
+    for (double v : x.Row(i)) total += v;
+    const double avg =
+        x.num_features() > 0 ? total / static_cast<double>(x.num_features())
+                             : 0.0;
+    size_t bin = static_cast<size_t>(avg * static_cast<double>(bins));
+    if (bin >= bins) bin = bins - 1;
+    ++hist.counts[bin];
+  }
+  return hist;
+}
+
+}  // namespace transer

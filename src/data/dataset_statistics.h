@@ -1,0 +1,50 @@
+#ifndef TRANSER_DATA_DATASET_STATISTICS_H_
+#define TRANSER_DATA_DATASET_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "features/ambiguity.h"
+#include "features/feature_matrix.h"
+
+namespace transer {
+
+/// \brief One Table-1 row: per-domain statistics for the two domains of a
+/// pair plus their common-feature-vector statistics.
+struct DomainPairStatistics {
+  std::string domain_a;
+  std::string domain_b;
+  size_t num_features = 0;
+  AmbiguityStats stats_a;
+  AmbiguityStats stats_b;
+  CommonVectorStats common;
+};
+
+/// Computes the full Table-1 row for a domain pair (vectors rounded to
+/// two decimals, as in the paper).
+DomainPairStatistics ComputePairStatistics(const std::string& name_a,
+                                           const FeatureMatrix& a,
+                                           const std::string& name_b,
+                                           const FeatureMatrix& b);
+
+/// \brief Histogram of per-instance average similarity (the Figure 2
+/// view). `counts[i]` covers [i/bins, (i+1)/bins).
+struct SimilarityHistogram {
+  size_t bins = 0;
+  std::vector<size_t> counts;
+
+  /// Index of the highest-count bin.
+  size_t ArgMax() const;
+
+  /// True if the histogram has >= 2 local maxima separated by a valley at
+  /// most `valley_ratio` of the smaller peak — the paper's bi-modality.
+  bool IsBimodal(double valley_ratio = 0.6) const;
+};
+
+/// Builds the average-similarity histogram of a feature matrix.
+SimilarityHistogram ComputeSimilarityHistogram(const FeatureMatrix& x,
+                                               size_t bins = 20);
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_DATASET_STATISTICS_H_

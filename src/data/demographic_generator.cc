@@ -1,0 +1,148 @@
+#include "data/demographic_generator.h"
+
+#include "data/vocabulary.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+Schema DemographicSchema(DemographicLinkType link_type) {
+  std::vector<AttributeSpec> attrs = {
+      {"father_given", "jaro_winkler"},
+      {"father_surname", "jaro_winkler"},
+      {"mother_given", "jaro_winkler"},
+      {"mother_maiden", "jaro_winkler"},
+      {"parish", "jaro_winkler"},
+      {"father_occupation", "jaro_winkler"},
+      {"marriage_year", "year"},
+      {"registration_year", "year"},
+  };
+  if (link_type == DemographicLinkType::kBirthParentsToBirthParents) {
+    attrs.push_back({"address", "word_jaccard"});
+    attrs.push_back({"father_birth_place", "jaro_winkler"});
+    attrs.push_back({"mother_birth_place", "jaro_winkler"});
+  }
+  return Schema(std::move(attrs));
+}
+
+namespace {
+
+// A parent couple: the entity both certificate types describe.
+struct Family {
+  std::string father_given;
+  std::string father_surname;
+  std::string mother_given;
+  std::string mother_maiden;
+  std::string parish;
+  std::string father_occupation;
+  std::string marriage_year;
+  std::string address;
+  std::string father_birth_place;
+  std::string mother_birth_place;
+};
+
+Family MakeFamily(Rng* rng) {
+  Family family;
+  family.father_given = Vocabulary::Pick(Vocabulary::GivenNames(), rng);
+  family.father_surname = Vocabulary::Pick(Vocabulary::Surnames(), rng);
+  family.mother_given = Vocabulary::Pick(Vocabulary::GivenNames(), rng);
+  family.mother_maiden = Vocabulary::Pick(Vocabulary::Surnames(), rng);
+  family.parish = Vocabulary::Pick(Vocabulary::ScottishPlaces(), rng);
+  family.father_occupation = Vocabulary::Pick(Vocabulary::Occupations(), rng);
+  family.marriage_year = std::to_string(rng->NextInt(1855, 1895));
+  family.address = Vocabulary::Pick(Vocabulary::ScottishPlaces(), rng) +
+                   " " + std::to_string(rng->NextInt(1, 60)) + " street";
+  family.father_birth_place = Vocabulary::Pick(Vocabulary::ScottishPlaces(), rng);
+  family.mother_birth_place = Vocabulary::Pick(Vocabulary::ScottishPlaces(), rng);
+  return family;
+}
+
+Record ToRecord(const Family& family, DemographicLinkType link_type,
+                const std::string& registration_year, const std::string& id,
+                int64_t entity_id) {
+  Record record;
+  record.id = id;
+  record.entity_id = entity_id;
+  record.values = {family.father_given,      family.father_surname,
+                   family.mother_given,      family.mother_maiden,
+                   family.parish,            family.father_occupation,
+                   family.marriage_year,     registration_year};
+  if (link_type == DemographicLinkType::kBirthParentsToBirthParents) {
+    record.values.push_back(family.address);
+    record.values.push_back(family.father_birth_place);
+    record.values.push_back(family.mother_birth_place);
+  }
+  return record;
+}
+
+Family CorruptFamily(const Family& family, const Corruptor& corruptor,
+                     Rng* rng) {
+  Family out = family;
+  out.father_given = corruptor.Corrupt(out.father_given, rng);
+  out.father_surname = corruptor.Corrupt(out.father_surname, rng);
+  out.mother_given = corruptor.Corrupt(out.mother_given, rng);
+  out.mother_maiden = corruptor.Corrupt(out.mother_maiden, rng);
+  out.parish = corruptor.Corrupt(out.parish, rng);
+  out.father_occupation = corruptor.Corrupt(out.father_occupation, rng);
+  out.address = corruptor.Corrupt(out.address, rng);
+  out.father_birth_place = corruptor.Corrupt(out.father_birth_place, rng);
+  out.mother_birth_place = corruptor.Corrupt(out.mother_birth_place, rng);
+  // Reported marriage year drifts in historical certificates.
+  if (rng->Bernoulli(0.15)) {
+    int64_t year = 0;
+    if (ParseInt64(out.marriage_year, &year)) {
+      out.marriage_year = std::to_string(year + rng->NextInt(-2, 2));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LinkageProblem GenerateDemographic(const DemographicOptions& options) {
+  Rng rng(options.seed);
+  Corruptor left_corruptor(options.left_corruption);
+  Corruptor right_corruptor(options.right_corruption);
+  const Schema schema = DemographicSchema(options.link_type);
+
+  LinkageProblem problem;
+  problem.left = Dataset(options.left_name, schema);
+  problem.right = Dataset(options.right_name, schema);
+
+  for (size_t f = 0; f < options.num_families; ++f) {
+    const Family family = MakeFamily(&rng);
+    const int64_t entity_id = static_cast<int64_t>(f);
+
+    // Left database: a (lightly corrupted) birth registration.
+    const std::string birth_year = std::to_string(rng.NextInt(1860, 1901));
+    const Family left_variant = CorruptFamily(family, left_corruptor, &rng);
+    problem.left.Add(ToRecord(left_variant, options.link_type, birth_year,
+                              options.left_name + "_" + std::to_string(f),
+                              entity_id));
+
+    if (rng.Bernoulli(options.overlap)) {
+      // Right database: sibling birth (Bp-Bp) or death record (Bp-Dp),
+      // transcribed years apart by a different registrar.
+      int64_t year = 0;
+      ParseInt64(birth_year, &year);
+      const int offset =
+          options.link_type == DemographicLinkType::kBirthParentsToBirthParents
+              ? rng.NextInt(1, 8)     // sibling born a few years later
+              : rng.NextInt(0, 30);   // death up to decades later
+      const std::string right_year = std::to_string(year + offset);
+      const Family right_variant = CorruptFamily(family, right_corruptor, &rng);
+      problem.right.Add(ToRecord(right_variant, options.link_type, right_year,
+                                 options.right_name + "_" + std::to_string(f),
+                                 entity_id));
+    } else if (rng.Bernoulli(0.7)) {
+      const Family other = MakeFamily(&rng);
+      const std::string other_year = std::to_string(rng.NextInt(1860, 1901));
+      problem.right.Add(
+          ToRecord(other, options.link_type, other_year,
+                   options.right_name + "_x" + std::to_string(f),
+                   static_cast<int64_t>(options.num_families + f)));
+    }
+  }
+  return problem;
+}
+
+}  // namespace transer

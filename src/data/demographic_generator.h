@@ -1,0 +1,47 @@
+#ifndef TRANSER_DATA_DEMOGRAPHIC_GENERATOR_H_
+#define TRANSER_DATA_DEMOGRAPHIC_GENERATOR_H_
+
+#include <string>
+
+#include "data/corruptor.h"
+#include "data/dataset.h"
+
+namespace transer {
+
+/// \brief Which demographic link type to generate (paper Section 5.1.2).
+enum class DemographicLinkType {
+  /// Birth parents across two birth certificates of siblings (Bp-Bp,
+  /// 11 attributes).
+  kBirthParentsToBirthParents,
+  /// Birth parents linked to death-certificate parents (Bp-Dp,
+  /// 8 attributes).
+  kBirthParentsToDeathParents,
+};
+
+/// \brief Options for the demographic (Isle-of-Skye/Kilmarnock-like)
+/// generator of Scottish civil-registration certificates 1860-1901.
+struct DemographicOptions {
+  std::string left_name = "ios_births";
+  std::string right_name = "ios_deaths";
+  DemographicLinkType link_type =
+      DemographicLinkType::kBirthParentsToDeathParents;
+  size_t num_families = 1500;     ///< couples generating certificates
+  double overlap = 0.5;           ///< families appearing in both databases
+  CorruptorOptions left_corruption;
+  CorruptorOptions right_corruption;
+  uint64_t seed = 13;
+};
+
+/// Schema for the requested link type: parent name attributes compared
+/// with Jaro-Winkler, places with Jaro-Winkler, years with the numeric
+/// year comparator. Bp-Dp has 8 attributes, Bp-Bp has 11, matching the
+/// feature-space widths of Table 1.
+Schema DemographicSchema(DemographicLinkType link_type);
+
+/// Generates a certificate-linkage problem with ground truth: records in
+/// both databases that stem from the same parent couple share entity ids.
+LinkageProblem GenerateDemographic(const DemographicOptions& options);
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_DEMOGRAPHIC_GENERATOR_H_

@@ -1,0 +1,119 @@
+#include "data/feature_space_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+namespace {
+
+double RoundTo(double v, int decimals) {
+  const double scale = std::pow(10.0, decimals);
+  return std::round(v * scale) / scale;
+}
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+FeatureSpaceGenerator::FeatureSpaceGenerator(FeatureSpaceSharedSpec shared)
+    : shared_(shared) {
+  TRANSER_CHECK_GT(shared_.num_features, 0u);
+  Rng rng(shared_.prototype_seed);
+
+  // Per-feature offsets so features are distinguishable yet consistent
+  // across the pair of domains.
+  feature_offsets_.resize(shared_.num_features);
+  for (double& offset : feature_offsets_) offset = rng.Uniform(-0.08, 0.08);
+
+  // Ambiguous prototypes: mid-similarity vectors on a coarse 0.1 grid so
+  // they recur exactly and collide across domains.
+  prototypes_.reserve(shared_.num_ambiguous_prototypes);
+  for (size_t p = 0; p < shared_.num_ambiguous_prototypes; ++p) {
+    std::vector<double> proto(shared_.num_features);
+    for (size_t q = 0; q < shared_.num_features; ++q) {
+      proto[q] = RoundTo(
+          rng.Uniform(shared_.prototype_low, shared_.prototype_high), 1);
+    }
+    prototypes_.push_back(std::move(proto));
+  }
+}
+
+FeatureMatrix FeatureSpaceGenerator::Generate(
+    const FeatureDomainSpec& spec) const {
+  TRANSER_CHECK_GE(spec.match_fraction, 0.0);
+  TRANSER_CHECK_GE(spec.ambiguous_fraction, 0.0);
+  TRANSER_CHECK_LE(spec.match_fraction + spec.ambiguous_fraction, 1.0);
+
+  Rng rng(spec.seed);
+  std::vector<std::string> names;
+  names.reserve(shared_.num_features);
+  for (size_t q = 0; q < shared_.num_features; ++q) {
+    names.push_back(StrFormat("f%zu", q));
+  }
+  FeatureMatrix out(std::move(names));
+  out.Reserve(spec.num_instances);
+
+  const size_t n = spec.num_instances;
+  const size_t n_ambiguous =
+      static_cast<size_t>(std::lround(spec.ambiguous_fraction *
+                                      static_cast<double>(n)));
+  const size_t n_match = static_cast<size_t>(
+      std::lround(spec.match_fraction * static_cast<double>(n)));
+
+  // Instance plan: 0 = non-match mode, 1 = match mode, 2 = ambiguous pool.
+  std::vector<int> plan;
+  plan.reserve(n);
+  plan.insert(plan.end(), n_match, 1);
+  plan.insert(plan.end(), n_ambiguous, 2);
+  plan.insert(plan.end(), n - std::min(n, n_match + n_ambiguous), 0);
+  plan.resize(n, 0);
+  rng.Shuffle(&plan);
+
+  std::vector<double> features(shared_.num_features);
+  for (size_t i = 0; i < n; ++i) {
+    int label = kNonMatch;
+    if (plan[i] == 2 && !prototypes_.empty()) {
+      const size_t pick = rng.NextUint64Below(prototypes_.size());
+      features = prototypes_[pick];
+      double p_match = spec.ambiguous_match_prob;
+      if (spec.ambiguous_gain > 0.0) {
+        double mean = 0.0;
+        for (double v : features) mean += v;
+        mean /= static_cast<double>(features.size());
+        const double z = spec.ambiguous_gain * (mean - spec.ambiguous_center);
+        p_match = 1.0 / (1.0 + std::exp(-z));
+      }
+      label = rng.Bernoulli(p_match) ? kMatch : kNonMatch;
+    } else {
+      const bool is_match = plan[i] == 1;
+      const double mean =
+          (is_match ? spec.match_mean : spec.nonmatch_mean) + spec.mode_shift;
+      const double stddev =
+          is_match ? spec.match_stddev : spec.nonmatch_stddev;
+      // Decompose the mode noise into the pair's shared quality component
+      // and per-feature jitter (see shared_noise_fraction).
+      const double f = std::clamp(spec.shared_noise_fraction, 0.0, 1.0);
+      const double shared_sd = f * stddev;
+      const double indep_sd = std::sqrt(1.0 - f * f) * stddev;
+      const double shared = rng.Gaussian(0.0, shared_sd);
+      for (size_t q = 0; q < shared_.num_features; ++q) {
+        const double raw = mean + feature_offsets_[q] + shared +
+                           rng.Gaussian(0.0, indep_sd);
+        features[q] = RoundTo(Clamp01(raw), spec.round_decimals);
+      }
+      label = is_match ? kMatch : kNonMatch;
+      if (spec.label_noise > 0.0 && rng.Bernoulli(spec.label_noise)) {
+        label = label == kMatch ? kNonMatch : kMatch;
+      }
+    }
+    out.Append(features, label);
+  }
+  return out;
+}
+
+}  // namespace transer

@@ -1,0 +1,97 @@
+#ifndef TRANSER_DATA_FEATURE_SPACE_GENERATOR_H_
+#define TRANSER_DATA_FEATURE_SPACE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/feature_matrix.h"
+
+namespace transer {
+
+/// \brief Structure shared by the two domains of one transfer pair: the
+/// feature space itself and the pool of *ambiguous prototypes* — distinct
+/// mid-similarity feature vectors that occur with both labels (the
+/// Ambiguous columns of Table 1) and are common to both domains, creating
+/// the class-conditional-distribution differences TransER targets.
+struct FeatureSpaceSharedSpec {
+  size_t num_features = 4;
+  size_t num_ambiguous_prototypes = 60;
+  uint64_t prototype_seed = 1234;
+  /// Range prototypes are drawn from (mid-similarity region between the
+  /// two modes, where true matches and non-matches collide).
+  double prototype_low = 0.35;
+  double prototype_high = 0.80;
+};
+
+/// \brief One domain's generation parameters. The bi-modal shape of ER
+/// similarity data (Figure 2) comes from two Gaussian modes — a low
+/// non-match mode holding most of the mass and a high match mode — with
+/// values rounded to `round_decimals` like the paper's feature vectors.
+struct FeatureDomainSpec {
+  std::string name = "domain";
+  size_t num_instances = 1000;
+  double match_fraction = 0.30;       ///< unambiguous match instances
+  double ambiguous_fraction = 0.04;   ///< instances drawn from prototypes
+  double match_mean = 0.80;           ///< centre of the match mode
+  double match_stddev = 0.10;
+  double nonmatch_mean = 0.25;        ///< centre of the non-match mode
+  double nonmatch_stddev = 0.12;
+  /// Additive shift of both mode centres: the marginal-probability-
+  /// distribution difference P(X^S) != P(X^T) between paired domains.
+  double mode_shift = 0.0;
+  /// P(label = match) inside the shared ambiguous region: differing values
+  /// across paired domains realise P(Y|X)^S != P(Y|X)^T (Diff-class
+  /// vectors of Table 1). Used when ambiguous_gain == 0.
+  double ambiguous_match_prob = 0.5;
+  /// When > 0, the ambiguous region's conditional follows a logistic curve
+  /// along the similarity axis instead of the flat probability above:
+  ///   P(match | prototype) = sigmoid(gain * (mean(prototype) - center)).
+  /// `gain` models the data set's curation quality — crisp curation (high
+  /// gain) makes ambiguous vectors resolvable by their position, blurry
+  /// curation (low gain) leaves near-coin-flip labels that poison any
+  /// classifier trained on them. Differing centers/gains across a pair
+  /// realise the conditional shift.
+  double ambiguous_gain = 0.0;
+  double ambiguous_center = 0.55;
+  /// Split of each mode's noise between a per-instance *shared* component
+  /// (the record pair's overall data quality, moving all similarities
+  /// together — what makes real ER feature vectors lie on a quality axis)
+  /// and per-feature independent jitter. 1.0 = fully correlated features,
+  /// 0.0 = fully independent. The shared component has stddev
+  /// fraction * stddev; the independent part sqrt(1-fraction^2) * stddev,
+  /// so the per-feature marginal variance is unchanged.
+  double shared_noise_fraction = 0.9;
+  /// Fraction of unambiguous instances whose label is flipped.
+  double label_noise = 0.0;
+  int round_decimals = 2;
+  uint64_t seed = 1;
+};
+
+/// \brief Generates labelled feature matrices with paper-matched
+/// statistics. One generator instance represents a *pair* of homogeneous
+/// domains: both Generate() calls share prototypes and per-feature
+/// offsets, so their feature spaces align exactly.
+class FeatureSpaceGenerator {
+ public:
+  explicit FeatureSpaceGenerator(FeatureSpaceSharedSpec shared);
+
+  /// Generates one domain's feature matrix (rows shuffled).
+  FeatureMatrix Generate(const FeatureDomainSpec& spec) const;
+
+  /// The shared ambiguous prototype vectors.
+  const std::vector<std::vector<double>>& prototypes() const {
+    return prototypes_;
+  }
+
+  const FeatureSpaceSharedSpec& shared() const { return shared_; }
+
+ private:
+  FeatureSpaceSharedSpec shared_;
+  std::vector<double> feature_offsets_;  ///< shared per-feature mean offsets
+  std::vector<std::vector<double>> prototypes_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_FEATURE_SPACE_GENERATOR_H_

@@ -1,0 +1,98 @@
+#include "data/music_generator.h"
+
+#include "data/vocabulary.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+Schema MusicSchema() {
+  return Schema({
+      {"title", "qgram_jaccard"},
+      {"album", "word_jaccard"},
+      {"artist", "jaro_winkler"},
+      {"year", "year"},
+      {"length", "numeric_abs"},
+  });
+}
+
+namespace {
+
+struct Song {
+  std::string title;
+  std::string album;
+  std::string artist;
+  std::string year;
+  std::string length;  ///< seconds
+};
+
+Song MakeSong(Rng* rng) {
+  Song song;
+  const size_t title_words = static_cast<size_t>(rng->NextInt(2, 4));
+  song.title = Vocabulary::PickPhrase(Vocabulary::SongWords(), title_words, rng);
+  song.album = Vocabulary::Pick(Vocabulary::SongWords(), rng) + " " +
+               Vocabulary::Pick(Vocabulary::AlbumWords(), rng);
+  song.artist = Vocabulary::Pick(Vocabulary::ArtistNames(), rng);
+  song.year = std::to_string(rng->NextInt(1965, 2020));
+  song.length = std::to_string(rng->NextInt(120, 420));
+  return song;
+}
+
+Record ToRecord(const Song& song, const std::string& id, int64_t entity_id) {
+  Record record;
+  record.id = id;
+  record.entity_id = entity_id;
+  record.values = {song.title, song.album, song.artist, song.year,
+                   song.length};
+  return record;
+}
+
+}  // namespace
+
+LinkageProblem GenerateMusic(const MusicOptions& options) {
+  Rng rng(options.seed);
+  Corruptor corruptor(options.right_corruption);
+
+  LinkageProblem problem;
+  problem.left = Dataset(options.left_name, MusicSchema());
+  problem.right = Dataset(options.right_name, MusicSchema());
+
+  for (size_t e = 0; e < options.num_entities; ++e) {
+    const Song song = MakeSong(&rng);
+    const int64_t entity_id = static_cast<int64_t>(e);
+    problem.left.Add(
+        ToRecord(song, options.left_name + "_" + std::to_string(e), entity_id));
+
+    if (rng.Bernoulli(options.overlap)) {
+      Song copy = song;
+      copy.title = corruptor.Corrupt(copy.title, &rng);
+      copy.artist = corruptor.Corrupt(copy.artist, &rng);
+      if (rng.Bernoulli(options.album_variant_rate)) {
+        // Same recording released on a different album (single, EP,
+        // compilation) with a small year offset — the true-match pairs
+        // with conflicting low album similarity (paper Section 1).
+        copy.album = Vocabulary::Pick(Vocabulary::SongWords(), &rng) + " " +
+                     Vocabulary::Pick(Vocabulary::AlbumWords(), &rng);
+        int64_t year = 0;
+        if (ParseInt64(copy.year, &year)) {
+          copy.year = std::to_string(year + rng.NextInt(0, 2));
+        }
+      } else {
+        copy.album = corruptor.Corrupt(copy.album, &rng);
+      }
+      int64_t length = 0;
+      if (ParseInt64(copy.length, &length)) {
+        copy.length = std::to_string(length + rng.NextInt(-3, 3));
+      }
+      problem.right.Add(ToRecord(
+          copy, options.right_name + "_" + std::to_string(e), entity_id));
+    } else if (rng.Bernoulli(0.6)) {
+      const Song other = MakeSong(&rng);
+      problem.right.Add(
+          ToRecord(other, options.right_name + "_x" + std::to_string(e),
+                   static_cast<int64_t>(options.num_entities + e)));
+    }
+  }
+  return problem;
+}
+
+}  // namespace transer

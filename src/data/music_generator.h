@@ -1,0 +1,34 @@
+#ifndef TRANSER_DATA_MUSIC_GENERATOR_H_
+#define TRANSER_DATA_MUSIC_GENERATOR_H_
+
+#include <string>
+
+#include "data/corruptor.h"
+#include "data/dataset.h"
+
+namespace transer {
+
+/// \brief Options for the music (Million-Songs/Musicbrainz-like) generator.
+struct MusicOptions {
+  std::string left_name = "msd";
+  std::string right_name = "mb";
+  size_t num_entities = 1500;
+  double overlap = 0.5;
+  /// Fraction of matched pairs whose album differs (single vs album
+  /// release) — the source of the conflicting-label examples in the paper.
+  double album_variant_rate = 0.15;
+  CorruptorOptions right_corruption;
+  uint64_t seed = 11;
+};
+
+/// Schema: title (qgram_jaccard), album (word_jaccard),
+/// artist (jaro_winkler), year (year), length (numeric_abs) — five
+/// attributes, matching the music feature space of the paper (Table 1).
+Schema MusicSchema();
+
+/// Generates a two-database song linkage problem with ground truth.
+LinkageProblem GenerateMusic(const MusicOptions& options);
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_MUSIC_GENERATOR_H_

@@ -1,0 +1,22 @@
+#include "data/record.h"
+
+namespace transer {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+bool Schema::CompatibleWith(const Schema& other) const {
+  if (size() != other.size()) return false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (attributes_[i].similarity != other.attributes_[i].similarity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace transer

@@ -1,0 +1,62 @@
+#ifndef TRANSER_DATA_RECORD_H_
+#define TRANSER_DATA_RECORD_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief One attribute of a schema: its name and the similarity function
+/// (by registry name) used to compare its values.
+struct AttributeSpec {
+  std::string name;
+  std::string similarity;  ///< key into SimilarityRegistry
+};
+
+/// \brief Ordered attribute list shared by all records of a database.
+///
+/// Two domains are *homogeneous* (the setting of the paper) when their
+/// schemas are compatible: same attribute count and the same similarity
+/// function per position.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeSpec> attributes)
+      : attributes_(std::move(attributes)) {}
+  Schema(std::initializer_list<AttributeSpec> attributes)
+      : attributes_(attributes) {}
+
+  size_t size() const { return attributes_.size(); }
+  const AttributeSpec& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True when `other` provides the same feature space: equal attribute
+  /// count and identical similarity function names position by position.
+  /// Attribute *names* may differ (e.g. "title" vs "song").
+  bool CompatibleWith(const Schema& other) const;
+
+ private:
+  std::vector<AttributeSpec> attributes_;
+};
+
+/// \brief One record: a row of attribute values plus identifiers.
+///
+/// `entity_id` is the ground-truth entity the record describes; two records
+/// match iff their entity ids are equal. Real deployments do not have it —
+/// it exists here to generate labels and evaluate quality.
+struct Record {
+  std::string id;                   ///< unique record id within a database
+  int64_t entity_id = -1;           ///< ground-truth entity (-1 = unknown)
+  std::vector<std::string> values;  ///< one value per schema attribute
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_RECORD_H_

@@ -1,0 +1,183 @@
+#include "data/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transer {
+
+namespace {
+
+/// Calibration of one paper data set: Table 1 statistics plus the mode
+/// parameters that realise its difficulty.
+struct DatasetCalibration {
+  const char* name;
+  size_t num_features;
+  size_t paper_instances;
+  double match_fraction;
+  double ambiguous_fraction;
+  double match_mean;
+  double match_stddev;
+  double nonmatch_mean;
+  double nonmatch_stddev;
+  double ambiguous_match_prob;  // curation bias in the ambiguous region
+  double ambiguous_gain;        // >0: resolvable logistic conditional
+  double ambiguous_center;      // logistic centre (used when gain > 0)
+  double label_noise;           // fraction of independently flipped labels
+};
+
+// Values follow Table 1 of the paper; mode parameters encode the
+// difficulty ordering of Section 5.1.2. Clean data sets (DBLP-ACM, MSD,
+// the Isle-of-Skye registers) have tight, high match modes; messy ones
+// (Scholar, Musicbrainz, Kilmarnock) have broader, lower match modes --
+// the marginal shift P(X^S) != P(X^T). ambiguous_match_prob is each data
+// set's labelling bias inside the shared ambiguous-prototype region; the
+// difference across a pair is the conditional shift P(Y|X)^S != P(Y|X)^T
+// of Section 5.4 that poisons classifiers trained on the messier source.
+// Each data set's label_noise is the fraction of independently mislabeled
+// record pairs -- the paper's Section 1 observation that pairs are
+// "manually labelled ... independently from all other pairs", which makes
+// the messy data sets (Scholar aside, whose curation is crisp; mainly
+// Musicbrainz and the Kilmarnock registers, plus ACM's known conflicts)
+// carry scattered wrong labels. These are exactly the instances the SEL
+// phase's sim_c filter removes (the smoothness assumption), and the main
+// reason Naive transfer degrades when trained on the messier source.
+// The ambiguous prototype regions are largely *resolvable* by position
+// (logistic gain): expert curation is consistent even where rounded
+// feature vectors collide, matching the high absolute quality of Table 2
+// despite the high ambiguity percentages of Table 1.
+constexpr DatasetCalibration kDblpAcm = {
+    "DBLP-ACM", 4, 6660, 0.299, 0.036, 0.85, 0.08, 0.30, 0.11,
+    0.5, 9.0, 0.55, 0.05};
+constexpr DatasetCalibration kDblpScholar = {
+    "DBLP-Scholar", 4, 16041, 0.332, 0.002, 0.78, 0.11, 0.30, 0.12,
+    0.5, 9.0, 0.55, 0.01};
+constexpr DatasetCalibration kMsd = {
+    "MSD", 5, 27544, 0.332, 0.025, 0.85, 0.09, 0.30, 0.11,
+    0.5, 9.0, 0.55, 0.02};
+constexpr DatasetCalibration kMb = {
+    "MB", 5, 91143, 0.143, 0.221, 0.62, 0.13, 0.30, 0.12,
+    0.5, 9.0, 0.72, 0.12};
+constexpr DatasetCalibration kIosBpDp = {
+    "IOS-Bp-Dp", 8, 115986, 0.190, 0.150, 0.84, 0.09, 0.30, 0.11,
+    0.5, 9.0, 0.55, 0.03};
+constexpr DatasetCalibration kKilBpDp = {
+    "KIL-Bp-Dp", 8, 242457, 0.150, 0.196, 0.78, 0.10, 0.32, 0.12,
+    0.5, 9.0, 0.52, 0.06};
+constexpr DatasetCalibration kIosBpBp = {
+    "IOS-Bp-Bp", 11, 249396, 0.254, 0.106, 0.84, 0.09, 0.30, 0.11,
+    0.5, 9.0, 0.55, 0.03};
+constexpr DatasetCalibration kKilBpBp = {
+    "KIL-Bp-Bp", 11, 406038, 0.282, 0.131, 0.78, 0.10, 0.32, 0.12,
+    0.5, 9.0, 0.58, 0.06};
+
+/// Source/target calibrations plus the shared prototype seed of the pair.
+struct ScenarioSpec {
+  const DatasetCalibration* source;
+  const DatasetCalibration* target;
+  uint64_t prototype_seed;
+  size_t num_prototypes;
+};
+
+ScenarioSpec GetSpec(ScenarioId id) {
+  switch (id) {
+    case ScenarioId::kDblpAcmToDblpScholar:
+      return {&kDblpAcm, &kDblpScholar, 101, 40};
+    case ScenarioId::kDblpScholarToDblpAcm:
+      return {&kDblpScholar, &kDblpAcm, 101, 40};
+    case ScenarioId::kMsdToMb:
+      return {&kMsd, &kMb, 202, 80};
+    case ScenarioId::kMbToMsd:
+      return {&kMb, &kMsd, 202, 80};
+    case ScenarioId::kIosBpDpToKilBpDp:
+      return {&kIosBpDp, &kKilBpDp, 303, 90};
+    case ScenarioId::kKilBpDpToIosBpDp:
+      return {&kKilBpDp, &kIosBpDp, 303, 90};
+    case ScenarioId::kIosBpBpToKilBpBp:
+      return {&kIosBpBp, &kKilBpBp, 404, 90};
+    case ScenarioId::kKilBpBpToIosBpBp:
+      return {&kKilBpBp, &kIosBpBp, 404, 90};
+  }
+  TRANSER_CHECK(false) << "unknown scenario id";
+  return {};
+}
+
+size_t ScaledSize(size_t paper_instances, const ScenarioScale& scale) {
+  const double scaled =
+      scale.scale * static_cast<double>(paper_instances);
+  const size_t n = static_cast<size_t>(std::llround(scaled));
+  return std::clamp(n, scale.min_instances, scale.max_instances);
+}
+
+FeatureDomainSpec ToDomainSpec(const DatasetCalibration& cal,
+                               const ScenarioScale& scale, uint64_t seed) {
+  FeatureDomainSpec spec;
+  spec.name = cal.name;
+  spec.num_instances = ScaledSize(cal.paper_instances, scale);
+  spec.match_fraction = cal.match_fraction;
+  spec.ambiguous_fraction = cal.ambiguous_fraction;
+  spec.match_mean = cal.match_mean;
+  spec.match_stddev = cal.match_stddev;
+  spec.nonmatch_mean = cal.nonmatch_mean;
+  spec.nonmatch_stddev = cal.nonmatch_stddev;
+  spec.ambiguous_match_prob = cal.ambiguous_match_prob;
+  spec.ambiguous_gain = cal.ambiguous_gain;
+  spec.ambiguous_center = cal.ambiguous_center;
+  spec.label_noise = cal.label_noise;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ScenarioId> AllScenarioIds() {
+  return {
+      ScenarioId::kDblpAcmToDblpScholar, ScenarioId::kDblpScholarToDblpAcm,
+      ScenarioId::kMsdToMb,              ScenarioId::kMbToMsd,
+      ScenarioId::kIosBpDpToKilBpDp,     ScenarioId::kKilBpDpToIosBpDp,
+      ScenarioId::kIosBpBpToKilBpBp,     ScenarioId::kKilBpBpToIosBpBp,
+  };
+}
+
+std::vector<ScenarioId> FocusScenarioIds() {
+  // As in Section 5.2.3: one bibliographic, one music, one demographic.
+  return {ScenarioId::kDblpAcmToDblpScholar, ScenarioId::kMbToMsd,
+          ScenarioId::kKilBpDpToIosBpDp};
+}
+
+std::string ScenarioName(ScenarioId id) {
+  const ScenarioSpec spec = GetSpec(id);
+  return std::string(spec.source->name) + " -> " + spec.target->name;
+}
+
+size_t PaperSourceSize(ScenarioId id) {
+  return GetSpec(id).source->paper_instances;
+}
+
+TransferScenario BuildScenario(ScenarioId id, const ScenarioScale& scale) {
+  const ScenarioSpec spec = GetSpec(id);
+  TRANSER_CHECK_EQ(spec.source->num_features, spec.target->num_features);
+
+  FeatureSpaceSharedSpec shared;
+  shared.num_features = spec.source->num_features;
+  shared.num_ambiguous_prototypes = spec.num_prototypes;
+  shared.prototype_seed = spec.prototype_seed;
+  FeatureSpaceGenerator generator(shared);
+
+  TransferScenario scenario;
+  scenario.name = ScenarioName(id);
+  scenario.source_name = spec.source->name;
+  scenario.target_name = spec.target->name;
+  // The per-dataset seed is derived from the dataset (not the direction),
+  // so "DBLP-ACM" is the same data whether it is source or target.
+  scenario.source = generator.Generate(ToDomainSpec(
+      *spec.source, scale,
+      scale.seed ^ (spec.source->paper_instances * 2654435761ULL)));
+  scenario.target = generator.Generate(ToDomainSpec(
+      *spec.target, scale,
+      scale.seed ^ (spec.target->paper_instances * 2654435761ULL)));
+  return scenario;
+}
+
+}  // namespace transer

@@ -1,0 +1,66 @@
+#ifndef TRANSER_DATA_SCENARIO_H_
+#define TRANSER_DATA_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/feature_space_generator.h"
+#include "features/feature_matrix.h"
+
+namespace transer {
+
+/// \brief The eight source→target evaluation scenarios of the paper
+/// (Tables 2 and 3), realised at configurable scale by the calibrated
+/// feature-space generator.
+enum class ScenarioId {
+  kDblpAcmToDblpScholar = 0,
+  kDblpScholarToDblpAcm,
+  kMsdToMb,
+  kMbToMsd,
+  kIosBpDpToKilBpDp,
+  kKilBpDpToIosBpDp,
+  kIosBpBpToKilBpBp,
+  kKilBpBpToIosBpBp,
+};
+
+/// All eight scenario ids in the paper's table order.
+std::vector<ScenarioId> AllScenarioIds();
+
+/// The three scenarios used for the sensitivity / ablation experiments
+/// (Figures 6, 7; Table 4): one bibliographic, one music, one demographic.
+std::vector<ScenarioId> FocusScenarioIds();
+
+/// Human-readable "Source -> Target" name.
+std::string ScenarioName(ScenarioId id);
+
+/// \brief One built scenario: a fully labelled source domain and a target
+/// domain whose labels are ground truth for evaluation only.
+struct TransferScenario {
+  std::string name;
+  std::string source_name;
+  std::string target_name;
+  FeatureMatrix source;
+  FeatureMatrix target;
+};
+
+/// \brief Scale controls for scenario construction. The paper's data set
+/// sizes (Table 1, up to 406k pairs) are multiplied by `scale` and clamped
+/// to [min_instances, max_instances] so the full evaluation fits the
+/// reproduction machine while preserving the paper's size *ratios*.
+struct ScenarioScale {
+  double scale = 0.025;
+  size_t min_instances = 400;
+  size_t max_instances = 40000;
+  uint64_t seed = 33;
+};
+
+/// Builds one scenario with calibrated Table-1 statistics.
+TransferScenario BuildScenario(ScenarioId id, const ScenarioScale& scale = {});
+
+/// Paper-reported instance count of the scenario's source domain
+/// (|X^S| column of Table 3); used to report scale factors.
+size_t PaperSourceSize(ScenarioId id);
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_SCENARIO_H_

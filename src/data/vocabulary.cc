@@ -1,0 +1,181 @@
+#include "data/vocabulary.h"
+
+#include "util/logging.h"
+
+namespace transer {
+
+namespace {
+
+// Each pool is a function-local static reference to a heap vector so the
+// objects are never destroyed (trivial-destruction rule for statics).
+
+const std::vector<std::string>& MakeGivenNames() {
+  static const auto& pool = *new std::vector<std::string>{
+      "james",     "john",     "robert",  "michael", "william", "david",
+      "mary",      "patricia", "jennifer", "linda",  "elizabeth", "barbara",
+      "margaret",  "susan",    "dorothy", "sarah",   "jessica", "helen",
+      "charles",   "joseph",   "thomas",  "george",  "donald",  "kenneth",
+      "agnes",     "isabella", "janet",   "catherine", "ann",   "jean",
+      "alexander", "andrew",   "angus",   "archibald", "colin", "donald",
+      "duncan",    "ewan",     "fergus",  "hamish",  "hugh",    "ian",
+      "malcolm",   "neil",     "norman",  "peter",   "roderick", "ronald",
+      "christina", "effie",    "flora",   "grace",   "jane",    "jessie",
+      "marion",    "marjory",  "mhairi",  "morag",   "peggy",   "rachel",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& MakeSurnames() {
+  static const auto& pool = *new std::vector<std::string>{
+      "smith",      "brown",     "wilson",    "campbell", "stewart",
+      "thomson",    "robertson", "anderson",  "macdonald", "scott",
+      "reid",       "murray",    "taylor",    "clark",    "mitchell",
+      "ross",       "walker",    "paterson",  "young",    "watson",
+      "morrison",   "miller",    "fraser",    "davidson", "mcdonald",
+      "gray",       "henderson", "hamilton",  "johnston", "duncan",
+      "graham",     "ferguson",  "kerr",      "cameron",  "hunter",
+      "simpson",    "macleod",   "mackenzie", "grant",    "mackay",
+      "shaw",       "wallace",   "mclean",    "black",    "wright",
+      "gibson",     "kelly",     "sutherland", "munro",   "sinclair",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& MakeTitleWords() {
+  static const auto& pool = *new std::vector<std::string>{
+      "efficient",   "scalable",   "adaptive",    "distributed",
+      "incremental", "parallel",   "approximate", "optimal",
+      "query",       "database",   "index",       "join",
+      "stream",      "graph",      "transaction", "storage",
+      "learning",    "mining",     "clustering",  "classification",
+      "entity",      "resolution", "matching",    "linkage",
+      "processing",  "evaluation", "optimization", "estimation",
+      "semantic",    "relational", "temporal",    "spatial",
+      "algorithms",  "systems",    "models",      "frameworks",
+      "analysis",    "integration", "discovery",  "retrieval",
+      "management",  "detection",  "selection",   "sampling",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& MakeVenues() {
+  static const auto& pool = *new std::vector<std::string>{
+      "sigmod conference",  "vldb",
+      "icde",               "edbt",
+      "kdd",                "icdm",
+      "cikm",               "wsdm",
+      "sigir",              "www conference",
+      "acm transactions on database systems",
+      "vldb journal",
+      "ieee transactions on knowledge and data engineering",
+      "information systems",
+      "data and knowledge engineering",
+      "journal of machine learning research",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& MakeSongWords() {
+  static const auto& pool = *new std::vector<std::string>{
+      "love",    "night",  "heart",  "dream",  "fire",    "rain",
+      "dance",   "light",  "moon",   "river",  "road",    "home",
+      "blue",    "golden", "summer", "winter", "shadow",  "silver",
+      "stars",   "ocean",  "wild",   "broken", "forever", "yesterday",
+      "morning", "midnight", "angel", "devil", "thunder", "lightning",
+      "crazy",   "lonely", "sweet",  "bitter", "fading",  "rising",
+      "falling", "burning", "running", "waiting", "crying", "flying",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& MakeArtistNames() {
+  static const auto& pool = *new std::vector<std::string>{
+      "the velvet echoes",   "crimson harbor",     "silver lining band",
+      "electric meadow",     "northern lights trio", "midnight drifters",
+      "paper lanterns",      "glass animals club",  "iron valley",
+      "golden hour",         "static bloom",        "neon cascade",
+      "the wandering notes", "hollow pines",        "scarlet avenue",
+      "echo chamber",        "lunar tide",          "rust and bone",
+      "the quiet storm",     "amber waves",         "cobalt sky",
+      "velvet thunder",      "prairie ghosts",      "city of glass",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& MakeAlbumWords() {
+  static const auto& pool = *new std::vector<std::string>{
+      "sessions", "live",    "acoustic", "deluxe",  "remastered",
+      "greatest", "hits",    "volume",   "chronicles", "anthology",
+      "stories",  "tales",   "songs",    "ballads", "anthems",
+      "echoes",   "reflections", "horizons", "journeys", "seasons",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& MakeScottishPlaces() {
+  static const auto& pool = *new std::vector<std::string>{
+      "portree",    "broadford",  "dunvegan",  "uig",        "staffin",
+      "carbost",    "elgol",      "sleat",     "kilmuir",    "snizort",
+      "kilmarnock", "riccarton",  "hurlford",  "crosshouse", "kilmaurs",
+      "fenwick",    "galston",    "darvel",    "newmilns",   "stewarton",
+      "glasgow",    "edinburgh",  "inverness", "aberdeen",   "dundee",
+      "paisley",    "greenock",   "ayr",       "irvine",     "dumbarton",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& MakeOccupations() {
+  static const auto& pool = *new std::vector<std::string>{
+      "crofter",    "fisherman",  "weaver",    "labourer",   "mason",
+      "carpenter",  "blacksmith", "shoemaker", "tailor",     "miner",
+      "shepherd",   "farmer",     "servant",   "teacher",    "merchant",
+      "engine driver", "spinner", "carter",    "gardener",   "baker",
+  };
+  return pool;
+}
+
+}  // namespace
+
+const std::vector<std::string>& Vocabulary::GivenNames() {
+  return MakeGivenNames();
+}
+const std::vector<std::string>& Vocabulary::Surnames() {
+  return MakeSurnames();
+}
+const std::vector<std::string>& Vocabulary::TitleWords() {
+  return MakeTitleWords();
+}
+const std::vector<std::string>& Vocabulary::Venues() { return MakeVenues(); }
+const std::vector<std::string>& Vocabulary::SongWords() {
+  return MakeSongWords();
+}
+const std::vector<std::string>& Vocabulary::ArtistNames() {
+  return MakeArtistNames();
+}
+const std::vector<std::string>& Vocabulary::AlbumWords() {
+  return MakeAlbumWords();
+}
+const std::vector<std::string>& Vocabulary::ScottishPlaces() {
+  return MakeScottishPlaces();
+}
+const std::vector<std::string>& Vocabulary::Occupations() {
+  return MakeOccupations();
+}
+
+const std::string& Vocabulary::Pick(const std::vector<std::string>& pool,
+                                    Rng* rng) {
+  TRANSER_CHECK(!pool.empty());
+  return pool[rng->NextUint64Below(pool.size())];
+}
+
+std::string Vocabulary::PickPhrase(const std::vector<std::string>& pool,
+                                   size_t count, Rng* rng) {
+  std::string phrase;
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) phrase.push_back(' ');
+    phrase += Pick(pool, rng);
+  }
+  return phrase;
+}
+
+}  // namespace transer

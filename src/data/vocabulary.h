@@ -1,0 +1,37 @@
+#ifndef TRANSER_DATA_VOCABULARY_H_
+#define TRANSER_DATA_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace transer {
+
+/// \brief Word pools used by the synthetic domain generators. Each list is
+/// a curated set of realistic values so similarity distributions resemble
+/// the real data sets (shared prefixes, varying lengths, common words).
+class Vocabulary {
+ public:
+  static const std::vector<std::string>& GivenNames();
+  static const std::vector<std::string>& Surnames();
+  static const std::vector<std::string>& TitleWords();       ///< CS paper titles
+  static const std::vector<std::string>& Venues();           ///< journals/confs
+  static const std::vector<std::string>& SongWords();        ///< song titles
+  static const std::vector<std::string>& ArtistNames();      ///< bands/artists
+  static const std::vector<std::string>& AlbumWords();
+  static const std::vector<std::string>& ScottishPlaces();   ///< parishes/towns
+  static const std::vector<std::string>& Occupations();
+
+  /// Uniform draw from `pool`.
+  static const std::string& Pick(const std::vector<std::string>& pool,
+                                 Rng* rng);
+
+  /// Draws `count` words from `pool` (with replacement) joined by spaces.
+  static std::string PickPhrase(const std::vector<std::string>& pool,
+                                size_t count, Rng* rng);
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_DATA_VOCABULARY_H_

@@ -1,0 +1,49 @@
+#include "eval/aggregate.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace transer {
+
+std::string MeanStd::ToString(double scale) const {
+  return StrFormat("%6.2f ± %5.2f", mean * scale, stddev * scale);
+}
+
+MeanStd Aggregate(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double total = 0.0;
+  for (double v : values) total += v;
+  out.mean = total / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) {
+    const double d = v - out.mean;
+    var += d * d;
+  }
+  out.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+QualityAggregate AggregateQuality(
+    const std::vector<LinkageQuality>& results) {
+  std::vector<double> p, r, fs, f1;
+  p.reserve(results.size());
+  r.reserve(results.size());
+  fs.reserve(results.size());
+  f1.reserve(results.size());
+  for (const auto& q : results) {
+    p.push_back(q.precision);
+    r.push_back(q.recall);
+    fs.push_back(q.f_star);
+    f1.push_back(q.f1);
+  }
+  QualityAggregate out;
+  out.precision = Aggregate(p);
+  out.recall = Aggregate(r);
+  out.f_star = Aggregate(fs);
+  out.f1 = Aggregate(f1);
+  return out;
+}
+
+}  // namespace transer

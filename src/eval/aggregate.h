@@ -1,0 +1,38 @@
+#ifndef TRANSER_EVAL_AGGREGATE_H_
+#define TRANSER_EVAL_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace transer {
+
+/// \brief Mean and (population) standard deviation of a sample — the
+/// "avg ± std" cells of the paper's tables.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  /// Renders as "93.76 ± 1.01" (values scaled by `scale`, e.g. 100 for %).
+  std::string ToString(double scale = 100.0) const;
+};
+
+/// Computes mean ± std of `values` (empty -> zeros).
+MeanStd Aggregate(const std::vector<double>& values);
+
+/// \brief Per-measure aggregation of LinkageQuality results over a suite
+/// of classifiers (Table 2 rows).
+struct QualityAggregate {
+  MeanStd precision;
+  MeanStd recall;
+  MeanStd f_star;
+  MeanStd f1;
+};
+
+/// Aggregates a list of per-classifier qualities.
+QualityAggregate AggregateQuality(const std::vector<LinkageQuality>& results);
+
+}  // namespace transer
+
+#endif  // TRANSER_EVAL_AGGREGATE_H_

@@ -1,0 +1,32 @@
+#ifndef TRANSER_EVAL_TABLE_PRINTER_H_
+#define TRANSER_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace transer {
+
+/// \brief Monospace table renderer used by the benchmark harness to print
+/// paper-style tables to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; it may have fewer cells than the header (padded empty).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with per-column widths, a header underline, and two-space
+  /// column gaps.
+  std::string Render() const;
+
+  /// Render + print to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,106 @@
+#include "features/ambiguity.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+namespace {
+
+/// Label census of one distinct vector.
+struct VectorCensus {
+  size_t matches = 0;
+  size_t nonmatches = 0;
+
+  bool ambiguous() const { return matches > 0 && nonmatches > 0; }
+  bool match_only() const { return matches > 0 && nonmatches == 0; }
+};
+
+std::unordered_map<std::string, VectorCensus> BuildCensus(
+    const FeatureMatrix& x, const AmbiguityAnalyzer& analyzer) {
+  std::unordered_map<std::string, VectorCensus> census;
+  for (size_t i = 0; i < x.size(); ++i) {
+    VectorCensus& entry = census[analyzer.Key(x.Row(i))];
+    if (x.label(i) == kMatch) {
+      ++entry.matches;
+    } else if (x.label(i) == kNonMatch) {
+      ++entry.nonmatches;
+    }
+  }
+  return census;
+}
+
+}  // namespace
+
+AmbiguityAnalyzer::AmbiguityAnalyzer(int decimals) : decimals_(decimals) {
+  TRANSER_CHECK_GE(decimals, 0);
+  TRANSER_CHECK_LE(decimals, 9);
+}
+
+std::string AmbiguityAnalyzer::Key(std::span<const double> row) const {
+  std::string key;
+  key.reserve(row.size() * (static_cast<size_t>(decimals_) + 3));
+  for (double v : row) {
+    key += StrFormat("%.*f|", decimals_, v);
+  }
+  return key;
+}
+
+AmbiguityStats AmbiguityAnalyzer::Analyze(const FeatureMatrix& x) const {
+  const auto census = BuildCensus(x, *this);
+  AmbiguityStats stats;
+  stats.total_instances = x.size();
+  stats.distinct_vectors = census.size();
+  if (x.empty()) return stats;
+
+  size_t match_only = 0, nonmatch_only = 0, ambiguous = 0;
+  for (const auto& [key, entry] : census) {
+    const size_t instances = entry.matches + entry.nonmatches;
+    if (entry.ambiguous()) {
+      ambiguous += instances;
+    } else if (entry.match_only()) {
+      match_only += instances;
+    } else {
+      nonmatch_only += instances;
+    }
+  }
+  const double n = static_cast<double>(x.size());
+  stats.match_fraction = static_cast<double>(match_only) / n;
+  stats.nonmatch_fraction = static_cast<double>(nonmatch_only) / n;
+  stats.ambiguous_fraction = static_cast<double>(ambiguous) / n;
+  return stats;
+}
+
+CommonVectorStats AmbiguityAnalyzer::AnalyzeCommon(
+    const FeatureMatrix& a, const FeatureMatrix& b) const {
+  const auto census_a = BuildCensus(a, *this);
+  const auto census_b = BuildCensus(b, *this);
+
+  CommonVectorStats stats;
+  size_t same = 0, diff = 0, ambiguous = 0;
+  for (const auto& [key, entry_a] : census_a) {
+    auto it = census_b.find(key);
+    if (it == census_b.end()) continue;
+    const VectorCensus& entry_b = it->second;
+    ++stats.common_distinct_vectors;
+    if (entry_a.ambiguous() || entry_b.ambiguous()) {
+      ++ambiguous;
+    } else if (entry_a.match_only() == entry_b.match_only()) {
+      ++same;
+    } else {
+      ++diff;
+    }
+  }
+  if (stats.common_distinct_vectors > 0) {
+    const double n = static_cast<double>(stats.common_distinct_vectors);
+    stats.same_class_fraction = static_cast<double>(same) / n;
+    stats.diff_class_fraction = static_cast<double>(diff) / n;
+    stats.ambiguous_fraction = static_cast<double>(ambiguous) / n;
+  }
+  return stats;
+}
+
+}  // namespace transer

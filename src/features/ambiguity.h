@@ -1,0 +1,54 @@
+#ifndef TRANSER_FEATURES_AMBIGUITY_H_
+#define TRANSER_FEATURES_AMBIGUITY_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature_matrix.h"
+
+namespace transer {
+
+/// \brief Statistics over the *distinct* (rounded) feature vectors of one
+/// domain — the quantities of Table 1 of the paper. A distinct vector is
+/// "ambiguous" when it carries both match and non-match labels.
+struct AmbiguityStats {
+  size_t total_instances = 0;
+  size_t distinct_vectors = 0;
+  double match_fraction = 0.0;      ///< instances whose vector is match-only
+  double nonmatch_fraction = 0.0;   ///< instances whose vector is non-match-only
+  double ambiguous_fraction = 0.0;  ///< instances whose vector has both labels
+};
+
+/// \brief Cross-domain statistics over the feature vectors common to both
+/// domains (Common Feature Vectors columns of Table 1).
+struct CommonVectorStats {
+  size_t common_distinct_vectors = 0;
+  /// Fractions over the common vectors:
+  double same_class_fraction = 0.0;  ///< unambiguous in both, same label
+  double diff_class_fraction = 0.0;  ///< unambiguous in both, labels differ
+  double ambiguous_fraction = 0.0;   ///< ambiguous in at least one domain
+};
+
+/// \brief Groups feature vectors after rounding to `decimals` decimal
+/// places (the paper rounds to 2) and derives the Table-1 statistics.
+class AmbiguityAnalyzer {
+ public:
+  explicit AmbiguityAnalyzer(int decimals = 2);
+
+  /// Per-domain statistics.
+  AmbiguityStats Analyze(const FeatureMatrix& x) const;
+
+  /// Cross-domain statistics over the common rounded vectors.
+  CommonVectorStats AnalyzeCommon(const FeatureMatrix& a,
+                                  const FeatureMatrix& b) const;
+
+  /// Rounded-key rendering of one feature vector (exposed for tests).
+  std::string Key(std::span<const double> row) const;
+
+ private:
+  int decimals_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_FEATURES_AMBIGUITY_H_

@@ -1,0 +1,61 @@
+#include "features/comparator.h"
+
+#include "text/similarity_registry.h"
+#include "util/logging.h"
+
+namespace transer {
+
+Result<PairComparator> PairComparator::Create(const Schema& left_schema,
+                                              const Schema& right_schema,
+                                              ComparatorOptions options) {
+  if (!left_schema.CompatibleWith(right_schema)) {
+    return Status::InvalidArgument(
+        "left and right schemas are not feature-space compatible");
+  }
+  std::vector<std::string> names;
+  std::vector<SimilarityFn> fns;
+  names.reserve(left_schema.size());
+  fns.reserve(left_schema.size());
+  for (const auto& attr : left_schema.attributes()) {
+    auto fn = SimilarityRegistry::Global().Lookup(attr.similarity);
+    if (!fn.ok()) return fn.status();
+    names.push_back(attr.name + ":" + attr.similarity);
+    fns.push_back(std::move(fn.value()));
+  }
+  return PairComparator(std::move(names), std::move(fns), options);
+}
+
+std::vector<double> PairComparator::Compare(const Record& left,
+                                            const Record& right) const {
+  TRANSER_CHECK_EQ(left.values.size(), similarity_fns_.size());
+  TRANSER_CHECK_EQ(right.values.size(), similarity_fns_.size());
+  std::vector<double> features(similarity_fns_.size(), 0.0);
+  for (size_t q = 0; q < similarity_fns_.size(); ++q) {
+    const std::string a = NormalizeValue(left.values[q], options_.normalize);
+    const std::string b = NormalizeValue(right.values[q], options_.normalize);
+    if (a.empty() || b.empty()) {
+      features[q] = options_.missing_value_similarity;
+    } else {
+      features[q] = similarity_fns_[q](a, b);
+    }
+  }
+  return features;
+}
+
+FeatureMatrix PairComparator::CompareAll(
+    const Dataset& left, const Dataset& right,
+    const std::vector<PairRef>& pairs) const {
+  FeatureMatrix out(feature_names_);
+  out.Reserve(pairs.size());
+  for (const PairRef& pair : pairs) {
+    const Record& l = left.record(pair.left_index);
+    const Record& r = right.record(pair.right_index);
+    const int label = (l.entity_id >= 0 && l.entity_id == r.entity_id)
+                          ? kMatch
+                          : kNonMatch;
+    out.Append(Compare(l, r), label, pair);
+  }
+  return out;
+}
+
+}  // namespace transer

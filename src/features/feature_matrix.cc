@@ -1,0 +1,121 @@
+#include "features/feature_matrix.h"
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+void FeatureMatrix::Append(const std::vector<double>& features, int label,
+                           PairRef ref) {
+  TRANSER_CHECK_EQ(features.size(), num_features());
+  data_.insert(data_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  pairs_.push_back(ref);
+}
+
+Matrix FeatureMatrix::ToMatrix() const {
+  return Matrix::FromRowMajor(size(), num_features(), data_);
+}
+
+FeatureMatrix FeatureMatrix::Select(const std::vector<size_t>& rows) const {
+  FeatureMatrix out(feature_names_);
+  out.Reserve(rows.size());
+  for (size_t row : rows) {
+    TRANSER_CHECK_LT(row, size());
+    out.Append(RowVector(row), labels_[row], pairs_[row]);
+  }
+  return out;
+}
+
+FeatureMatrix FeatureMatrix::WithoutLabels() const {
+  FeatureMatrix out = *this;
+  for (int& label : out.labels_) label = kUnlabeled;
+  return out;
+}
+
+FeatureMatrix FeatureMatrix::WithLabels(const std::vector<int>& labels) const {
+  TRANSER_CHECK_EQ(labels.size(), size());
+  FeatureMatrix out = *this;
+  out.labels_ = labels;
+  return out;
+}
+
+size_t FeatureMatrix::CountMatches() const {
+  size_t count = 0;
+  for (int label : labels_) count += label == kMatch ? 1 : 0;
+  return count;
+}
+
+size_t FeatureMatrix::CountNonMatches() const {
+  size_t count = 0;
+  for (int label : labels_) count += label == kNonMatch ? 1 : 0;
+  return count;
+}
+
+size_t FeatureMatrix::CountUnlabeled() const {
+  size_t count = 0;
+  for (int label : labels_) count += label == kUnlabeled ? 1 : 0;
+  return count;
+}
+
+void FeatureMatrix::Reserve(size_t n) {
+  data_.reserve(n * num_features());
+  labels_.reserve(n);
+  pairs_.reserve(n);
+}
+
+Status FeatureMatrix::ToCsvFile(const std::string& path) const {
+  CsvTable table;
+  table.header = feature_names_;
+  table.header.push_back("label");
+  table.rows.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(num_features() + 1);
+    for (double v : Row(i)) row.push_back(StrFormat("%.6f", v));
+    row.push_back(std::to_string(labels_[i]));
+    table.rows.push_back(std::move(row));
+  }
+  return Csv::WriteFile(path, table);
+}
+
+Result<FeatureMatrix> FeatureMatrix::FromCsvFile(const std::string& path) {
+  auto table = Csv::ReadFile(path, /*has_header=*/true);
+  if (!table.ok()) return table.status();
+  auto& parsed = table.value();
+  if (parsed.header.size() < 2) {
+    return Status::InvalidArgument(
+        "feature CSV needs at least one feature column plus label");
+  }
+  std::vector<std::string> names(parsed.header.begin(),
+                                 parsed.header.end() - 1);
+  FeatureMatrix out(std::move(names));
+  out.Reserve(parsed.rows.size());
+  for (size_t r = 0; r < parsed.rows.size(); ++r) {
+    const auto& row = parsed.rows[r];
+    if (row.size() != parsed.header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, expected %zu", r, row.size(),
+                    parsed.header.size()));
+    }
+    std::vector<double> features(out.num_features());
+    for (size_t c = 0; c < out.num_features(); ++c) {
+      if (!ParseDouble(row[c], &features[c])) {
+        return Status::InvalidArgument(
+            StrFormat("row %zu col %zu: '%s' is not numeric", r, c,
+                      row[c].c_str()));
+      }
+    }
+    int64_t label = 0;
+    if (!ParseInt64(row.back(), &label)) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: label '%s' is not an integer", r,
+                    row.back().c_str()));
+    }
+    out.Append(features, static_cast<int>(label));
+  }
+  return out;
+}
+
+}  // namespace transer

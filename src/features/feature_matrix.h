@@ -1,0 +1,98 @@
+#ifndef TRANSER_FEATURES_FEATURE_MATRIX_H_
+#define TRANSER_FEATURES_FEATURE_MATRIX_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief A candidate record pair by row index into the two databases.
+struct PairRef {
+  size_t left_index = 0;
+  size_t right_index = 0;
+};
+
+/// Class labels used throughout the library.
+inline constexpr int kNonMatch = 0;
+inline constexpr int kMatch = 1;
+inline constexpr int kUnlabeled = -1;
+
+/// \brief The instance store of the paper: one row (feature vector) per
+/// compared record pair, each feature an attribute similarity in [0, 1],
+/// plus the (possibly unknown) match label.
+///
+/// Both X^S (with labels) and X^T (labels hidden from the methods,
+/// retained for evaluation) are FeatureMatrix objects.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  explicit FeatureMatrix(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  size_t num_features() const { return feature_names_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Appends one instance. `features` must have num_features() entries;
+  /// `label` is kMatch / kNonMatch / kUnlabeled.
+  void Append(const std::vector<double>& features, int label,
+              PairRef ref = {});
+
+  /// Row accessors.
+  std::span<const double> Row(size_t i) const {
+    return std::span<const double>(data_.data() + i * num_features(),
+                                   num_features());
+  }
+  std::vector<double> RowVector(size_t i) const {
+    const auto row = Row(i);
+    return std::vector<double>(row.begin(), row.end());
+  }
+
+  int label(size_t i) const { return labels_[i]; }
+  const std::vector<int>& labels() const { return labels_; }
+  const PairRef& pair(size_t i) const { return pairs_[i]; }
+
+  /// Copies the features into a dense Matrix (n x m).
+  Matrix ToMatrix() const;
+
+  /// Subset by row indices (features, labels and pair refs).
+  FeatureMatrix Select(const std::vector<size_t>& rows) const;
+
+  /// Returns a copy with every label replaced by kUnlabeled — how a
+  /// target domain presents itself to a transfer method.
+  FeatureMatrix WithoutLabels() const;
+
+  /// Returns a copy with labels overridden by `labels` (size must match).
+  FeatureMatrix WithLabels(const std::vector<int>& labels) const;
+
+  /// Counts of kMatch / kNonMatch / kUnlabeled labels.
+  size_t CountMatches() const;
+  size_t CountNonMatches() const;
+  size_t CountUnlabeled() const;
+
+  /// Reserves storage for n instances.
+  void Reserve(size_t n);
+
+  /// Writes feature_name columns + label to CSV.
+  Status ToCsvFile(const std::string& path) const;
+
+  /// Reads a CSV produced by ToCsvFile (last column = label).
+  static Result<FeatureMatrix> FromCsvFile(const std::string& path);
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> data_;  ///< row-major, size() * num_features()
+  std::vector<int> labels_;
+  std::vector<PairRef> pairs_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_FEATURES_FEATURE_MATRIX_H_

@@ -1,0 +1,35 @@
+#include "knn/brute_force.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transer {
+
+std::vector<Neighbour> BruteForceKnn::Query(std::span<const double> query,
+                                            size_t k,
+                                            ptrdiff_t skip_index) const {
+  TRANSER_CHECK_EQ(query.size(), points_.cols());
+  std::vector<Neighbour> all;
+  all.reserve(points_.rows());
+  for (size_t row = 0; row < points_.rows(); ++row) {
+    if (static_cast<ptrdiff_t>(row) == skip_index) continue;
+    double dist_sq = 0.0;
+    const double* p = points_.Row(row);
+    for (size_t d = 0; d < query.size(); ++d) {
+      const double diff = p[d] - query[d];
+      dist_sq += diff * diff;
+    }
+    all.push_back(Neighbour{row, std::sqrt(dist_sq)});
+  }
+  const size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(keep),
+                    all.end(), [](const Neighbour& a, const Neighbour& b) {
+                      return a.distance < b.distance;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+}  // namespace transer

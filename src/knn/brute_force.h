@@ -1,0 +1,30 @@
+#ifndef TRANSER_KNN_BRUTE_FORCE_H_
+#define TRANSER_KNN_BRUTE_FORCE_H_
+
+#include <span>
+#include <vector>
+
+#include "knn/kd_tree.h"
+#include "linalg/matrix.h"
+
+namespace transer {
+
+/// \brief O(n) linear-scan k-NN. Reference oracle for KdTree tests and a
+/// sane default for tiny data sets.
+class BruteForceKnn {
+ public:
+  explicit BruteForceKnn(const Matrix& points) : points_(points) {}
+
+  /// Same contract as KdTree::Query.
+  std::vector<Neighbour> Query(std::span<const double> query, size_t k,
+                               ptrdiff_t skip_index = -1) const;
+
+  size_t size() const { return points_.rows(); }
+
+ private:
+  Matrix points_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_KNN_BRUTE_FORCE_H_

@@ -1,0 +1,132 @@
+#include "knn/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transer {
+
+namespace {
+
+// Max-heap ordering on distance: heap[0] is the worst kept candidate.
+bool HeapLess(const Neighbour& a, const Neighbour& b) {
+  return a.distance < b.distance;
+}
+
+void HeapPush(std::vector<Neighbour>* heap, Neighbour n) {
+  heap->push_back(n);
+  std::push_heap(heap->begin(), heap->end(), HeapLess);
+}
+
+void HeapPopWorst(std::vector<Neighbour>* heap) {
+  std::pop_heap(heap->begin(), heap->end(), HeapLess);
+  heap->pop_back();
+}
+
+}  // namespace
+
+KdTree::KdTree(const Matrix& points) : points_(points) {
+  order_.resize(points_.rows());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (!order_.empty()) {
+    nodes_.reserve(2 * order_.size() / kLeafSize + 2);
+    root_ = Build(0, order_.size(), 0);
+  }
+}
+
+ptrdiff_t KdTree::Build(size_t begin, size_t end, size_t depth) {
+  Node node;
+  if (end - begin <= kLeafSize) {
+    node.is_leaf = true;
+    node.begin = begin;
+    node.end = end;
+    nodes_.push_back(node);
+    return static_cast<ptrdiff_t>(nodes_.size() - 1);
+  }
+
+  // Pick the dimension with the largest spread for balanced splits.
+  const size_t dims = points_.cols();
+  size_t best_dim = depth % dims;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dims; ++d) {
+    double lo = points_(order_[begin], d);
+    double hi = lo;
+    for (size_t i = begin + 1; i < end; ++i) {
+      const double v = points_(order_[i], d);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_dim = d;
+    }
+  }
+
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + static_cast<ptrdiff_t>(begin),
+                   order_.begin() + static_cast<ptrdiff_t>(mid),
+                   order_.begin() + static_cast<ptrdiff_t>(end),
+                   [this, best_dim](size_t a, size_t b) {
+                     return points_(a, best_dim) < points_(b, best_dim);
+                   });
+
+  node.split_dim = best_dim;
+  node.split_value = points_(order_[mid], best_dim);
+  nodes_.push_back(node);
+  const ptrdiff_t index = static_cast<ptrdiff_t>(nodes_.size() - 1);
+  const ptrdiff_t left = Build(begin, mid, depth + 1);
+  const ptrdiff_t right = Build(mid, end, depth + 1);
+  nodes_[static_cast<size_t>(index)].left = left;
+  nodes_[static_cast<size_t>(index)].right = right;
+  return index;
+}
+
+void KdTree::Search(ptrdiff_t node_index, std::span<const double> query,
+                    size_t k, ptrdiff_t skip_index,
+                    std::vector<Neighbour>* heap) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  if (node.is_leaf) {
+    for (size_t i = node.begin; i < node.end; ++i) {
+      const size_t row = order_[i];
+      if (static_cast<ptrdiff_t>(row) == skip_index) continue;
+      double dist_sq = 0.0;
+      const double* p = points_.Row(row);
+      for (size_t d = 0; d < query.size(); ++d) {
+        const double diff = p[d] - query[d];
+        dist_sq += diff * diff;
+      }
+      const double dist = std::sqrt(dist_sq);
+      if (heap->size() < k) {
+        HeapPush(heap, Neighbour{row, dist});
+      } else if (dist < heap->front().distance) {
+        HeapPopWorst(heap);
+        HeapPush(heap, Neighbour{row, dist});
+      }
+    }
+    return;
+  }
+
+  const double delta = query[node.split_dim] - node.split_value;
+  const ptrdiff_t near = delta <= 0.0 ? node.left : node.right;
+  const ptrdiff_t far = delta <= 0.0 ? node.right : node.left;
+  Search(near, query, k, skip_index, heap);
+  // Prune the far side when the splitting plane is beyond the worst kept
+  // candidate.
+  if (heap->size() < k || std::fabs(delta) < heap->front().distance) {
+    Search(far, query, k, skip_index, heap);
+  }
+}
+
+std::vector<Neighbour> KdTree::Query(std::span<const double> query, size_t k,
+                                     ptrdiff_t skip_index) const {
+  TRANSER_CHECK_EQ(query.size(), points_.cols());
+  std::vector<Neighbour> heap;
+  if (root_ < 0 || k == 0) return heap;
+  heap.reserve(k + 1);
+  Search(root_, query, k, skip_index, &heap);
+  std::sort_heap(heap.begin(), heap.end(), HeapLess);
+  return heap;
+}
+
+}  // namespace transer

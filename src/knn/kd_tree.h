@@ -1,0 +1,66 @@
+#ifndef TRANSER_KNN_KD_TREE_H_
+#define TRANSER_KNN_KD_TREE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace transer {
+
+/// \brief One k-NN answer: the row index of a stored point and its
+/// Euclidean distance to the query.
+struct Neighbour {
+  size_t index = 0;
+  double distance = 0.0;
+};
+
+/// \brief KD-tree over the rows of a feature matrix [Bentley 1975] — the
+/// nearest-neighbour index the paper assumes for the SEL phase complexity
+/// (Section 4.1). Build is O(n log n) by median splitting; queries are
+/// branch-and-bound with a bounded max-heap of candidates.
+class KdTree {
+ public:
+  /// Builds the tree over all rows of `points` (copied).
+  explicit KdTree(const Matrix& points);
+
+  /// Returns the `k` nearest stored points to `query`, closest first.
+  /// Fewer are returned when the tree holds fewer than `k` points.
+  /// `skip_index`, when >= 0, excludes that stored row — used to query a
+  /// point's neighbourhood within its own data set without itself.
+  std::vector<Neighbour> Query(std::span<const double> query, size_t k,
+                               ptrdiff_t skip_index = -1) const;
+
+  size_t size() const { return points_.rows(); }
+  size_t dimensions() const { return points_.cols(); }
+
+ private:
+  struct Node {
+    size_t split_dim = 0;
+    double split_value = 0.0;
+    ptrdiff_t left = -1;    ///< node index or -1
+    ptrdiff_t right = -1;   ///< node index or -1
+    size_t begin = 0;       ///< leaf: range into order_
+    size_t end = 0;
+    bool is_leaf = false;
+  };
+
+  /// Builds the subtree over order_[begin, end); returns its node index.
+  ptrdiff_t Build(size_t begin, size_t end, size_t depth);
+
+  /// Recursive best-first search helper.
+  void Search(ptrdiff_t node_index, std::span<const double> query, size_t k,
+              ptrdiff_t skip_index, std::vector<Neighbour>* heap) const;
+
+  static constexpr size_t kLeafSize = 16;
+
+  Matrix points_;
+  std::vector<size_t> order_;  ///< permutation of row indices
+  std::vector<Node> nodes_;
+  ptrdiff_t root_ = -1;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_KNN_KD_TREE_H_

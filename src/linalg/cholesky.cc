@@ -1,0 +1,93 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transer {
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) {
+      return Status::FailedPrecondition(
+          "matrix is not positive definite (pivot " + std::to_string(j) +
+          " = " + std::to_string(diag) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+std::vector<double> Cholesky::SolveLower(const std::vector<double>& b) const {
+  const size_t n = l_.rows();
+  TRANSER_CHECK_EQ(b.size(), n);
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::SolveUpper(const std::vector<double>& y) const {
+  const size_t n = l_.rows();
+  TRANSER_CHECK_EQ(y.size(), n);
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double acc = y[i];
+    for (size_t k = i + 1; k < n; ++k) acc -= l_(k, i) * x[k];
+    x[i] = acc / l_(i, i);
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::Solve(const std::vector<double>& b) const {
+  return SolveUpper(SolveLower(b));
+}
+
+Matrix Cholesky::SolveLowerMatrix(const Matrix& b) const {
+  TRANSER_CHECK_EQ(b.rows(), l_.rows());
+  Matrix out(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    std::vector<double> col = b.ColVector(c);
+    std::vector<double> y = SolveLower(col);
+    for (size_t r = 0; r < b.rows(); ++r) out(r, c) = y[r];
+  }
+  return out;
+}
+
+Matrix Cholesky::Inverse() const {
+  const size_t n = l_.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    std::vector<double> x = Solve(e);
+    for (size_t r = 0; r < n; ++r) inv(r, c) = x[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+double Cholesky::LogDeterminant() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace transer

@@ -1,0 +1,48 @@
+#ifndef TRANSER_LINALG_CHOLESKY_H_
+#define TRANSER_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief Cholesky factorisation A = L * L^T of a symmetric positive
+/// definite matrix, plus triangular solves.
+///
+/// Used to reduce the generalized eigenproblem in TCA to a standard
+/// symmetric one, and to invert covariance matrices.
+class Cholesky {
+ public:
+  /// Factorises `a` (must be square, SPD). Fails with FailedPrecondition
+  /// if a non-positive pivot is encountered.
+  static Result<Cholesky> Factor(const Matrix& a);
+
+  /// Lower-triangular factor L.
+  const Matrix& L() const { return l_; }
+
+  /// Solves L * y = b.
+  std::vector<double> SolveLower(const std::vector<double>& b) const;
+
+  /// Solves L^T * x = y.
+  std::vector<double> SolveUpper(const std::vector<double>& y) const;
+
+  /// Solves A * x = b via the two triangular solves.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves L * Y = B column-by-column.
+  Matrix SolveLowerMatrix(const Matrix& b) const;
+
+  /// Computes A^{-1} via n solves against identity columns.
+  Matrix Inverse() const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)).
+  double LogDeterminant() const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_LINALG_CHOLESKY_H_

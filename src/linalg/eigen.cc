@@ -1,0 +1,137 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/cholesky.h"
+#include "util/logging.h"
+
+namespace transer {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
+                                          double tolerance) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix d = a;            // Working copy driven to diagonal form.
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of absolute off-diagonal values decides convergence.
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += std::fabs(d(p, q));
+    }
+    if (off <= tolerance) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Smaller-root tangent for numerical stability.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation to D (both sides) and accumulate into V.
+        for (size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = d(i, i);
+  std::sort(order.begin(), order.end(),
+            [&diag](size_t l, size_t r) { return diag[l] > diag[r]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out.values[j] = diag[order[j]];
+    for (size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+Result<EigenDecomposition> GeneralizedSymmetricEigen(const Matrix& a,
+                                                     const Matrix& b) {
+  if (a.rows() != a.cols() || b.rows() != b.cols() || a.rows() != b.rows()) {
+    return Status::InvalidArgument(
+        "GeneralizedSymmetricEigen requires square matrices of equal size");
+  }
+  auto chol = Cholesky::Factor(b);
+  if (!chol.ok()) return chol.status();
+
+  // C = L^{-1} A L^{-T}: first solve L X = A, then L Y^T = X^T.
+  const Matrix x = chol.value().SolveLowerMatrix(a);
+  const Matrix c = chol.value().SolveLowerMatrix(x.Transpose()).Transpose();
+
+  // Symmetrise to absorb round-off before Jacobi.
+  Matrix c_sym = c.Add(c.Transpose()).Scale(0.5);
+  auto eig = SymmetricEigen(c_sym);
+  if (!eig.ok()) return eig.status();
+
+  // Back-transform the eigenvectors: v = L^{-T} y.
+  const size_t n = a.rows();
+  Matrix vectors(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> y = eig.value().vectors.ColVector(j);
+    std::vector<double> v = chol.value().SolveUpper(y);
+    for (size_t i = 0; i < n; ++i) vectors(i, j) = v[i];
+  }
+  EigenDecomposition out;
+  out.values = std::move(eig.value().values);
+  out.vectors = std::move(vectors);
+  return out;
+}
+
+Result<Matrix> SymmetricMatrixPower(const Matrix& a, double power,
+                                    double floor) {
+  auto eig = SymmetricEigen(a);
+  if (!eig.ok()) return eig.status();
+  const size_t n = a.rows();
+  const Matrix& v = eig.value().vectors;
+  Matrix out(n, n, 0.0);
+  for (size_t k = 0; k < n; ++k) {
+    double lambda = eig.value().values[k];
+    if (lambda < floor) lambda = floor;
+    const double plambda = std::pow(lambda, power);
+    for (size_t i = 0; i < n; ++i) {
+      const double vik = v(i, k) * plambda;
+      if (vik == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        out(i, j) += vik * v(j, k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace transer

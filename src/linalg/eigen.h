@@ -1,0 +1,41 @@
+#ifndef TRANSER_LINALG_EIGEN_H_
+#define TRANSER_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief Eigendecomposition result: eigenvalues sorted descending, with
+/// `vectors` holding the matching eigenvectors as columns.
+struct EigenDecomposition {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+/// Computes all eigenpairs of a symmetric matrix with the cyclic Jacobi
+/// method. Returns InvalidArgument for non-square input. Accuracy is
+/// ample for the m x m and kernel-sized problems in this library.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          int max_sweeps = 64,
+                                          double tolerance = 1e-12);
+
+/// Solves the generalized symmetric eigenproblem A v = lambda B v with A
+/// symmetric and B symmetric positive definite, via the Cholesky reduction
+/// B = L L^T, C = L^{-1} A L^{-T}. Eigenvalues are sorted descending and
+/// eigenvectors (columns) are back-transformed so that v = L^{-T} y.
+Result<EigenDecomposition> GeneralizedSymmetricEigen(const Matrix& a,
+                                                     const Matrix& b);
+
+/// Computes A^power for a symmetric positive semi-definite matrix through
+/// its eigendecomposition; eigenvalues below `floor` are clamped to it
+/// before exponentiation (needed for inverse powers of near-singular
+/// covariances, as in CORAL whitening).
+Result<Matrix> SymmetricMatrixPower(const Matrix& a, double power,
+                                    double floor = 1e-12);
+
+}  // namespace transer
+
+#endif  // TRANSER_LINALG_EIGEN_H_

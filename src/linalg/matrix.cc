@@ -1,0 +1,174 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace transer {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    TRANSER_CHECK_EQ(row.size(), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRowMajor(size_t rows, size_t cols,
+                            std::vector<double> data) {
+  TRANSER_CHECK_EQ(data.size(), rows * cols);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+std::vector<double> Matrix::RowVector(size_t r) const {
+  TRANSER_CHECK_LT(r, rows_);
+  return std::vector<double>(Row(r), Row(r) + cols_);
+}
+
+std::vector<double> Matrix::ColVector(size_t c) const {
+  TRANSER_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  TRANSER_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  // i-k-j loop order for cache-friendly access of row-major operands.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = Row(i);
+    double* out_row = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  TRANSER_CHECK_EQ(rows_, other.rows_);
+  TRANSER_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  TRANSER_CHECK_EQ(rows_, other.rows_);
+  TRANSER_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double factor) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= factor;
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(
+    const std::vector<double>& v) const {
+  TRANSER_CHECK_EQ(v.size(), cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+void Matrix::AddDiagonal(double value) {
+  const size_t n = rows_ < cols_ ? rows_ : cols_;
+  for (size_t i = 0; i < n; ++i) (*this)(i, i) += value;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  TRANSER_CHECK_EQ(rows_, other.rows_);
+  TRANSER_CHECK_EQ(cols_, other.cols_);
+  double worst = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double d = std::fabs(data_[i] - other.data_[i]);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    TRANSER_CHECK_LT(row_indices[i], rows_);
+    const double* src = Row(row_indices[i]);
+    double* dst = out.Row(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::VStack(const Matrix& top, const Matrix& bottom) {
+  if (top.empty()) return bottom;
+  if (bottom.empty()) return top;
+  TRANSER_CHECK_EQ(top.cols_, bottom.cols_);
+  Matrix out(top.rows_ + bottom.rows_, top.cols_);
+  std::copy(top.data_.begin(), top.data_.end(), out.data_.begin());
+  std::copy(bottom.data_.begin(), bottom.data_.end(),
+            out.data_.begin() + static_cast<ptrdiff_t>(top.data_.size()));
+  return out;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream out;
+  out.precision(precision);
+  out << std::fixed;
+  for (size_t r = 0; r < rows_; ++r) {
+    out << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) out << ", ";
+      out << (*this)(r, c);
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace transer

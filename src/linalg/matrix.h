@@ -1,0 +1,99 @@
+#ifndef TRANSER_LINALG_MATRIX_H_
+#define TRANSER_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace transer {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// This is the numeric workhorse for the feature-based transfer baselines
+/// (TCA, CORAL) and the neighbourhood statistics used by TransER and LocIT.
+/// It intentionally stays small: sizes in this library are either
+/// n_pairs x m_features (tall, thin) or m x m / kernel-sized squares.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  /// Creates a matrix from nested initializer lists (row major). All rows
+  /// must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  /// Builds a matrix that wraps `data` (row major, rows*cols entries).
+  static Matrix FromRowMajor(size_t rows, size_t cols,
+                             std::vector<double> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Raw pointer to the start of row r.
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row r into a std::vector.
+  std::vector<double> RowVector(size_t r) const;
+
+  /// Copies column c into a std::vector.
+  std::vector<double> ColVector(size_t c) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Matrix product this * other. Requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transpose.
+  Matrix Transpose() const;
+
+  /// Element-wise sum; dimensions must match.
+  Matrix Add(const Matrix& other) const;
+
+  /// Element-wise difference; dimensions must match.
+  Matrix Subtract(const Matrix& other) const;
+
+  /// Scalar multiple.
+  Matrix Scale(double factor) const;
+
+  /// this * v for a vector of length cols().
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  /// Adds `value` to each diagonal entry in place (ridge regularisation).
+  void AddDiagonal(double value);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Maximum absolute difference to `other`; dimensions must match.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Returns the submatrix of the given rows (in order).
+  Matrix SelectRows(const std::vector<size_t>& row_indices) const;
+
+  /// Vertical concatenation; column counts must match.
+  static Matrix VStack(const Matrix& top, const Matrix& bottom);
+
+  /// Debug rendering with fixed precision.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_LINALG_MATRIX_H_

@@ -1,0 +1,78 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transer {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double L2Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double SquaredL2Distance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::sqrt(SquaredL2Distance(a, b));
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Scale(const std::vector<double>& v, double s) {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * s;
+  return out;
+}
+
+std::vector<double> Mean(const std::vector<std::vector<double>>& vectors) {
+  TRANSER_CHECK(!vectors.empty());
+  std::vector<double> out(vectors[0].size(), 0.0);
+  for (const auto& v : vectors) {
+    TRANSER_CHECK_EQ(v.size(), out.size());
+    for (size_t i = 0; i < v.size(); ++i) out[i] += v[i];
+  }
+  const double inv = 1.0 / static_cast<double>(vectors.size());
+  for (double& x : out) x *= inv;
+  return out;
+}
+
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a) {
+  TRANSER_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+void NormalizeInPlace(std::vector<double>* v) {
+  const double norm = L2Norm(*v);
+  if (norm <= 0.0) return;
+  for (double& x : *v) x /= norm;
+}
+
+}  // namespace transer

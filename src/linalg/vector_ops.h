@@ -1,0 +1,43 @@
+#ifndef TRANSER_LINALG_VECTOR_OPS_H_
+#define TRANSER_LINALG_VECTOR_OPS_H_
+
+#include <vector>
+
+namespace transer {
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double L2Norm(const std::vector<double>& v);
+
+/// Euclidean distance between equal-length vectors.
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Squared Euclidean distance (avoids the sqrt for k-NN comparisons).
+double SquaredL2Distance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// a + b, element-wise.
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a - b, element-wise.
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// v * s, element-wise.
+std::vector<double> Scale(const std::vector<double>& v, double s);
+
+/// Arithmetic mean of `vectors` (all equal length; at least one vector).
+std::vector<double> Mean(const std::vector<std::vector<double>>& vectors);
+
+/// In-place a += s * b.
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a);
+
+/// Normalises v to unit L2 norm; leaves zero vectors untouched.
+void NormalizeInPlace(std::vector<double>* v);
+
+}  // namespace transer
+
+#endif  // TRANSER_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,54 @@
+#include "ml/classifier.h"
+
+#include "ml/decision_tree.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+
+namespace transer {
+
+std::vector<double> Classifier::PredictProbaAll(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    out[i] = PredictProba(std::span<const double>(x.Row(i), x.cols()));
+  }
+  return out;
+}
+
+std::vector<int> Classifier::PredictAll(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    out[i] =
+        PredictProba(std::span<const double>(x.Row(i), x.cols())) >= 0.5 ? 1
+                                                                         : 0;
+  }
+  return out;
+}
+
+std::vector<NamedClassifierFactory> DefaultClassifierSuite(uint64_t seed) {
+  std::vector<NamedClassifierFactory> suite;
+  suite.push_back({"svm", [seed]() -> std::unique_ptr<Classifier> {
+                     LinearSvmOptions options;
+                     options.seed = seed + 1;
+                     return std::make_unique<LinearSvm>(options);
+                   }});
+  suite.push_back({"random_forest", [seed]() -> std::unique_ptr<Classifier> {
+                     RandomForestOptions options;
+                     options.seed = seed + 2;
+                     return std::make_unique<RandomForest>(options);
+                   }});
+  suite.push_back({"logistic_regression",
+                   [seed]() -> std::unique_ptr<Classifier> {
+                     LogisticRegressionOptions options;
+                     options.seed = seed + 3;
+                     return std::make_unique<LogisticRegression>(options);
+                   }});
+  suite.push_back({"decision_tree", [seed]() -> std::unique_ptr<Classifier> {
+                     DecisionTreeOptions options;
+                     options.seed = seed + 4;
+                     return std::make_unique<DecisionTree>(options);
+                   }});
+  return suite;
+}
+
+}  // namespace transer

@@ -1,0 +1,70 @@
+#ifndef TRANSER_ML_CLASSIFIER_H_
+#define TRANSER_ML_CLASSIFIER_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace transer {
+
+/// \brief Binary probabilistic classifier interface.
+///
+/// All TransER phases and baselines are *model agnostic*: they accept any
+/// classifier that can be fit on weighted instances and report the
+/// probability of the match class — the pseudo-label confidence score of
+/// the GEN phase (Section 4.2).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on rows of `x` with labels `y` in {0, 1}. `weights` (empty =
+  /// uniform) are per-instance sample weights, required by the instance
+  /// re-weighting baseline (DR).
+  virtual void Fit(const Matrix& x, const std::vector<int>& y,
+                   const std::vector<double>& weights) = 0;
+
+  /// P(match | features) for one instance. Requires a prior Fit.
+  virtual double PredictProba(std::span<const double> features) const = 0;
+
+  /// Short identifier, e.g. "logistic_regression".
+  virtual std::string name() const = 0;
+
+  // Convenience non-virtual API.
+
+  /// Fit with uniform weights.
+  void Fit(const Matrix& x, const std::vector<int>& y) { Fit(x, y, {}); }
+
+  /// Match probability per row of `x`.
+  std::vector<double> PredictProbaAll(const Matrix& x) const;
+
+  /// Hard labels at the 0.5 threshold.
+  std::vector<int> PredictAll(const Matrix& x) const;
+
+  /// Hard label for one instance.
+  int Predict(std::span<const double> features) const {
+    return PredictProba(features) >= 0.5 ? 1 : 0;
+  }
+};
+
+/// Creates a fresh untrained classifier; the form in which callers hand a
+/// model *family* (rather than a trained model) to TransER.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// A named classifier family for experiment suites.
+struct NamedClassifierFactory {
+  std::string name;
+  ClassifierFactory make;
+};
+
+/// The paper's evaluation suite (Section 5.1.1): support vector machine,
+/// random forest, logistic regression, and decision tree. Results of
+/// experiments are averaged over these four.
+std::vector<NamedClassifierFactory> DefaultClassifierSuite(uint64_t seed = 99);
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_CLASSIFIER_H_

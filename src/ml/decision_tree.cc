@@ -1,0 +1,186 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace transer {
+
+namespace {
+
+// Weighted Gini impurity of a (match_weight, total_weight) census.
+double Gini(double match_w, double total_w) {
+  if (total_w <= 0.0) return 0.0;
+  const double p = match_w / total_w;
+  return 2.0 * p * (1.0 - p);
+}
+
+// Leaf probability is the raw weighted match fraction (as in sklearn);
+// pure leaves report exactly 0 or 1, which the pseudo-label confidence
+// threshold t_p of TransER's TCL phase relies on.
+double LeafProbability(double match_w, double total_w) {
+  if (total_w <= 0.0) return 0.5;
+  return match_w / total_w;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Matrix& x, const std::vector<int>& y,
+                       const std::vector<double>& weights) {
+  TRANSER_CHECK_EQ(x.rows(), y.size());
+  TRANSER_CHECK(weights.empty() || weights.size() == y.size());
+  nodes_.clear();
+  root_ = -1;
+  num_features_ = x.cols();
+  rng_state_ = options_.seed;
+  if (x.rows() == 0) return;
+
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(x.rows(), 1.0);
+
+  std::vector<size_t> indices(x.rows());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  nodes_.reserve(2 * x.rows() / options_.min_samples_split + 4);
+  root_ = Grow(x, y, w, &indices, 0, indices.size(), 0);
+}
+
+ptrdiff_t DecisionTree::Grow(const Matrix& x, const std::vector<int>& y,
+                             const std::vector<double>& w,
+                             std::vector<size_t>* indices, size_t begin,
+                             size_t end, int depth) {
+  double total_w = 0.0;
+  double match_w = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const size_t row = (*indices)[i];
+    total_w += w[row];
+    if (y[row] == 1) match_w += w[row];
+  }
+
+  Node node;
+  node.match_probability = LeafProbability(match_w, total_w);
+
+  const double parent_impurity = Gini(match_w, total_w);
+  const bool can_split = depth < options_.max_depth &&
+                         end - begin >= options_.min_samples_split &&
+                         parent_impurity > 0.0;
+
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+  double best_decrease = options_.min_impurity_decrease;
+  bool found = false;
+
+  if (can_split) {
+    // Candidate features: all, or a random subset for forests.
+    std::vector<size_t> candidates;
+    if (options_.max_features == 0 ||
+        options_.max_features >= num_features_) {
+      candidates.resize(num_features_);
+      for (size_t f = 0; f < num_features_; ++f) candidates[f] = f;
+    } else {
+      Rng rng(rng_state_);
+      rng_state_ = rng.NextUint64();
+      candidates = rng.SampleWithoutReplacement(num_features_,
+                                                options_.max_features);
+    }
+
+    std::vector<size_t> sorted(indices->begin() + static_cast<ptrdiff_t>(begin),
+                               indices->begin() + static_cast<ptrdiff_t>(end));
+    for (size_t feature : candidates) {
+      std::sort(sorted.begin(), sorted.end(),
+                [&x, feature](size_t a, size_t b) {
+                  return x(a, feature) < x(b, feature);
+                });
+      // Sweep split points between consecutive distinct values.
+      double left_w = 0.0;
+      double left_match = 0.0;
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const size_t row = sorted[i];
+        left_w += w[row];
+        if (y[row] == 1) left_match += w[row];
+        const double value = x(row, feature);
+        const double next = x(sorted[i + 1], feature);
+        if (next <= value) continue;  // no boundary here
+        const double right_w = total_w - left_w;
+        const double right_match = match_w - left_match;
+        if (left_w <= 0.0 || right_w <= 0.0) continue;
+        const double child_impurity =
+            (left_w * Gini(left_match, left_w) +
+             right_w * Gini(right_match, right_w)) /
+            total_w;
+        const double decrease = parent_impurity - child_impurity;
+        if (decrease > best_decrease) {
+          // The midpoint of two nearly-adjacent doubles can round up to
+          // `next`, which would make the `<= threshold` partition
+          // degenerate; such boundaries are unsplittable.
+          const double threshold = value + 0.5 * (next - value);
+          if (!(threshold < next)) continue;
+          best_decrease = decrease;
+          best_feature = feature;
+          best_threshold = threshold;
+          found = true;
+        }
+      }
+    }
+  }
+
+  if (!found) {
+    nodes_.push_back(node);
+    return static_cast<ptrdiff_t>(nodes_.size() - 1);
+  }
+
+  // Partition the index slice around the chosen split.
+  auto mid_it = std::partition(
+      indices->begin() + static_cast<ptrdiff_t>(begin),
+      indices->begin() + static_cast<ptrdiff_t>(end),
+      [&x, best_feature, best_threshold](size_t row) {
+        return x(row, best_feature) <= best_threshold;
+      });
+  const size_t mid =
+      static_cast<size_t>(mid_it - indices->begin());
+  TRANSER_CHECK(mid > begin && mid < end);
+
+  node.is_leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  const ptrdiff_t index = static_cast<ptrdiff_t>(nodes_.size() - 1);
+  const ptrdiff_t left = Grow(x, y, w, indices, begin, mid, depth + 1);
+  const ptrdiff_t right = Grow(x, y, w, indices, mid, end, depth + 1);
+  nodes_[static_cast<size_t>(index)].left = left;
+  nodes_[static_cast<size_t>(index)].right = right;
+  return index;
+}
+
+double DecisionTree::PredictProba(std::span<const double> features) const {
+  TRANSER_CHECK_EQ(features.size(), num_features_);
+  if (root_ < 0) return 0.5;
+  ptrdiff_t current = root_;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(current)];
+    if (node.is_leaf) return node.match_probability;
+    current = features[node.feature] <= node.threshold ? node.left
+                                                       : node.right;
+  }
+}
+
+size_t DecisionTree::Depth() const {
+  if (root_ < 0) return 0;
+  // Iterative DFS carrying depth.
+  std::vector<std::pair<ptrdiff_t, size_t>> stack = {{root_, 1}};
+  size_t depth = 0;
+  while (!stack.empty()) {
+    auto [index, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    if (!node.is_leaf) {
+      stack.push_back({node.left, d + 1});
+      stack.push_back({node.right, d + 1});
+    }
+  }
+  return depth;
+}
+
+}  // namespace transer

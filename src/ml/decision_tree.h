@@ -1,0 +1,71 @@
+#ifndef TRANSER_ML_DECISION_TREE_H_
+#define TRANSER_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace transer {
+
+/// \brief Hyper-parameters for the CART decision tree.
+struct DecisionTreeOptions {
+  int max_depth = 12;
+  size_t min_samples_split = 4;
+  double min_impurity_decrease = 1e-7;
+  /// Features considered per split: 0 = all; otherwise a random subset of
+  /// this size (used by the random forest).
+  size_t max_features = 0;
+  uint64_t seed = 3;
+};
+
+/// \brief CART binary decision tree with weighted Gini impurity splits.
+/// Leaf probabilities are the raw (weighted) match fraction, so pure
+/// leaves report exactly 0 or 1 — matching sklearn's behaviour, which the
+/// paper's t_p = 0.99 pseudo-label confidence threshold presumes.
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {})
+      : options_(options) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<double>& weights) override;
+  using Classifier::Fit;
+
+  double PredictProba(std::span<const double> features) const override;
+
+  std::string name() const override { return "decision_tree"; }
+
+  /// Number of nodes in the fitted tree (0 before Fit).
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Depth of the fitted tree.
+  size_t Depth() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;
+    ptrdiff_t left = -1;
+    ptrdiff_t right = -1;
+    double match_probability = 0.5;
+  };
+
+  /// Recursively grows the subtree over indices[begin, end); returns the
+  /// new node's index. Uses rng_ to draw per-node feature subsets.
+  ptrdiff_t Grow(const Matrix& x, const std::vector<int>& y,
+                 const std::vector<double>& w, std::vector<size_t>* indices,
+                 size_t begin, size_t end, int depth);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  ptrdiff_t root_ = -1;
+  size_t num_features_ = 0;
+  uint64_t rng_state_ = 0;  ///< per-Fit stream for feature subsets
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_DECISION_TREE_H_

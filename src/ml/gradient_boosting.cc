@@ -1,0 +1,208 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transer {
+
+namespace internal_gbdt {
+
+namespace {
+
+// Weighted mean of residuals over indices[begin, end).
+double WeightedMean(const std::vector<double>& residuals,
+                    const std::vector<double>& weights,
+                    const std::vector<size_t>& indices, size_t begin,
+                    size_t end) {
+  double total = 0.0;
+  double total_w = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const size_t row = indices[i];
+    total += weights[row] * residuals[row];
+    total_w += weights[row];
+  }
+  return total_w > 0.0 ? total / total_w : 0.0;
+}
+
+}  // namespace
+
+ptrdiff_t RegressionTree::Grow(const Matrix& x,
+                               const std::vector<double>& residuals,
+                               const std::vector<double>& weights,
+                               std::vector<size_t>* indices, size_t begin,
+                               size_t end, int depth, int max_depth,
+                               size_t min_samples_leaf) {
+  Node node;
+  node.value = WeightedMean(residuals, weights, *indices, begin, end);
+
+  // Find the squared-error-optimal split if the node may be split.
+  bool found = false;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+  if (depth < max_depth && end - begin >= 2 * min_samples_leaf) {
+    std::vector<size_t> sorted(indices->begin() + static_cast<ptrdiff_t>(begin),
+                               indices->begin() + static_cast<ptrdiff_t>(end));
+    double total_sw = 0.0, total_swr = 0.0;
+    for (size_t row : sorted) {
+      total_sw += weights[row];
+      total_swr += weights[row] * residuals[row];
+    }
+    for (size_t feature = 0; feature < x.cols(); ++feature) {
+      std::sort(sorted.begin(), sorted.end(),
+                [&x, feature](size_t a, size_t b) {
+                  return x(a, feature) < x(b, feature);
+                });
+      double left_sw = 0.0, left_swr = 0.0;
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const size_t row = sorted[i];
+        left_sw += weights[row];
+        left_swr += weights[row] * residuals[row];
+        if (i + 1 < min_samples_leaf || sorted.size() - i - 1 < min_samples_leaf) {
+          continue;
+        }
+        const double value = x(row, feature);
+        const double next = x(sorted[i + 1], feature);
+        if (next <= value) continue;
+        const double right_sw = total_sw - left_sw;
+        const double right_swr = total_swr - left_swr;
+        if (left_sw <= 0.0 || right_sw <= 0.0) continue;
+        // Variance-reduction gain: sum of (weighted mean)^2 * weight.
+        const double gain = left_swr * left_swr / left_sw +
+                            right_swr * right_swr / right_sw -
+                            total_swr * total_swr / total_sw;
+        if (gain > best_gain) {
+          const double threshold = value + 0.5 * (next - value);
+          if (!(threshold < next)) continue;
+          best_gain = gain;
+          best_feature = feature;
+          best_threshold = threshold;
+          found = true;
+        }
+      }
+    }
+  }
+
+  if (!found) {
+    nodes.push_back(node);
+    return static_cast<ptrdiff_t>(nodes.size() - 1);
+  }
+
+  auto mid_it = std::partition(
+      indices->begin() + static_cast<ptrdiff_t>(begin),
+      indices->begin() + static_cast<ptrdiff_t>(end),
+      [&x, best_feature, best_threshold](size_t row) {
+        return x(row, best_feature) <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - indices->begin());
+  TRANSER_CHECK(mid > begin && mid < end);
+
+  node.is_leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes.push_back(node);
+  const ptrdiff_t index = static_cast<ptrdiff_t>(nodes.size() - 1);
+  const ptrdiff_t left = Grow(x, residuals, weights, indices, begin, mid,
+                              depth + 1, max_depth, min_samples_leaf);
+  const ptrdiff_t right = Grow(x, residuals, weights, indices, mid, end,
+                               depth + 1, max_depth, min_samples_leaf);
+  nodes[static_cast<size_t>(index)].left = left;
+  nodes[static_cast<size_t>(index)].right = right;
+  return index;
+}
+
+void RegressionTree::Fit(const Matrix& x,
+                         const std::vector<double>& residuals,
+                         const std::vector<double>& weights, int max_depth,
+                         size_t min_samples_leaf) {
+  nodes.clear();
+  root = -1;
+  if (x.rows() == 0) return;
+  std::vector<size_t> indices(x.rows());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  root = Grow(x, residuals, weights, &indices, 0, indices.size(), 0,
+              max_depth, min_samples_leaf);
+}
+
+double RegressionTree::Predict(std::span<const double> features) const {
+  if (root < 0) return 0.0;
+  ptrdiff_t current = root;
+  for (;;) {
+    const Node& node = nodes[static_cast<size_t>(current)];
+    if (node.is_leaf) return node.value;
+    current =
+        features[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+}  // namespace internal_gbdt
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+void GradientBoosting::Fit(const Matrix& x, const std::vector<int>& y,
+                           const std::vector<double>& weights) {
+  TRANSER_CHECK_EQ(x.rows(), y.size());
+  TRANSER_CHECK(weights.empty() || weights.size() == y.size());
+  trees_.clear();
+  num_features_ = x.cols();
+  base_logit_ = 0.0;
+  const size_t n = x.rows();
+  if (n == 0) return;
+
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(n, 1.0);
+
+  // Base score: log-odds of the (weighted) match rate, clamped so a
+  // single-class fit stays finite.
+  double match_w = 0.0, total_w = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total_w += w[i];
+    if (y[i] == 1) match_w += w[i];
+  }
+  const double p0 = std::clamp(match_w / std::max(total_w, 1e-12), 1e-4,
+                               1.0 - 1e-4);
+  base_logit_ = std::log(p0 / (1.0 - p0));
+
+  std::vector<double> logits(n, base_logit_);
+  std::vector<double> residuals(n);
+  for (size_t round = 0; round < options_.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      residuals[i] = static_cast<double>(y[i]) - Sigmoid(logits[i]);
+    }
+    internal_gbdt::RegressionTree tree;
+    tree.Fit(x, residuals, w, options_.max_depth,
+             options_.min_samples_leaf);
+    double max_abs_update = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double update =
+          options_.learning_rate *
+          tree.Predict(std::span<const double>(x.Row(i), num_features_));
+      logits[i] += update;
+      max_abs_update = std::max(max_abs_update, std::fabs(update));
+    }
+    trees_.push_back(std::move(tree));
+    if (max_abs_update < 1e-7) break;  // converged: residuals exhausted
+  }
+}
+
+double GradientBoosting::PredictProba(
+    std::span<const double> features) const {
+  TRANSER_CHECK_EQ(features.size(), num_features_);
+  double logit = base_logit_;
+  for (const auto& tree : trees_) {
+    logit += options_.learning_rate * tree.Predict(features);
+  }
+  return Sigmoid(logit);
+}
+
+}  // namespace transer

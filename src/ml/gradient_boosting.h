@@ -1,0 +1,80 @@
+#ifndef TRANSER_ML_GRADIENT_BOOSTING_H_
+#define TRANSER_ML_GRADIENT_BOOSTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace transer {
+
+/// \brief Hyper-parameters for gradient-boosted trees.
+struct GradientBoostingOptions {
+  size_t num_rounds = 60;
+  double learning_rate = 0.2;
+  int max_depth = 3;
+  size_t min_samples_leaf = 4;
+};
+
+namespace internal_gbdt {
+
+/// \brief Shallow regression tree fit to residuals with squared error;
+/// leaves predict the (weighted) mean residual. Internal to
+/// GradientBoosting.
+struct RegressionTree {
+  struct Node {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;
+    ptrdiff_t left = -1;
+    ptrdiff_t right = -1;
+    double value = 0.0;
+  };
+  std::vector<Node> nodes;
+  ptrdiff_t root = -1;
+
+  void Fit(const Matrix& x, const std::vector<double>& residuals,
+           const std::vector<double>& weights, int max_depth,
+           size_t min_samples_leaf);
+  double Predict(std::span<const double> features) const;
+
+ private:
+  ptrdiff_t Grow(const Matrix& x, const std::vector<double>& residuals,
+                 const std::vector<double>& weights,
+                 std::vector<size_t>* indices, size_t begin, size_t end,
+                 int depth, int max_depth, size_t min_samples_leaf);
+};
+
+}  // namespace internal_gbdt
+
+/// \brief Gradient-boosted decision trees for binary log loss: each round
+/// fits a shallow regression tree to the negative gradient (y - p) and
+/// the ensemble logit accumulates the shrunken predictions. A stronger
+/// tabular family beyond the paper's four-classifier suite; plugs into
+/// TransER like any other Classifier.
+class GradientBoosting : public Classifier {
+ public:
+  explicit GradientBoosting(GradientBoostingOptions options = {})
+      : options_(options) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<double>& weights) override;
+  using Classifier::Fit;
+
+  double PredictProba(std::span<const double> features) const override;
+
+  std::string name() const override { return "gradient_boosting"; }
+
+  size_t round_count() const { return trees_.size(); }
+
+ private:
+  GradientBoostingOptions options_;
+  std::vector<internal_gbdt::RegressionTree> trees_;
+  double base_logit_ = 0.0;
+  size_t num_features_ = 0;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_GRADIENT_BOOSTING_H_

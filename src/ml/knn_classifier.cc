@@ -1,0 +1,33 @@
+#include "ml/knn_classifier.h"
+
+#include "util/logging.h"
+
+namespace transer {
+
+void KnnClassifier::Fit(const Matrix& x, const std::vector<int>& y,
+                        const std::vector<double>& weights) {
+  TRANSER_CHECK_EQ(x.rows(), y.size());
+  TRANSER_CHECK(weights.empty() || weights.size() == y.size());
+  TRANSER_CHECK_GT(options_.k, 0u);
+  tree_ = std::make_unique<KdTree>(x);
+  labels_ = y;
+  weights_ = weights;
+}
+
+double KnnClassifier::PredictProba(std::span<const double> features) const {
+  if (tree_ == nullptr || tree_->size() == 0) return 0.5;
+  const auto neighbours = tree_->Query(features, options_.k);
+  double match_w = 0.0;
+  double total_w = 0.0;
+  for (const auto& nb : neighbours) {
+    double w = weights_.empty() ? 1.0 : weights_[nb.index];
+    if (options_.distance_weighted) {
+      w /= nb.distance + 1e-6;  // epsilon keeps exact hits finite
+    }
+    total_w += w;
+    if (labels_[nb.index] == 1) match_w += w;
+  }
+  return total_w > 0.0 ? match_w / total_w : 0.5;
+}
+
+}  // namespace transer

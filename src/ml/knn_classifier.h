@@ -1,0 +1,47 @@
+#ifndef TRANSER_ML_KNN_CLASSIFIER_H_
+#define TRANSER_ML_KNN_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "knn/kd_tree.h"
+#include "ml/classifier.h"
+
+namespace transer {
+
+/// \brief Hyper-parameters for the k-NN classifier.
+struct KnnClassifierOptions {
+  size_t k = 7;
+  /// Weight neighbours by inverse distance rather than uniformly.
+  bool distance_weighted = true;
+};
+
+/// \brief k-nearest-neighbour classifier over a KD-tree. PredictProba is
+/// the (optionally distance-weighted) match fraction among the k nearest
+/// training instances; sample weights multiply the vote weights. A simple
+/// extra classifier family whose local semantics mirror TransER's own
+/// neighbourhood reasoning.
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(KnnClassifierOptions options = {})
+      : options_(options) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<double>& weights) override;
+  using Classifier::Fit;
+
+  double PredictProba(std::span<const double> features) const override;
+
+  std::string name() const override { return "knn"; }
+
+ private:
+  KnnClassifierOptions options_;
+  std::unique_ptr<KdTree> tree_;
+  std::vector<int> labels_;
+  std::vector<double> weights_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_KNN_CLASSIFIER_H_

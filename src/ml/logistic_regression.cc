@@ -1,0 +1,66 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace transer {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+void LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
+                             const std::vector<double>& weights) {
+  TRANSER_CHECK_EQ(x.rows(), y.size());
+  TRANSER_CHECK(weights.empty() || weights.size() == y.size());
+  const size_t n = x.rows();
+  const size_t m = x.cols();
+  weights_.assign(m, 0.0);
+  bias_ = 0.0;
+  if (n == 0) return;
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    // 1/(1+epoch) decay keeps early epochs mobile and late epochs stable.
+    const double lr =
+        options_.learning_rate / (1.0 + 0.01 * static_cast<double>(epoch));
+    for (size_t i : order) {
+      const double* row = x.Row(i);
+      double z = bias_;
+      for (size_t c = 0; c < m; ++c) z += weights_[c] * row[c];
+      const double p = Sigmoid(z);
+      const double sample_w = weights.empty() ? 1.0 : weights[i];
+      const double grad = (p - static_cast<double>(y[i])) * sample_w;
+      for (size_t c = 0; c < m; ++c) {
+        weights_[c] -= lr * (grad * row[c] + options_.l2 * weights_[c]);
+      }
+      bias_ -= lr * grad;
+    }
+  }
+}
+
+double LogisticRegression::PredictProba(
+    std::span<const double> features) const {
+  TRANSER_CHECK_EQ(features.size(), weights_.size());
+  double z = bias_;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    z += weights_[c] * features[c];
+  }
+  return Sigmoid(z);
+}
+
+}  // namespace transer

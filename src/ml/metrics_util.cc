@@ -1,0 +1,73 @@
+#include "ml/metrics_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace transer {
+
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted) {
+  TRANSER_CHECK_EQ(truth.size(), predicted.size());
+  if (truth.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double LogLoss(const std::vector<int>& truth,
+               const std::vector<double>& probabilities) {
+  TRANSER_CHECK_EQ(truth.size(), probabilities.size());
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double p = std::clamp(probabilities[i], 1e-12, 1.0 - 1e-12);
+    total += truth[i] == 1 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double CrossValidatedAccuracy(const ClassifierFactory& make_classifier,
+                              const Matrix& x, const std::vector<int>& y,
+                              int folds, uint64_t seed) {
+  TRANSER_CHECK_GE(folds, 2);
+  TRANSER_CHECK_EQ(x.rows(), y.size());
+  const size_t n = x.rows();
+  TRANSER_CHECK_GE(n, static_cast<size_t>(folds));
+
+  Rng rng(seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  double total_accuracy = 0.0;
+  for (int fold = 0; fold < folds; ++fold) {
+    const size_t lo = n * static_cast<size_t>(fold) / folds;
+    const size_t hi = n * static_cast<size_t>(fold + 1) / folds;
+    std::vector<size_t> train_rows;
+    std::vector<size_t> test_rows;
+    for (size_t i = 0; i < n; ++i) {
+      (i >= lo && i < hi ? test_rows : train_rows).push_back(order[i]);
+    }
+    Matrix x_train = x.SelectRows(train_rows);
+    std::vector<int> y_train;
+    y_train.reserve(train_rows.size());
+    for (size_t row : train_rows) y_train.push_back(y[row]);
+
+    auto classifier = make_classifier();
+    classifier->Fit(x_train, y_train);
+
+    Matrix x_test = x.SelectRows(test_rows);
+    std::vector<int> y_test;
+    y_test.reserve(test_rows.size());
+    for (size_t row : test_rows) y_test.push_back(y[row]);
+    total_accuracy += Accuracy(y_test, classifier->PredictAll(x_test));
+  }
+  return total_accuracy / folds;
+}
+
+}  // namespace transer

@@ -1,0 +1,28 @@
+#ifndef TRANSER_ML_METRICS_UTIL_H_
+#define TRANSER_ML_METRICS_UTIL_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ml/classifier.h"
+
+namespace transer {
+
+/// Fraction of equal entries in two equal-length label vectors.
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted);
+
+/// Mean log loss of probabilities against 0/1 labels (clamped to avoid
+/// infinities).
+double LogLoss(const std::vector<int>& truth,
+               const std::vector<double>& probabilities);
+
+/// \brief K-fold cross-validated accuracy of a classifier family on
+/// (x, y). Folds are contiguous after a seeded shuffle.
+double CrossValidatedAccuracy(const ClassifierFactory& make_classifier,
+                              const Matrix& x, const std::vector<int>& y,
+                              int folds, uint64_t seed);
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_METRICS_UTIL_H_

@@ -1,0 +1,78 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transer {
+
+void GaussianNaiveBayes::Fit(const Matrix& x, const std::vector<int>& y,
+                             const std::vector<double>& weights) {
+  TRANSER_CHECK_EQ(x.rows(), y.size());
+  TRANSER_CHECK(weights.empty() || weights.size() == y.size());
+  const size_t m = x.cols();
+  double class_w[2] = {0.0, 0.0};
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(m, 0.0);
+    variance_[c].assign(m, 0.0);
+    has_class_[c] = false;
+  }
+
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const int c = y[i] == 1 ? 1 : 0;
+    const double w = weights.empty() ? 1.0 : weights[i];
+    class_w[c] += w;
+    const double* row = x.Row(i);
+    for (size_t f = 0; f < m; ++f) mean_[c][f] += w * row[f];
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (class_w[c] <= 0.0) continue;
+    has_class_[c] = true;
+    for (size_t f = 0; f < m; ++f) mean_[c][f] /= class_w[c];
+  }
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const int c = y[i] == 1 ? 1 : 0;
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const double* row = x.Row(i);
+    for (size_t f = 0; f < m; ++f) {
+      const double d = row[f] - mean_[c][f];
+      variance_[c][f] += w * d * d;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (!has_class_[c]) continue;
+    for (size_t f = 0; f < m; ++f) {
+      variance_[c][f] =
+          std::max(variance_[c][f] / class_w[c], options_.variance_floor);
+    }
+  }
+
+  const double total_w = class_w[0] + class_w[1];
+  // Laplace-style prior smoothing keeps single-class fits finite.
+  log_prior_match_ = std::log((class_w[1] + 1.0) / (total_w + 2.0));
+  log_prior_nonmatch_ = std::log((class_w[0] + 1.0) / (total_w + 2.0));
+}
+
+double GaussianNaiveBayes::PredictProba(
+    std::span<const double> features) const {
+  if (!has_class_[0] && !has_class_[1]) return 0.5;
+  if (!has_class_[1]) return 0.0;
+  if (!has_class_[0]) return 1.0;
+  TRANSER_CHECK_EQ(features.size(), mean_[0].size());
+
+  double log_like[2] = {log_prior_nonmatch_, log_prior_match_};
+  for (int c = 0; c < 2; ++c) {
+    for (size_t f = 0; f < features.size(); ++f) {
+      const double var = variance_[c][f];
+      const double d = features[f] - mean_[c][f];
+      log_like[c] += -0.5 * (std::log(2.0 * M_PI * var) + d * d / var);
+    }
+  }
+  // Softmax over the two log-joint scores.
+  const double hi = std::max(log_like[0], log_like[1]);
+  const double p1 = std::exp(log_like[1] - hi);
+  const double p0 = std::exp(log_like[0] - hi);
+  return p1 / (p0 + p1);
+}
+
+}  // namespace transer

@@ -1,0 +1,43 @@
+#ifndef TRANSER_ML_NAIVE_BAYES_H_
+#define TRANSER_ML_NAIVE_BAYES_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace transer {
+
+/// \brief Options for Gaussian naive Bayes.
+struct NaiveBayesOptions {
+  double variance_floor = 1e-6;  ///< keeps degenerate features usable
+};
+
+/// \brief Gaussian naive Bayes: per-class, per-feature normal likelihoods
+/// with weighted sufficient statistics. A fast extra classifier family
+/// beyond the paper's four, useful in tests and examples.
+class GaussianNaiveBayes : public Classifier {
+ public:
+  explicit GaussianNaiveBayes(NaiveBayesOptions options = {})
+      : options_(options) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<double>& weights) override;
+  using Classifier::Fit;
+
+  double PredictProba(std::span<const double> features) const override;
+
+  std::string name() const override { return "naive_bayes"; }
+
+ private:
+  NaiveBayesOptions options_;
+  double log_prior_match_ = 0.0;
+  double log_prior_nonmatch_ = 0.0;
+  std::vector<double> mean_[2];      ///< [class][feature]
+  std::vector<double> variance_[2];  ///< [class][feature]
+  bool has_class_[2] = {false, false};
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_NAIVE_BAYES_H_

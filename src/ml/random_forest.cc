@@ -1,0 +1,50 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace transer {
+
+void RandomForest::Fit(const Matrix& x, const std::vector<int>& y,
+                       const std::vector<double>& weights) {
+  TRANSER_CHECK_EQ(x.rows(), y.size());
+  trees_.clear();
+  if (x.rows() == 0) return;
+
+  Rng rng(options_.seed);
+  const size_t n = x.rows();
+
+  DecisionTreeOptions tree_options = options_.tree;
+  if (tree_options.max_features == 0) {
+    tree_options.max_features = static_cast<size_t>(
+        std::max(1.0, std::floor(std::sqrt(static_cast<double>(x.cols())))));
+  }
+
+  trees_.reserve(options_.num_trees);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample expressed through multiplicative sample weights so
+    // user-provided weights compose with bagging.
+    std::vector<double> bag_weights(n, 0.0);
+    for (size_t draw = 0; draw < n; ++draw) {
+      bag_weights[rng.NextUint64Below(n)] += 1.0;
+    }
+    if (!weights.empty()) {
+      for (size_t i = 0; i < n; ++i) bag_weights[i] *= weights[i];
+    }
+    tree_options.seed = rng.NextUint64();
+    DecisionTree tree(tree_options);
+    tree.Fit(x, y, bag_weights);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::PredictProba(std::span<const double> features) const {
+  if (trees_.empty()) return 0.5;
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree.PredictProba(features);
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace transer

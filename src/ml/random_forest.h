@@ -1,0 +1,45 @@
+#ifndef TRANSER_ML_RANDOM_FOREST_H_
+#define TRANSER_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace transer {
+
+/// \brief Hyper-parameters for the random forest.
+struct RandomForestOptions {
+  size_t num_trees = 32;
+  DecisionTreeOptions tree;  ///< tree.max_features 0 = sqrt(m) heuristic
+  uint64_t seed = 4;
+};
+
+/// \brief Bagged ensemble of CART trees with per-node random feature
+/// subsets; PredictProba averages the leaf probabilities of the trees.
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {})
+      : options_(options) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<double>& weights) override;
+  using Classifier::Fit;
+
+  double PredictProba(std::span<const double> features) const override;
+
+  std::string name() const override { return "random_forest"; }
+
+  size_t tree_count() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_RANDOM_FOREST_H_

@@ -1,0 +1,85 @@
+#include "ml/threshold_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace transer {
+
+namespace {
+
+double AverageSimilarity(std::span<const double> features) {
+  if (features.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : features) total += v;
+  return total / static_cast<double>(features.size());
+}
+
+}  // namespace
+
+void ThresholdClassifier::Fit(const Matrix& x, const std::vector<int>& y,
+                              const std::vector<double>& weights) {
+  TRANSER_CHECK_EQ(x.rows(), y.size());
+  TRANSER_CHECK(weights.empty() || weights.size() == y.size());
+  threshold_ = options_.threshold;
+  if (!options_.tune || x.rows() == 0) return;
+
+  // Scan all split points of the average similarity for the weighted
+  // accuracy optimum (predict match above the split).
+  const size_t n = x.rows();
+  std::vector<double> avg(n);
+  for (size_t i = 0; i < n; ++i) {
+    avg[i] = AverageSimilarity(std::span<const double>(x.Row(i), x.cols()));
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&avg](size_t a, size_t b) { return avg[a] < avg[b]; });
+
+  auto weight_of = [&](size_t row) {
+    return weights.empty() ? 1.0 : weights[row];
+  };
+  double match_w = 0.0, total_w = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total_w += weight_of(i);
+    if (y[i] == 1) match_w += weight_of(i);
+  }
+
+  // Sweeping the split upward: below-split instances are predicted
+  // non-match. correct = nonmatch_below + match_above.
+  double nonmatch_below = 0.0;
+  double match_below = 0.0;
+  double best_correct = match_w;  // split below everything: all match
+  double best_threshold = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const size_t row = order[i];
+    if (y[row] == 1) {
+      match_below += weight_of(row);
+    } else {
+      nonmatch_below += weight_of(row);
+    }
+    const double value = avg[row];
+    const double next = avg[order[i + 1]];
+    if (next <= value) continue;
+    const double correct = nonmatch_below + (match_w - match_below);
+    if (correct > best_correct) {
+      best_correct = correct;
+      best_threshold = value + 0.5 * (next - value);
+    }
+  }
+  (void)total_w;
+  threshold_ = best_threshold;
+}
+
+double ThresholdClassifier::PredictProba(
+    std::span<const double> features) const {
+  const double avg = AverageSimilarity(features);
+  const double z = options_.sharpness * (avg - threshold_);
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace transer

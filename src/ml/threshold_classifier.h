@@ -1,0 +1,49 @@
+#ifndef TRANSER_ML_THRESHOLD_CLASSIFIER_H_
+#define TRANSER_ML_THRESHOLD_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace transer {
+
+/// \brief Options for the threshold classifier.
+struct ThresholdClassifierOptions {
+  /// Fixed decision threshold on the average similarity; when `tune` is
+  /// true, Fit replaces it with the accuracy-optimal split instead.
+  double threshold = 0.5;
+  bool tune = true;
+  /// Steepness of the probability ramp around the threshold.
+  double sharpness = 10.0;
+};
+
+/// \brief The traditional unsupervised ER decision rule [Christen 2012]:
+/// a pair is a match iff its *average* attribute similarity exceeds a
+/// threshold. With `tune`, Fit picks the (weighted) accuracy-optimal
+/// threshold from the training data, making it the simplest possible
+/// supervised family — a useful floor baseline and a fast default for
+/// clean data.
+class ThresholdClassifier : public Classifier {
+ public:
+  explicit ThresholdClassifier(ThresholdClassifierOptions options = {})
+      : options_(options), threshold_(options.threshold) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<double>& weights) override;
+  using Classifier::Fit;
+
+  double PredictProba(std::span<const double> features) const override;
+
+  std::string name() const override { return "threshold"; }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  ThresholdClassifierOptions options_;
+  double threshold_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_THRESHOLD_CLASSIFIER_H_

@@ -1,0 +1,95 @@
+#include "text/char_ngram_embedder.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/logging.h"
+
+namespace transer {
+
+namespace {
+
+// FNV-1a 64-bit over the gram bytes mixed with a salt.
+uint64_t HashGram(std::string_view gram, uint64_t salt) {
+  uint64_t h = 14695981039346656037ULL ^ salt;
+  for (char c : gram) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Deterministic pseudo-random double in [-1, 1] from a hash state.
+double HashToUnit(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+}  // namespace
+
+CharNgramEmbedder::CharNgramEmbedder(CharNgramEmbedderOptions options)
+    : options_(options) {
+  TRANSER_CHECK_GT(options_.dimension, 0u);
+  TRANSER_CHECK_GE(options_.max_n, options_.min_n);
+  TRANSER_CHECK_GT(options_.min_n, 0u);
+}
+
+void CharNgramEmbedder::AddNgram(std::string_view gram,
+                                 std::vector<double>* acc) const {
+  const uint64_t base = HashGram(gram, options_.seed);
+  for (size_t d = 0; d < options_.dimension; ++d) {
+    (*acc)[d] += HashToUnit(base + 0x9e3779b97f4a7c15ULL * (d + 1));
+  }
+}
+
+std::vector<double> CharNgramEmbedder::Embed(std::string_view text) const {
+  std::vector<double> acc(options_.dimension, 0.0);
+  if (text.empty()) return acc;
+  // Frame the string so boundary grams differ from interior grams.
+  std::string framed = "<";
+  framed.append(text);
+  framed.push_back('>');
+  for (size_t n = options_.min_n; n <= options_.max_n; ++n) {
+    if (framed.size() < n) break;
+    for (size_t i = 0; i + n <= framed.size(); ++i) {
+      AddNgram(std::string_view(framed).substr(i, n), &acc);
+    }
+  }
+  NormalizeInPlace(&acc);
+  return acc;
+}
+
+std::vector<double> CharNgramEmbedder::EmbedFields(
+    const std::vector<std::string>& fields) const {
+  std::vector<double> out;
+  out.reserve(options_.dimension * fields.size());
+  for (const auto& field : fields) {
+    const std::vector<double> e = Embed(field);
+    out.insert(out.end(), e.begin(), e.end());
+  }
+  return out;
+}
+
+std::vector<double> CharNgramEmbedder::EmbedPair(
+    const std::vector<std::string>& a, const std::vector<std::string>& b) const {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  std::vector<double> out;
+  out.reserve(PairDimension(a.size()));
+  for (size_t f = 0; f < a.size(); ++f) {
+    const std::vector<double> ea = Embed(a[f]);
+    const std::vector<double> eb = Embed(b[f]);
+    for (size_t d = 0; d < options_.dimension; ++d) {
+      out.push_back(std::fabs(ea[d] - eb[d]));
+    }
+    for (size_t d = 0; d < options_.dimension; ++d) {
+      out.push_back(ea[d] * eb[d]);
+    }
+  }
+  return out;
+}
+
+}  // namespace transer

@@ -1,0 +1,59 @@
+#ifndef TRANSER_TEXT_CHAR_NGRAM_EMBEDDER_H_
+#define TRANSER_TEXT_CHAR_NGRAM_EMBEDDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace transer {
+
+/// \brief Options for the hashed character-n-gram embedder.
+struct CharNgramEmbedderOptions {
+  size_t dimension = 32;   ///< embedding width
+  size_t min_n = 2;        ///< smallest character n-gram
+  size_t max_n = 4;        ///< largest character n-gram
+  uint64_t seed = 0x5eedULL;
+};
+
+/// \brief Deterministic distributed text representation: the stand-in for
+/// the FastText embeddings used by the DR and DTAL* baselines.
+///
+/// Each character n-gram hashes to a fixed pseudo-random unit vector; a
+/// string embeds as the L2-normalised sum of its n-gram vectors, so similar
+/// spellings share mass (the subword property of FastText [Bojanowski et
+/// al. 2017]). Out-of-vocabulary text embeds as noisily as in FastText,
+/// which is exactly the failure mode the paper attributes to DR on
+/// structured personal data.
+class CharNgramEmbedder {
+ public:
+  explicit CharNgramEmbedder(CharNgramEmbedderOptions options = {});
+
+  /// Embeds one string (L2-normalised; empty string -> zero vector).
+  std::vector<double> Embed(std::string_view text) const;
+
+  /// Embeds a record as the concatenation of per-attribute embeddings.
+  std::vector<double> EmbedFields(const std::vector<std::string>& fields) const;
+
+  /// Pair representation used by the embedding-based baselines:
+  /// element-wise |e(a) - e(b)| concatenated with e(a) * e(b), per field.
+  std::vector<double> EmbedPair(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b) const;
+
+  size_t dimension() const { return options_.dimension; }
+
+  /// Width of the EmbedPair output for records with `num_fields` fields.
+  size_t PairDimension(size_t num_fields) const {
+    return 2 * options_.dimension * num_fields;
+  }
+
+ private:
+  /// Accumulates the hashed vector of one n-gram into `acc`.
+  void AddNgram(std::string_view gram, std::vector<double>* acc) const;
+
+  CharNgramEmbedderOptions options_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_TEXT_CHAR_NGRAM_EMBEDDER_H_

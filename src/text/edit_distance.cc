@@ -1,0 +1,91 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace transer {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+
+  // Single-row dynamic program over the shorter string.
+  std::vector<size_t> row(n + 1);
+  for (size_t i = 0; i <= n; ++i) row[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      const size_t del = row[i] + 1;
+      const size_t ins = row[i - 1] + 1;
+      const size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({del, ins, sub});
+    }
+  }
+  return row[n];
+}
+
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  // Three-row dynamic program (optimal string alignment).
+  std::vector<size_t> two_back(m + 1), prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      size_t best = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        best = std::min(best, two_back[j - 2] + 1);
+      }
+      cur[j] = best;
+    }
+    std::swap(two_back, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  const size_t dist = LevenshteinDistance(a, b);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+size_t LongestCommonSubstring(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> prev(a.size() + 1, 0), cur(a.size() + 1, 0);
+  size_t best = 0;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    for (size_t i = 1; i <= a.size(); ++i) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[i] = prev[i - 1] + 1;
+        best = std::max(best, cur[i]);
+      } else {
+        cur[i] = 0;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+double LongestCommonSubstringSimilarity(std::string_view a,
+                                        std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t lcs = LongestCommonSubstring(a, b);
+  return 2.0 * static_cast<double>(lcs) /
+         static_cast<double>(a.size() + b.size());
+}
+
+}  // namespace transer

@@ -1,0 +1,30 @@
+#ifndef TRANSER_TEXT_EDIT_DISTANCE_H_
+#define TRANSER_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace transer {
+
+/// Levenshtein (unit-cost insert/delete/substitute) distance.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Damerau-Levenshtein distance with adjacent transpositions
+/// (optimal string alignment variant).
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalised Levenshtein similarity: 1 - dist/max(|a|,|b|).
+/// Two empty strings are defined as similarity 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Length of the longest common substring of a and b.
+size_t LongestCommonSubstring(std::string_view a, std::string_view b);
+
+/// Normalised longest-common-substring similarity:
+/// 2*lcs / (|a| + |b|); empty-empty defined as 1.
+double LongestCommonSubstringSimilarity(std::string_view a,
+                                        std::string_view b);
+
+}  // namespace transer
+
+#endif  // TRANSER_TEXT_EDIT_DISTANCE_H_

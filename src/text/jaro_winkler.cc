@@ -1,0 +1,67 @@
+#include "text/jaro_winkler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace transer {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+
+  const size_t len_a = a.size();
+  const size_t len_b = b.size();
+  const size_t max_len = std::max(len_a, len_b);
+  // Matching window per the Jaro definition.
+  const size_t window = max_len / 2 == 0 ? 0 : max_len / 2 - 1;
+
+  std::vector<bool> matched_a(len_a, false);
+  std::vector<bool> matched_b(len_b, false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(len_b, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (matched_b[j] || a[i] != b[j]) continue;
+      matched_a[i] = true;
+      matched_b[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched subsequences.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  const double m = static_cast<double>(matches);
+  const double t = static_cast<double>(transpositions / 2);
+  return (m / static_cast<double>(len_a) + m / static_cast<double>(len_b) +
+          (m - t) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_weight, int max_prefix) {
+  TRANSER_CHECK_GE(prefix_weight, 0.0);
+  TRANSER_CHECK_GT(max_prefix, 0);
+  TRANSER_CHECK_LE(prefix_weight * max_prefix, 1.0);
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t limit =
+      std::min({a.size(), b.size(), static_cast<size_t>(max_prefix)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_weight * (1.0 - jaro);
+}
+
+}  // namespace transer

@@ -1,0 +1,22 @@
+#ifndef TRANSER_TEXT_JARO_WINKLER_H_
+#define TRANSER_TEXT_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace transer {
+
+/// Jaro similarity in [0, 1]. Two empty strings are similarity 1.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by the length of the common
+/// prefix (up to `max_prefix`) scaled by `prefix_weight`. The classic
+/// parameters are prefix_weight=0.1, max_prefix=4; prefix_weight must be
+/// <= 1/max_prefix to stay within [0, 1]. This is the paper's comparator
+/// of choice for person and author names [Christen 2012].
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_weight = 0.1,
+                             int max_prefix = 4);
+
+}  // namespace transer
+
+#endif  // TRANSER_TEXT_JARO_WINKLER_H_

@@ -1,0 +1,54 @@
+#include "text/normalize.h"
+
+#include <cctype>
+
+namespace transer {
+
+std::string NormalizeValue(std::string_view value,
+                           const NormalizeOptions& options) {
+  std::string out;
+  out.reserve(value.size());
+  for (char raw : value) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (options.strip_punctuation && std::ispunct(c)) {
+      out.push_back(' ');
+      continue;
+    }
+    if (options.lowercase) c = static_cast<unsigned char>(std::tolower(c));
+    out.push_back(static_cast<char>(c));
+  }
+  if (options.collapse_whitespace) {
+    std::string collapsed;
+    collapsed.reserve(out.size());
+    bool prev_space = false;
+    for (char c : out) {
+      const bool is_space = std::isspace(static_cast<unsigned char>(c)) != 0;
+      if (is_space) {
+        if (!prev_space) collapsed.push_back(' ');
+      } else {
+        collapsed.push_back(c);
+      }
+      prev_space = is_space;
+    }
+    out = std::move(collapsed);
+  }
+  if (options.trim) {
+    size_t begin = out.find_first_not_of(' ');
+    size_t end = out.find_last_not_of(' ');
+    if (begin == std::string::npos) {
+      out.clear();
+    } else {
+      out = out.substr(begin, end - begin + 1);
+    }
+  }
+  return out;
+}
+
+bool IsMissing(std::string_view value) {
+  for (char c : value) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace transer

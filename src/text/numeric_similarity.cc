@@ -1,0 +1,31 @@
+#include "text/numeric_similarity.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+double AbsoluteDifferenceSimilarity(double a, double b, double max_diff) {
+  TRANSER_CHECK_GT(max_diff, 0.0);
+  const double diff = std::fabs(a - b);
+  if (diff >= max_diff) return 0.0;
+  return 1.0 - diff / max_diff;
+}
+
+double NumericStringSimilarity(std::string_view a, std::string_view b,
+                               double max_diff) {
+  double va = 0.0;
+  double vb = 0.0;
+  if (ParseDouble(a, &va) && ParseDouble(b, &vb)) {
+    return AbsoluteDifferenceSimilarity(va, vb, max_diff);
+  }
+  return ExactSimilarity(a, b);
+}
+
+double ExactSimilarity(std::string_view a, std::string_view b) {
+  return a == b ? 1.0 : 0.0;
+}
+
+}  // namespace transer

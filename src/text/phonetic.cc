@@ -1,0 +1,172 @@
+#include "text/phonetic.h"
+
+#include <cctype>
+
+namespace transer {
+
+namespace {
+
+// Soundex digit classes; 0 marks vowels and ignored letters.
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+std::string LettersOnlyLower(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view name) {
+  const std::string letters = LettersOnlyLower(name);
+  if (letters.empty()) return std::string();
+
+  std::string code;
+  code.push_back(
+      static_cast<char>(std::toupper(static_cast<unsigned char>(letters[0]))));
+  char prev_digit = SoundexDigit(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    const char c = letters[i];
+    // 'h' and 'w' are transparent: they do not break runs of equal digits.
+    if (c == 'h' || c == 'w') continue;
+    const char digit = SoundexDigit(c);
+    if (digit != '0' && digit != prev_digit) {
+      code.push_back(digit);
+    }
+    prev_digit = digit;
+  }
+  code.resize(4, '0');
+  return code;
+}
+
+std::string Nysiis(std::string_view name, size_t max_length) {
+  std::string word = LettersOnlyLower(name);
+  if (word.empty()) return std::string();
+
+  auto starts = [&word](std::string_view prefix) {
+    return word.size() >= prefix.size() &&
+           std::string_view(word).substr(0, prefix.size()) == prefix;
+  };
+  auto ends = [&word](std::string_view suffix) {
+    return word.size() >= suffix.size() &&
+           std::string_view(word).substr(word.size() - suffix.size()) ==
+               suffix;
+  };
+
+  // Prefix transformations.
+  if (starts("mac")) {
+    word.replace(0, 3, "mcc");
+  } else if (starts("kn")) {
+    word.replace(0, 2, "nn");
+  } else if (starts("k")) {
+    word.replace(0, 1, "c");
+  } else if (starts("ph") || starts("pf")) {
+    word.replace(0, 2, "ff");
+  } else if (starts("sch")) {
+    word.replace(0, 3, "sss");
+  }
+  // Suffix transformations.
+  if (ends("ee") || ends("ie")) {
+    word.replace(word.size() - 2, 2, "y");
+  } else if (ends("dt") || ends("rt") || ends("rd") || ends("nt") ||
+             ends("nd")) {
+    word.replace(word.size() - 2, 2, "d");
+  }
+
+  std::string code;
+  code.push_back(word[0]);
+  for (size_t i = 1; i < word.size(); ++i) {
+    char c = word[i];
+    // Letter-group substitutions.
+    if (c == 'e' && i + 1 < word.size() && word[i + 1] == 'v') {
+      word[i + 1] = 'f';  // "ev" -> "af"
+      c = 'a';
+    } else if (IsVowel(c)) {
+      c = 'a';
+    } else if (c == 'q') {
+      c = 'g';
+    } else if (c == 'z') {
+      c = 's';
+    } else if (c == 'm') {
+      c = 'n';
+    } else if (c == 'k') {
+      c = (i + 1 < word.size() && word[i + 1] == 'n') ? 'n' : 'c';
+    } else if (c == 's' && i + 2 < word.size() && word[i + 1] == 'c' &&
+               word[i + 2] == 'h') {
+      word[i + 1] = 's';
+      word[i + 2] = 's';
+      c = 's';
+    } else if (c == 'p' && i + 1 < word.size() && word[i + 1] == 'h') {
+      word[i + 1] = 'f';
+      c = 'f';
+    } else if (c == 'h' &&
+               (!IsVowel(word[i - 1]) ||
+                (i + 1 < word.size() && !IsVowel(word[i + 1])))) {
+      c = word[i - 1];
+    } else if (c == 'w' && IsVowel(word[i - 1])) {
+      c = word[i - 1];
+    }
+    word[i] = c;
+    if (code.back() != c) code.push_back(c);
+  }
+
+  // Terminal cleanup: drop trailing 's' / 'a', map trailing "ay" to "y".
+  while (code.size() > 1 && (code.back() == 's' || code.back() == 'a')) {
+    code.pop_back();
+  }
+  if (code.size() >= 2 && code.substr(code.size() - 2) == "ay") {
+    code = code.substr(0, code.size() - 2) + "y";
+  }
+  if (max_length > 0 && code.size() > max_length) code.resize(max_length);
+  for (char& c : code) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return code;
+}
+
+double SoundexSimilarity(std::string_view a, std::string_view b) {
+  const std::string code_a = Soundex(a);
+  if (code_a.empty()) return 0.0;
+  return code_a == Soundex(b) ? 1.0 : 0.0;
+}
+
+}  // namespace transer

@@ -1,0 +1,26 @@
+#ifndef TRANSER_TEXT_PHONETIC_H_
+#define TRANSER_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace transer {
+
+/// Soundex code of a name: first letter plus three digits ("robert" ->
+/// "R163"). Non-alphabetic characters are ignored; an empty or fully
+/// non-alphabetic input yields "". The classic phonetic blocking key for
+/// person names [Christen 2012].
+std::string Soundex(std::string_view name);
+
+/// NYSIIS (New York State Identification and Intelligence System) code,
+/// a phonetic encoding that retains more vowel structure than Soundex;
+/// codes are truncated to `max_length` (0 = unlimited).
+std::string Nysiis(std::string_view name, size_t max_length = 6);
+
+/// 1.0 if the Soundex codes of the two names agree, else 0.0 — registered
+/// in the SimilarityRegistry as "soundex".
+double SoundexSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace transer
+
+#endif  // TRANSER_TEXT_PHONETIC_H_

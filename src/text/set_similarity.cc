@@ -1,0 +1,101 @@
+#include "text/set_similarity.h"
+
+#include <algorithm>
+
+#include "text/jaro_winkler.h"
+#include "text/tokenize.h"
+
+namespace transer {
+
+namespace {
+
+// Intersection size of two sorted unique vectors.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  const auto sa = UniqueSorted(a);
+  const auto sb = UniqueSorted(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = SortedIntersectionSize(sa, sb);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  const auto sa = UniqueSorted(a);
+  const auto sb = UniqueSorted(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  const size_t inter = SortedIntersectionSize(sa, sb);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size());
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  const auto sa = UniqueSorted(a);
+  const auto sb = UniqueSorted(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  const size_t inter = SortedIntersectionSize(sa, sb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+double WordJaccardSimilarity(std::string_view a, std::string_view b) {
+  return JaccardSimilarity(WordTokens(a), WordTokens(b));
+}
+
+double QGramJaccardSimilarity(std::string_view a, std::string_view b,
+                              size_t q) {
+  return JaccardSimilarity(QGrams(a, q, /*padded=*/true),
+                           QGrams(b, q, /*padded=*/true));
+}
+
+double QGramDiceSimilarity(std::string_view a, std::string_view b, size_t q) {
+  return DiceSimilarity(QGrams(a, q, /*padded=*/true),
+                        QGrams(b, q, /*padded=*/true));
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& ta : a) {
+    double best = 0.0;
+    for (const auto& tb : b) {
+      best = std::max(best, JaroWinklerSimilarity(ta, tb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+double SymmetricMongeElkan(std::string_view a, std::string_view b) {
+  const auto ta = WordTokens(a);
+  const auto tb = WordTokens(b);
+  return std::max(MongeElkanSimilarity(ta, tb), MongeElkanSimilarity(tb, ta));
+}
+
+}  // namespace transer

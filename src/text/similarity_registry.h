@@ -1,0 +1,47 @@
+#ifndef TRANSER_TEXT_SIMILARITY_REGISTRY_H_
+#define TRANSER_TEXT_SIMILARITY_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace transer {
+
+/// A similarity function over two attribute values, returning [0, 1].
+using SimilarityFn = std::function<double(std::string_view, std::string_view)>;
+
+/// \brief Named similarity functions, so schemas can declare per-attribute
+/// comparators by name ("jaro_winkler", "word_jaccard", ...). Homogeneous
+/// transfer requires the *same* comparators in both domains; naming them
+/// makes that contract explicit and checkable.
+class SimilarityRegistry {
+ public:
+  /// Returns the process-wide registry, pre-populated with the built-ins:
+  /// jaro, jaro_winkler, levenshtein, damerau_levenshtein, word_jaccard,
+  /// qgram_jaccard, qgram_dice, lcs, monge_elkan, exact, soundex,
+  /// year (max_diff 10), numeric_abs (max_diff 100).
+  static SimilarityRegistry& Global();
+
+  /// Registers (or replaces) a similarity function under `name`.
+  void Register(const std::string& name, SimilarityFn fn);
+
+  /// Looks up a similarity function. NotFound when unregistered.
+  Result<SimilarityFn> Lookup(const std::string& name) const;
+
+  /// True if a function is registered under `name`.
+  bool Contains(const std::string& name) const;
+
+  /// Sorted list of registered names.
+  std::vector<std::string> Names() const;
+
+ private:
+  SimilarityRegistry();
+  std::vector<std::pair<std::string, SimilarityFn>> entries_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_TEXT_SIMILARITY_REGISTRY_H_

@@ -1,0 +1,57 @@
+#include "text/tokenize.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace transer {
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> QGrams(std::string_view text, size_t q,
+                                bool padded) {
+  TRANSER_CHECK_GT(q, 0u);
+  std::string buffer;
+  std::string_view source = text;
+  if (padded && q > 1) {
+    buffer.assign(q - 1, '#');
+    buffer.append(text);
+    buffer.append(q - 1, '$');
+    source = buffer;
+  }
+  std::vector<std::string> grams;
+  if (source.empty()) return grams;
+  if (source.size() < q) {
+    grams.emplace_back(source);
+    return grams;
+  }
+  grams.reserve(source.size() - q + 1);
+  for (size_t i = 0; i + q <= source.size(); ++i) {
+    grams.emplace_back(source.substr(i, q));
+  }
+  return grams;
+}
+
+std::vector<std::string> UniqueSorted(std::vector<std::string> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+}  // namespace transer

@@ -1,0 +1,24 @@
+#ifndef TRANSER_TEXT_TOKENIZE_H_
+#define TRANSER_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace transer {
+
+/// Splits on whitespace, dropping empty tokens.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Character q-grams of the string; strings shorter than q yield the
+/// string itself (if non-empty). With `padded`, the string is framed by
+/// q-1 sentinel '#' / '$' characters first, which weights boundaries.
+std::vector<std::string> QGrams(std::string_view text, size_t q,
+                                bool padded = false);
+
+/// Sorted unique copy of `tokens` (set semantics for Jaccard/Dice).
+std::vector<std::string> UniqueSorted(std::vector<std::string> tokens);
+
+}  // namespace transer
+
+#endif  // TRANSER_TEXT_TOKENIZE_H_

@@ -1,0 +1,45 @@
+#ifndef TRANSER_TRANSFER_CORAL_H_
+#define TRANSER_TRANSFER_CORAL_H_
+
+#include <string>
+#include <vector>
+
+#include "transfer/transfer_method.h"
+
+namespace transer {
+
+/// \brief Options for CORAL.
+struct CoralOptions {
+  /// Ridge added to both covariances before whitening/re-colouring.
+  double regularization = 1.0;
+};
+
+/// \brief CORrelation ALignment [Sun, Feng & Saenko 2016]: whitens the
+/// source features with Cs^{-1/2} and re-colours them with Ct^{1/2} so
+/// second-order statistics match the target; then trains the classifier
+/// on the aligned source. A feature-representation baseline that assumes
+/// roughly Gaussian data — which bi-modal ER similarity data is not, the
+/// failure mode Section 5.2.1 discusses.
+class CoralTransfer : public TransferMethod {
+ public:
+  explicit CoralTransfer(CoralOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "coral"; }
+
+  Result<std::vector<int>> Run(
+      const FeatureMatrix& source, const FeatureMatrix& target,
+      const ClassifierFactory& make_classifier,
+      const TransferRunOptions& run_options) const override;
+
+  /// The aligned source matrix (exposed for tests of the covariance-
+  /// matching property).
+  Result<Matrix> AlignSource(const Matrix& x_source,
+                             const Matrix& x_target) const;
+
+ private:
+  CoralOptions options_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_TRANSFER_CORAL_H_

@@ -1,0 +1,46 @@
+#ifndef TRANSER_TRANSFER_DR_TRANSFER_H_
+#define TRANSER_TRANSFER_DR_TRANSFER_H_
+
+#include <string>
+#include <vector>
+
+#include "transfer/embedding_lift.h"
+#include "transfer/transfer_method.h"
+
+namespace transer {
+
+/// \brief Options for the DR baseline.
+struct DrOptions {
+  EmbeddingLiftOptions embedding;
+  /// Importance weights p(target)/p(source) are clipped to this range.
+  double max_weight = 10.0;
+};
+
+/// \brief DR [Thirumuruganathan et al. 2018]: distributed (FastText-like)
+/// feature representations plus *instance re-weighting* transfer — a
+/// logistic domain discriminator estimates p(target|x)/p(source|x) and the
+/// ER classifier is trained on source embeddings weighted accordingly.
+/// On structured data with out-of-vocabulary values the representations
+/// carry little signal, producing the negative transfer of Section 5.2.1.
+class DrTransfer : public TransferMethod {
+ public:
+  explicit DrTransfer(DrOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "dr"; }
+
+  Result<std::vector<int>> Run(
+      const FeatureMatrix& source, const FeatureMatrix& target,
+      const ClassifierFactory& make_classifier,
+      const TransferRunOptions& run_options) const override;
+
+  /// The importance weights assigned to source instances (for tests).
+  Result<std::vector<double>> ComputeWeights(
+      const Matrix& e_source, const Matrix& e_target, uint64_t seed) const;
+
+ private:
+  DrOptions options_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_TRANSFER_DR_TRANSFER_H_

@@ -1,0 +1,43 @@
+#ifndef TRANSER_TRANSFER_DTAL_H_
+#define TRANSER_TRANSFER_DTAL_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/mlp.h"
+#include "transfer/embedding_lift.h"
+#include "transfer/transfer_method.h"
+
+namespace transer {
+
+/// \brief Options for DTAL*.
+struct DtalOptions {
+  EmbeddingLiftOptions embedding;
+  DannOptions network;
+};
+
+/// \brief DTAL* (Section 5.1.3): the deep-transfer part of Kasai et al.'s
+/// low-resource ER model, without its active-learning loop. Record pairs
+/// are embedded into distributed representations; a shared extractor with
+/// a gradient-reversal domain head adapts source to target; the label head
+/// classifies target pairs. Training is by far the slowest of the
+/// baselines (the paper's 'TE' cells and Table 3 runtimes), so the epoch
+/// loop honours the cooperative time limit.
+class DtalTransfer : public TransferMethod {
+ public:
+  explicit DtalTransfer(DtalOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "dtal"; }
+
+  Result<std::vector<int>> Run(
+      const FeatureMatrix& source, const FeatureMatrix& target,
+      const ClassifierFactory& make_classifier,
+      const TransferRunOptions& run_options) const override;
+
+ private:
+  DtalOptions options_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_TRANSFER_DTAL_H_

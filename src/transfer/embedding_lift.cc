@@ -1,0 +1,58 @@
+#include "transfer/embedding_lift.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace transer {
+
+namespace {
+
+// Deterministic 64-bit hash of a row's bytes for content-derived noise.
+uint64_t HashRow(const double* row, size_t m, uint64_t seed) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (size_t c = 0; c < m; ++c) {
+    // Quantise to avoid hashing representation noise.
+    const int64_t q = static_cast<int64_t>(std::llround(row[c] * 1e6));
+    for (int b = 0; b < 8; ++b) {
+      h ^= static_cast<uint64_t>((q >> (8 * b)) & 0xff);
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+Matrix LiftToEmbedding(const Matrix& x, const EmbeddingLiftOptions& options) {
+  TRANSER_CHECK_GT(options.dimension, 0u);
+  const size_t m = x.cols();
+  const size_t d = options.dimension;
+
+  // Fixed random projection and bias shared by every call with this seed.
+  Rng proj_rng(options.seed);
+  Matrix w(d, m);
+  std::vector<double> bias(d);
+  for (size_t o = 0; o < d; ++o) {
+    for (size_t c = 0; c < m; ++c) {
+      w(o, c) = proj_rng.Gaussian(0.0, 1.0 / std::sqrt(static_cast<double>(m)));
+    }
+    bias[o] = proj_rng.Uniform(-0.5, 0.5);
+  }
+
+  Matrix out(x.rows(), d);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.Row(i);
+    Rng noise_rng(HashRow(row, m, options.seed));
+    for (size_t o = 0; o < d; ++o) {
+      double z = bias[o];
+      for (size_t c = 0; c < m; ++c) z += w(o, c) * row[c];
+      const double activated = z > 0.0 ? z : 0.0;  // random ReLU feature
+      out(i, o) = activated + noise_rng.Gaussian(0.0, options.noise_stddev);
+    }
+  }
+  return out;
+}
+
+}  // namespace transer

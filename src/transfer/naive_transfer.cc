@@ -1,0 +1,19 @@
+#include "transfer/naive_transfer.h"
+
+namespace transer {
+
+Result<std::vector<int>> NaiveTransfer::Run(
+    const FeatureMatrix& source, const FeatureMatrix& target,
+    const ClassifierFactory& make_classifier,
+    const TransferRunOptions& run_options) const {
+  (void)run_options;  // Nothing iterative to budget.
+  if (source.num_features() != target.num_features()) {
+    return Status::InvalidArgument(
+        "source and target feature spaces differ");
+  }
+  auto classifier = make_classifier();
+  classifier->Fit(source.ToMatrix(), transfer_internal::RequireLabels(source));
+  return classifier->PredictAll(target.ToMatrix());
+}
+
+}  // namespace transer

@@ -1,0 +1,27 @@
+#ifndef TRANSER_TRANSFER_NAIVE_TRANSFER_H_
+#define TRANSER_TRANSFER_NAIVE_TRANSFER_H_
+
+#include <string>
+#include <vector>
+
+#include "transfer/transfer_method.h"
+
+namespace transer {
+
+/// \brief The Naive baseline (Section 5.1.3): train the classifier on the
+/// source domain and apply it blindly to the target — no transfer at all.
+/// This is how similarity-feature ER frameworks such as Magellan behave
+/// when pointed at an unlabelled domain.
+class NaiveTransfer : public TransferMethod {
+ public:
+  std::string name() const override { return "naive"; }
+
+  Result<std::vector<int>> Run(
+      const FeatureMatrix& source, const FeatureMatrix& target,
+      const ClassifierFactory& make_classifier,
+      const TransferRunOptions& run_options) const override;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_TRANSFER_NAIVE_TRANSFER_H_

@@ -1,0 +1,102 @@
+#include "transfer/tradaboost.h"
+
+#include <cmath>
+#include <memory>
+
+#include "transfer/transfer_method.h"
+#include "util/logging.h"
+
+namespace transer {
+
+Result<std::vector<int>> TrAdaBoost::Run(
+    const FeatureMatrix& source, const FeatureMatrix& target_labeled,
+    const FeatureMatrix& target_unlabeled,
+    const ClassifierFactory& make_classifier) const {
+  if (source.num_features() != target_labeled.num_features() ||
+      source.num_features() != target_unlabeled.num_features()) {
+    return Status::InvalidArgument("feature spaces differ");
+  }
+  if (source.empty() || target_labeled.empty()) {
+    return Status::InvalidArgument(
+        "TrAdaBoost needs labelled source and labelled target instances");
+  }
+
+  const size_t n_source = source.size();
+  const size_t n_target = target_labeled.size();
+  const size_t n = n_source + n_target;
+
+  // Combined training set: rows [0, n_source) are source.
+  const Matrix x = Matrix::VStack(source.ToMatrix(),
+                                  target_labeled.ToMatrix());
+  std::vector<int> y = transfer_internal::RequireLabels(source);
+  const std::vector<int> y_target =
+      transfer_internal::RequireLabels(target_labeled);
+  y.insert(y.end(), y_target.begin(), y_target.end());
+
+  std::vector<double> weights(n, 1.0);
+  // Fixed source down-weighting rate (Dai et al., Eq. for beta).
+  const double beta =
+      1.0 / (1.0 + std::sqrt(2.0 * std::log(static_cast<double>(n_source)) /
+                             static_cast<double>(options_.num_rounds)));
+
+  struct Round {
+    std::unique_ptr<Classifier> classifier;
+    double vote = 0.0;  // ln(1 / beta_t)
+  };
+  std::vector<Round> rounds;
+  rounds.reserve(options_.num_rounds);
+
+  for (size_t t = 0; t < options_.num_rounds; ++t) {
+    // Normalise weights.
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) break;
+    std::vector<double> normalized(n);
+    for (size_t i = 0; i < n; ++i) normalized[i] = weights[i] / total;
+
+    auto classifier = make_classifier();
+    classifier->Fit(x, y, normalized);
+    const std::vector<int> predicted = classifier->PredictAll(x);
+
+    // Weighted error on the labelled target part only.
+    double target_w = 0.0;
+    double error_w = 0.0;
+    for (size_t i = n_source; i < n; ++i) {
+      target_w += normalized[i];
+      if (predicted[i] != y[i]) error_w += normalized[i];
+    }
+    double epsilon = target_w > 0.0 ? error_w / target_w : 0.0;
+    // Clamp away from 0 and 1/2 so the vote stays finite and positive.
+    epsilon = std::min(epsilon, 0.499);
+    const double beta_t = std::max(epsilon / (1.0 - epsilon), 1e-6);
+
+    // Update weights: source errors shrink, target errors grow.
+    for (size_t i = 0; i < n; ++i) {
+      if (predicted[i] == y[i]) continue;
+      weights[i] *= i < n_source ? beta : 1.0 / beta_t;
+    }
+
+    rounds.push_back({std::move(classifier), std::log(1.0 / beta_t)});
+  }
+  if (rounds.empty()) {
+    return Status::Internal("TrAdaBoost trained no rounds");
+  }
+
+  // Final hypothesis: weighted vote over the later half of the rounds.
+  const size_t start = rounds.size() / 2;
+  const Matrix x_test = target_unlabeled.ToMatrix();
+  std::vector<int> out(target_unlabeled.size());
+  for (size_t i = 0; i < target_unlabeled.size(); ++i) {
+    const std::span<const double> row(x_test.Row(i), x_test.cols());
+    double vote = 0.0;
+    double total_vote = 0.0;
+    for (size_t t = start; t < rounds.size(); ++t) {
+      total_vote += rounds[t].vote;
+      if (rounds[t].classifier->Predict(row) == 1) vote += rounds[t].vote;
+    }
+    out[i] = (total_vote > 0.0 && vote >= 0.5 * total_vote) ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace transer

@@ -1,0 +1,46 @@
+#ifndef TRANSER_TRANSFER_TRADABOOST_H_
+#define TRANSER_TRANSFER_TRADABOOST_H_
+
+#include <vector>
+
+#include "features/feature_matrix.h"
+#include "ml/classifier.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief Options for TrAdaBoost.
+struct TrAdaBoostOptions {
+  size_t num_rounds = 20;
+};
+
+/// \brief TrAdaBoost [Dai et al. 2007], the boosting-based instance
+/// re-weighting transfer method the paper cites for the setting where a
+/// *few labelled target instances* are available (future-work item 2 of
+/// Section 6: "perform TL when some labels are available in the target
+/// domain").
+///
+/// Each round trains the weak learner on the union of source and labelled
+/// target instances; source instances the learner gets wrong are
+/// *down*-weighted (they disagree with the target concept — the same
+/// conflicting-label intuition as TransER's SEL, realised by boosting),
+/// while misclassified target instances are *up*-weighted as in AdaBoost.
+/// The final hypothesis votes over the later half of the rounds.
+class TrAdaBoost {
+ public:
+  explicit TrAdaBoost(TrAdaBoostOptions options = {}) : options_(options) {}
+
+  /// Trains on the labelled source plus the (small) labelled target
+  /// sample, then predicts every instance of `target_unlabeled`.
+  Result<std::vector<int>> Run(const FeatureMatrix& source,
+                               const FeatureMatrix& target_labeled,
+                               const FeatureMatrix& target_unlabeled,
+                               const ClassifierFactory& make_classifier) const;
+
+ private:
+  TrAdaBoostOptions options_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_TRANSFER_TRADABOOST_H_

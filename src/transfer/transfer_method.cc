@@ -1,0 +1,31 @@
+#include "transfer/transfer_method.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transer {
+namespace transfer_internal {
+
+Status CheckMemory(const std::string& method, size_t bytes_needed,
+                   size_t limit_bytes) {
+  if (limit_bytes > 0 && bytes_needed > limit_bytes) {
+    return Status::FailedPrecondition(StrFormat(
+        "%s: memory limit exceeded (ME): needs %zu bytes, limit %zu",
+        method.c_str(), bytes_needed, limit_bytes));
+  }
+  return Status::OK();
+}
+
+std::vector<int> RequireLabels(const FeatureMatrix& x) {
+  std::vector<int> labels(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const int label = x.label(i);
+    TRANSER_CHECK_NE(label, kUnlabeled)
+        << "instance " << i << " has no label";
+    labels[i] = label;
+  }
+  return labels;
+}
+
+}  // namespace transfer_internal
+}  // namespace transer

@@ -1,0 +1,81 @@
+#ifndef TRANSER_TRANSFER_TRANSFER_METHOD_H_
+#define TRANSER_TRANSFER_TRANSFER_METHOD_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature_matrix.h"
+#include "ml/classifier.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace transer {
+
+/// \brief Per-run controls for a transfer method. The paper capped every
+/// experiment at 200 GB / 72 h (Section 5.1.1, 'ME' / 'TE' cells); the
+/// benchmark harness sets proportionally scaled limits here.
+struct TransferRunOptions {
+  uint64_t seed = 0;
+  double time_limit_seconds = 0.0;   ///< 0 = unlimited
+  size_t memory_limit_bytes = 0;     ///< 0 = unlimited
+};
+
+/// \brief A transfer-learning ER method: given a labelled source feature
+/// matrix and an unlabelled target feature matrix over the same feature
+/// space, predict match/non-match for every target instance.
+class TransferMethod {
+ public:
+  virtual ~TransferMethod() = default;
+
+  /// Short identifier, e.g. "transer", "naive", "coral".
+  virtual std::string name() const = 0;
+
+  /// Predicts target labels. Target labels present in `target` must be
+  /// ignored (callers typically pass target.WithoutLabels()).
+  /// `make_classifier` supplies the classifier family for methods that
+  /// are model agnostic; deep methods may ignore it.
+  /// Returns FailedPrecondition with a message containing "TE" / "ME"
+  /// when a time / memory limit is exceeded.
+  virtual Result<std::vector<int>> Run(
+      const FeatureMatrix& source, const FeatureMatrix& target,
+      const ClassifierFactory& make_classifier,
+      const TransferRunOptions& run_options) const = 0;
+};
+
+namespace transfer_internal {
+
+/// \brief Cooperative deadline used by the iterative methods.
+class Deadline {
+ public:
+  explicit Deadline(double limit_seconds) : limit_seconds_(limit_seconds) {}
+
+  /// True once the limit has elapsed (never when the limit is 0).
+  bool Expired() const {
+    return limit_seconds_ > 0.0 &&
+           stopwatch_.ElapsedSeconds() > limit_seconds_;
+  }
+
+  /// The status to return when expired ('TE' as in the paper's tables).
+  static Status Exceeded(const std::string& method) {
+    return Status::FailedPrecondition(method +
+                                      ": runtime limit exceeded (TE)");
+  }
+
+ private:
+  double limit_seconds_;
+  Stopwatch stopwatch_;
+};
+
+/// Returns an error if an allocation of `bytes_needed` would exceed the
+/// configured limit ('ME' as in the paper's tables); OK otherwise.
+Status CheckMemory(const std::string& method, size_t bytes_needed,
+                   size_t limit_bytes);
+
+/// Extracts labels as a 0/1 vector (CHECK-fails on unlabeled instances).
+std::vector<int> RequireLabels(const FeatureMatrix& x);
+
+}  // namespace transfer_internal
+
+}  // namespace transer
+
+#endif  // TRANSER_TRANSFER_TRANSFER_METHOD_H_

@@ -1,0 +1,139 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace transer {
+
+namespace {
+
+// Parses raw CSV text into rows of fields, honouring quoting.
+Result<std::vector<std::vector<std::string>>> ParseRows(
+    const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::InvalidArgument(
+              "quote appearing mid-field at offset " + std::to_string(i));
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // next field exists even if empty
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<CsvTable> Csv::Parse(const std::string& content, bool has_header) {
+  auto rows = ParseRows(content);
+  if (!rows.ok()) return rows.status();
+  CsvTable table;
+  auto& parsed = rows.value();
+  size_t start = 0;
+  if (has_header && !parsed.empty()) {
+    table.header = std::move(parsed[0]);
+    start = 1;
+  }
+  for (size_t i = start; i < parsed.size(); ++i) {
+    table.rows.push_back(std::move(parsed[i]));
+  }
+  return table;
+}
+
+Result<CsvTable> Csv::ReadFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str(), has_header);
+}
+
+std::string Csv::EscapeField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string Csv::Serialize(const CsvTable& table) {
+  std::ostringstream out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << EscapeField(row[i]);
+    }
+    out << '\n';
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out.str();
+}
+
+Status Csv::WriteFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << Serialize(table);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace transer

@@ -1,0 +1,43 @@
+#ifndef TRANSER_UTIL_CSV_H_
+#define TRANSER_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief Parsed CSV content: a header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Minimal RFC-4180 CSV reader/writer.
+///
+/// Supports quoted fields with embedded commas, quotes ("" escape) and
+/// newlines. Used to import external feature matrices or record files and
+/// to export benchmark results.
+class Csv {
+ public:
+  /// Parses one CSV-encoded line-set from `content`. If `has_header` the
+  /// first row populates `CsvTable::header`.
+  static Result<CsvTable> Parse(const std::string& content, bool has_header);
+
+  /// Reads and parses a CSV file.
+  static Result<CsvTable> ReadFile(const std::string& path, bool has_header);
+
+  /// Serialises a table (header written when non-empty).
+  static std::string Serialize(const CsvTable& table);
+
+  /// Writes a table to `path`.
+  static Status WriteFile(const std::string& path, const CsvTable& table);
+
+  /// Escapes one field (quotes when it contains comma/quote/newline).
+  static std::string EscapeField(const std::string& field);
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_UTIL_CSV_H_

@@ -1,0 +1,79 @@
+#ifndef TRANSER_UTIL_LOGGING_H_
+#define TRANSER_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace transer {
+
+/// \brief Severity levels for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Global minimum level; messages below it are dropped.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// \brief Stream-style log message that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum severity that will be printed (default: kInfo).
+inline void SetLogLevel(LogLevel level) {
+  internal_logging::SetMinLogLevel(level);
+}
+
+}  // namespace transer
+
+#define TRANSER_LOG(level)                                                  \
+  ::transer::internal_logging::LogMessage(::transer::LogLevel::k##level,   \
+                                          __FILE__, __LINE__)              \
+      .stream()
+
+/// Programmer-error assertion: always on, aborts with a message.
+#define TRANSER_CHECK(cond)                                              \
+  if (!(cond))                                                           \
+  ::transer::internal_logging::FatalLogMessage(__FILE__, __LINE__)       \
+      .stream()                                                          \
+      << "Check failed: " #cond " "
+
+#define TRANSER_CHECK_GT(a, b) TRANSER_CHECK((a) > (b))
+#define TRANSER_CHECK_GE(a, b) TRANSER_CHECK((a) >= (b))
+#define TRANSER_CHECK_LT(a, b) TRANSER_CHECK((a) < (b))
+#define TRANSER_CHECK_LE(a, b) TRANSER_CHECK((a) <= (b))
+#define TRANSER_CHECK_EQ(a, b) TRANSER_CHECK((a) == (b))
+#define TRANSER_CHECK_NE(a, b) TRANSER_CHECK((a) != (b))
+
+#endif  // TRANSER_UTIL_LOGGING_H_

@@ -1,0 +1,75 @@
+#ifndef TRANSER_UTIL_RANDOM_H_
+#define TRANSER_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace transer {
+
+/// \brief Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// All stochastic components in the library (data generators, samplers,
+/// stochastic trainers) take an explicit Rng so experiments are exactly
+/// reproducible from a seed.
+class Rng {
+ public:
+  /// Seeds the generator via SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Returns a uniform draw from [0, n). Requires n > 0.
+  uint64_t NextUint64Below(uint64_t n);
+
+  /// Returns a uniform draw from [0, 1).
+  double NextDouble();
+
+  /// Returns a uniform draw from [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Returns a standard normal draw (Box-Muller, cached spare).
+  double NextGaussian();
+
+  /// Returns a normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Returns a uniform integer from [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextUint64Below(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) without replacement.
+  /// Requires count <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+  /// Draws an index from a discrete distribution proportional to `weights`.
+  /// Non-positive total weight falls back to uniform.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Creates an independent generator for a subtask; deterministic in
+  /// (current state, stream_id).
+  Rng Fork(uint64_t stream_id);
+
+ private:
+  uint64_t state_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_UTIL_RANDOM_H_

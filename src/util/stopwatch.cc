@@ -1,0 +1,3 @@
+#include "util/stopwatch.h"
+
+// Header-only; this translation unit anchors the target.

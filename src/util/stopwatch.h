@@ -1,0 +1,32 @@
+#ifndef TRANSER_UTIL_STOPWATCH_H_
+#define TRANSER_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace transer {
+
+/// \brief Wall-clock stopwatch used by the benchmark harness to report
+/// per-phase runtimes (Table 3).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_UTIL_STOPWATCH_H_

@@ -1,0 +1,189 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "blocking/minhash_lsh.h"
+#include "blocking/sorted_neighbourhood.h"
+#include "blocking/standard_blocking.h"
+#include "data/bibliographic_generator.h"
+
+namespace transer {
+namespace {
+
+Schema TwoAttrSchema() {
+  return Schema({{"name", "jaro_winkler"}, {"city", "jaro_winkler"}});
+}
+
+LinkageProblem SmallProblem() {
+  LinkageProblem problem;
+  problem.left = Dataset("l", TwoAttrSchema());
+  problem.right = Dataset("r", TwoAttrSchema());
+  problem.left.Add({"l0", 0, {"alice smith", "portree"}});
+  problem.left.Add({"l1", 1, {"bob jones", "glasgow"}});
+  problem.left.Add({"l2", 2, {"carol brown", "portree"}});
+  problem.right.Add({"r0", 0, {"alice smith", "portree"}});
+  problem.right.Add({"r1", 3, {"zed quux", "aberdeen"}});
+  problem.right.Add({"r2", 2, {"carol browne", "portree"}});
+  return problem;
+}
+
+std::set<std::pair<size_t, size_t>> ToSet(const std::vector<PairRef>& pairs) {
+  std::set<std::pair<size_t, size_t>> out;
+  for (const auto& pair : pairs) {
+    out.insert({pair.left_index, pair.right_index});
+  }
+  return out;
+}
+
+// ---------- standard blocking ----------
+
+TEST(StandardBlockingTest, GroupsByKeyPrefix) {
+  const LinkageProblem problem = SmallProblem();
+  StandardBlocker blocker(StandardBlocker::AttributePrefixKey(0, 2));
+  const auto pairs = ToSet(blocker.Block(problem.left, problem.right));
+  // "al" block: (l0, r0); "ca" block: (l2, r2); no cross-block pairs.
+  EXPECT_TRUE(pairs.count({0, 0}));
+  EXPECT_TRUE(pairs.count({2, 2}));
+  EXPECT_FALSE(pairs.count({1, 1}));
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(StandardBlockingTest, SkipsOversizedBlocks) {
+  Schema schema({{"k", "exact"}});
+  LinkageProblem problem;
+  problem.left = Dataset("l", schema);
+  problem.right = Dataset("r", schema);
+  for (int i = 0; i < 20; ++i) {
+    problem.left.Add({"l" + std::to_string(i), i, {"same"}});
+    problem.right.Add({"r" + std::to_string(i), i, {"same"}});
+  }
+  StandardBlockingOptions options;
+  options.max_block_size = 10;
+  StandardBlocker blocker(StandardBlocker::AttributePrefixKey(0, 4), options);
+  EXPECT_TRUE(blocker.Block(problem.left, problem.right).empty());
+}
+
+TEST(StandardBlockingTest, EmptyKeysAreIgnored) {
+  Schema schema({{"k", "exact"}});
+  LinkageProblem problem;
+  problem.left = Dataset("l", schema);
+  problem.right = Dataset("r", schema);
+  problem.left.Add({"l0", 0, {""}});
+  problem.right.Add({"r0", 0, {""}});
+  StandardBlocker blocker(StandardBlocker::AttributePrefixKey(0, 3));
+  EXPECT_TRUE(blocker.Block(problem.left, problem.right).empty());
+}
+
+// ---------- MinHash LSH ----------
+
+TEST(MinHashLshTest, SignatureIsDeterministicAndSized) {
+  MinHashLshOptions options;
+  options.num_bands = 4;
+  options.rows_per_band = 3;
+  MinHashLshBlocker blocker(options);
+  Record record{"r", 0, {"entity resolution survey", "portree"}};
+  const auto sig1 = blocker.Signature(record);
+  const auto sig2 = blocker.Signature(record);
+  EXPECT_EQ(sig1.size(), 12u);
+  EXPECT_EQ(sig1, sig2);
+}
+
+TEST(MinHashLshTest, IdenticalRecordsShareAllSignatureRows) {
+  MinHashLshBlocker blocker;
+  Record a{"a", 0, {"the quick brown fox", "x"}};
+  Record b{"b", 1, {"the quick brown fox", "x"}};
+  EXPECT_EQ(blocker.Signature(a), blocker.Signature(b));
+}
+
+TEST(MinHashLshTest, SimilarRecordsShareMoreRowsThanDissimilar) {
+  MinHashLshOptions options;
+  options.num_bands = 16;
+  options.rows_per_band = 2;
+  MinHashLshBlocker blocker(options);
+  Record base{"a", 0, {"efficient entity resolution methods", "portree"}};
+  Record close_record{"b", 1,
+                {"efficient entity resolution method", "portree"}};
+  Record far{"c", 2, {"completely different topic", "aberdeen"}};
+  const auto sig_base = blocker.Signature(base);
+  const auto sig_close = blocker.Signature(close_record);
+  const auto sig_far = blocker.Signature(far);
+  size_t close_agree = 0, far_agree = 0;
+  for (size_t i = 0; i < sig_base.size(); ++i) {
+    close_agree += sig_base[i] == sig_close[i] ? 1 : 0;
+    far_agree += sig_base[i] == sig_far[i] ? 1 : 0;
+  }
+  EXPECT_GT(close_agree, far_agree);
+}
+
+TEST(MinHashLshTest, BlocksFindTrueMatchesWithHighRecall) {
+  BibliographicOptions gen_options;
+  gen_options.num_entities = 300;
+  gen_options.right_corruption.typo_probability = 0.3;
+  const LinkageProblem problem = GenerateBibliographic(gen_options);
+
+  MinHashLshBlocker blocker;
+  const auto pairs = blocker.Block(problem.left, problem.right);
+  size_t found_matches = 0;
+  for (const auto& pair : pairs) {
+    if (problem.left.record(pair.left_index).entity_id ==
+        problem.right.record(pair.right_index).entity_id) {
+      ++found_matches;
+    }
+  }
+  const size_t total_matches = problem.CountTrueMatches();
+  // LSH blocking must retain the vast majority of true matches while
+  // pruning most of the |L| x |R| comparison space.
+  EXPECT_GT(static_cast<double>(found_matches) /
+                static_cast<double>(total_matches),
+            0.9);
+  EXPECT_LT(pairs.size(), problem.left.size() * problem.right.size() / 4);
+}
+
+TEST(MinHashLshTest, PairsAreDeduplicated) {
+  const LinkageProblem problem = SmallProblem();
+  MinHashLshBlocker blocker;
+  const auto pairs = blocker.Block(problem.left, problem.right);
+  const auto unique = ToSet(pairs);
+  EXPECT_EQ(unique.size(), pairs.size());
+}
+
+TEST(MinHashLshTest, AttributeSubsetRestrictsShingles) {
+  MinHashLshOptions options;
+  options.attributes = {1};  // only the city attribute
+  MinHashLshBlocker blocker(options);
+  Record a{"a", 0, {"totally different title", "portree"}};
+  Record b{"b", 1, {"another unrelated title!", "portree"}};
+  EXPECT_EQ(blocker.Signature(a), blocker.Signature(b));
+}
+
+// ---------- sorted neighbourhood ----------
+
+TEST(SortedNeighbourhoodTest, WindowCapturesAdjacentKeys) {
+  const LinkageProblem problem = SmallProblem();
+  SortedNeighbourhoodOptions options;
+  options.window = 3;
+  SortedNeighbourhoodBlocker blocker(
+      StandardBlocker::AttributePrefixKey(0, 5), options);
+  const auto pairs = ToSet(blocker.Block(problem.left, problem.right));
+  // "alice..." sorts next to "alice..." across databases.
+  EXPECT_TRUE(pairs.count({0, 0}));
+}
+
+TEST(SortedNeighbourhoodTest, LargerWindowNeverReturnsFewerPairs) {
+  BibliographicOptions gen_options;
+  gen_options.num_entities = 100;
+  const LinkageProblem problem = GenerateBibliographic(gen_options);
+  SortedNeighbourhoodOptions narrow_options;
+  narrow_options.window = 3;
+  SortedNeighbourhoodOptions wide_options;
+  wide_options.window = 9;
+  SortedNeighbourhoodBlocker narrow(
+      StandardBlocker::AttributePrefixKey(0, 6), narrow_options);
+  SortedNeighbourhoodBlocker wide(
+      StandardBlocker::AttributePrefixKey(0, 6), wide_options);
+  EXPECT_GE(wide.Block(problem.left, problem.right).size(),
+            narrow.Block(problem.left, problem.right).size());
+}
+
+}  // namespace
+}  // namespace transer

@@ -1,0 +1,261 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/bibliographic_generator.h"
+#include "data/corruptor.h"
+#include "data/dataset.h"
+#include "data/demographic_generator.h"
+#include "data/music_generator.h"
+#include "data/record.h"
+#include "data/vocabulary.h"
+#include "util/random.h"
+
+namespace transer {
+namespace {
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, IndexOfFindsAttributes) {
+  Schema schema({{"title", "word_jaccard"}, {"year", "year"}});
+  ASSERT_TRUE(schema.IndexOf("year").ok());
+  EXPECT_EQ(schema.IndexOf("year").value(), 1u);
+  EXPECT_FALSE(schema.IndexOf("venue").ok());
+}
+
+TEST(SchemaTest, CompatibilityIgnoresNamesButNotSimilarities) {
+  Schema a({{"title", "word_jaccard"}, {"year", "year"}});
+  Schema b({{"song", "word_jaccard"}, {"released", "year"}});
+  Schema c({{"title", "jaro"}, {"year", "year"}});
+  Schema d({{"title", "word_jaccard"}});
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_FALSE(a.CompatibleWith(c));
+  EXPECT_FALSE(a.CompatibleWith(d));
+}
+
+// ---------- Dataset ----------
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset dataset("test", Schema({{"name", "jaro"}}));
+  dataset.Add({"r1", 5, {"alice"}});
+  ASSERT_EQ(dataset.size(), 1u);
+  EXPECT_EQ(dataset.record(0).values[0], "alice");
+  EXPECT_EQ(dataset.record(0).entity_id, 5);
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Schema schema({{"name", "jaro"}, {"city", "jaro"}});
+  Dataset dataset("people", schema);
+  dataset.Add({"r1", 1, {"alice smith", "portree"}});
+  dataset.Add({"r2", 2, {"bob, jr.", "line\nbreak town"}});
+  const std::string path = testing::TempDir() + "/transer_dataset.csv";
+  ASSERT_TRUE(dataset.ToCsvFile(path).ok());
+  auto loaded = Dataset::FromCsvFile(path, "people", schema);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().record(1).values[1], "line\nbreak town");
+  EXPECT_EQ(loaded.value().record(1).entity_id, 2);
+}
+
+TEST(DatasetTest, FromCsvRejectsWrongColumnCount) {
+  const std::string path = testing::TempDir() + "/transer_bad.csv";
+  Dataset temp("x", Schema({{"a", "jaro"}}));
+  temp.Add({"r", 0, {"v"}});
+  ASSERT_TRUE(temp.ToCsvFile(path).ok());
+  auto loaded = Dataset::FromCsvFile(
+      path, "x", Schema({{"a", "jaro"}, {"b", "jaro"}}));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(LinkageProblemTest, CountsCrossDatabaseMatches) {
+  Schema schema({{"v", "exact"}});
+  LinkageProblem problem;
+  problem.left = Dataset("l", schema);
+  problem.right = Dataset("r", schema);
+  problem.left.Add({"l1", 1, {"a"}});
+  problem.left.Add({"l2", 2, {"b"}});
+  problem.right.Add({"r1", 1, {"a"}});
+  problem.right.Add({"r2", 3, {"c"}});
+  problem.right.Add({"r3", -1, {"d"}});  // unknown entity never matches
+  EXPECT_EQ(problem.CountTrueMatches(), 1u);
+}
+
+// ---------- Corruptor ----------
+
+TEST(CorruptorTest, TypoChangesStringByOneEdit) {
+  Rng rng(81);
+  for (int i = 0; i < 50; ++i) {
+    const std::string out = Corruptor::ApplyTypo("margaret", &rng);
+    const size_t len = out.size();
+    EXPECT_GE(len, 7u);
+    EXPECT_LE(len, 9u);
+  }
+}
+
+TEST(CorruptorTest, AbbreviationShortensOneWord) {
+  Rng rng(82);
+  const std::string out = Corruptor::ApplyAbbreviation("james robert", &rng);
+  EXPECT_TRUE(out == "j robert" || out == "james r") << out;
+}
+
+TEST(CorruptorTest, DropAndSwapWordOperators) {
+  Rng rng(83);
+  EXPECT_EQ(Corruptor::ApplyDropWord("single", &rng), "single");
+  EXPECT_EQ(Corruptor::ApplySwapWords("single", &rng), "single");
+  const std::string dropped = Corruptor::ApplyDropWord("a b", &rng);
+  EXPECT_TRUE(dropped == "a" || dropped == "b");
+  EXPECT_EQ(Corruptor::ApplySwapWords("a b", &rng), "b a");
+}
+
+TEST(CorruptorTest, OcrErrorSwapsConfusablePair) {
+  Rng rng(84);
+  const std::string out = Corruptor::ApplyOcrError("l", &rng);
+  EXPECT_EQ(out, "1");
+}
+
+TEST(CorruptorTest, MissingProbabilityBlanksValues) {
+  CorruptorOptions options;
+  options.missing_probability = 1.0;
+  Corruptor corruptor(options);
+  Rng rng(85);
+  EXPECT_EQ(corruptor.Corrupt("anything", &rng), "");
+}
+
+TEST(CorruptorTest, ZeroProbabilitiesLeaveValueIntact) {
+  CorruptorOptions options;
+  options.typo_probability = 0.0;
+  options.ocr_probability = 0.0;
+  options.abbreviate_probability = 0.0;
+  options.drop_word_probability = 0.0;
+  options.swap_words_probability = 0.0;
+  options.missing_probability = 0.0;
+  Corruptor corruptor(options);
+  Rng rng(86);
+  EXPECT_EQ(corruptor.Corrupt("untouched value", &rng), "untouched value");
+}
+
+TEST(CorruptorTest, NicknameSwapsKnownNamesOnly) {
+  Rng rng(89);
+  const std::string swapped = Corruptor::ApplyNickname("james smith", &rng);
+  EXPECT_EQ(swapped, "jim smith");
+  // And back again: nicknames map in both directions.
+  Rng rng2(90);
+  EXPECT_EQ(Corruptor::ApplyNickname("jim smith", &rng2), "james smith");
+  // Unknown names are untouched.
+  Rng rng3(91);
+  EXPECT_EQ(Corruptor::ApplyNickname("zorblax qux", &rng3), "zorblax qux");
+}
+
+TEST(CorruptorTest, NicknameProbabilityIsApplied) {
+  CorruptorOptions options;
+  options.typo_probability = 0.0;
+  options.ocr_probability = 0.0;
+  options.abbreviate_probability = 0.0;
+  options.drop_word_probability = 0.0;
+  options.swap_words_probability = 0.0;
+  options.missing_probability = 0.0;
+  options.nickname_probability = 1.0;
+  options.max_edits_per_value = 1;
+  Corruptor corruptor(options);
+  Rng rng(92);
+  EXPECT_EQ(corruptor.Corrupt("margaret", &rng), "peggy");
+}
+
+TEST(CorruptorTest, CorruptAllPreservesFieldCount) {
+  Corruptor corruptor;
+  Rng rng(87);
+  const auto out = corruptor.CorruptAll({"a", "b", "c"}, &rng);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+// ---------- Vocabulary ----------
+
+TEST(VocabularyTest, PoolsAreNonEmptyAndDistinct) {
+  EXPECT_GT(Vocabulary::GivenNames().size(), 20u);
+  EXPECT_GT(Vocabulary::Surnames().size(), 20u);
+  EXPECT_GT(Vocabulary::TitleWords().size(), 20u);
+  EXPECT_GT(Vocabulary::Venues().size(), 5u);
+  EXPECT_GT(Vocabulary::SongWords().size(), 20u);
+  EXPECT_GT(Vocabulary::ArtistNames().size(), 10u);
+  EXPECT_GT(Vocabulary::ScottishPlaces().size(), 10u);
+  EXPECT_GT(Vocabulary::Occupations().size(), 10u);
+}
+
+TEST(VocabularyTest, PickPhraseJoinsRequestedCount) {
+  Rng rng(88);
+  const std::string phrase =
+      Vocabulary::PickPhrase(Vocabulary::TitleWords(), 4, &rng);
+  EXPECT_EQ(std::count(phrase.begin(), phrase.end(), ' '), 3);
+}
+
+// ---------- domain generators ----------
+
+TEST(BibliographicGeneratorTest, ProducesOverlappingDatabases) {
+  BibliographicOptions options;
+  options.num_entities = 300;
+  options.overlap = 0.5;
+  const LinkageProblem problem = GenerateBibliographic(options);
+  EXPECT_EQ(problem.left.size(), 300u);
+  EXPECT_GT(problem.right.size(), 80u);
+  const size_t matches = problem.CountTrueMatches();
+  EXPECT_GT(matches, 100u);
+  EXPECT_LT(matches, 200u);
+  EXPECT_EQ(problem.left.schema().size(), 4u);
+  EXPECT_TRUE(
+      problem.left.schema().CompatibleWith(problem.right.schema()));
+}
+
+TEST(BibliographicGeneratorTest, DeterministicForSeed) {
+  BibliographicOptions options;
+  options.num_entities = 50;
+  const LinkageProblem a = GenerateBibliographic(options);
+  const LinkageProblem b = GenerateBibliographic(options);
+  ASSERT_EQ(a.left.size(), b.left.size());
+  for (size_t i = 0; i < a.left.size(); ++i) {
+    EXPECT_EQ(a.left.record(i).values, b.left.record(i).values);
+  }
+}
+
+TEST(MusicGeneratorTest, FiveAttributeSchemaAndOverlap) {
+  MusicOptions options;
+  options.num_entities = 200;
+  const LinkageProblem problem = GenerateMusic(options);
+  EXPECT_EQ(problem.left.schema().size(), 5u);
+  EXPECT_GT(problem.CountTrueMatches(), 50u);
+}
+
+TEST(DemographicGeneratorTest, BpDpHasEightAttributes) {
+  DemographicOptions options;
+  options.num_families = 100;
+  options.link_type = DemographicLinkType::kBirthParentsToDeathParents;
+  const LinkageProblem problem = GenerateDemographic(options);
+  EXPECT_EQ(problem.left.schema().size(), 8u);
+  EXPECT_GT(problem.CountTrueMatches(), 20u);
+}
+
+TEST(DemographicGeneratorTest, BpBpHasElevenAttributes) {
+  DemographicOptions options;
+  options.num_families = 100;
+  options.link_type = DemographicLinkType::kBirthParentsToBirthParents;
+  const LinkageProblem problem = GenerateDemographic(options);
+  EXPECT_EQ(problem.left.schema().size(), 11u);
+  EXPECT_EQ(DemographicSchema(options.link_type).size(), 11u);
+}
+
+TEST(DemographicGeneratorTest, EntityIdsLinkAcrossDatabases) {
+  DemographicOptions options;
+  options.num_families = 150;
+  const LinkageProblem problem = GenerateDemographic(options);
+  std::set<int64_t> left_ids;
+  for (const auto& record : problem.left.records()) {
+    left_ids.insert(record.entity_id);
+  }
+  size_t linked = 0;
+  for (const auto& record : problem.right.records()) {
+    if (left_ids.count(record.entity_id) > 0) ++linked;
+  }
+  EXPECT_EQ(linked, problem.CountTrueMatches());
+}
+
+}  // namespace
+}  // namespace transer

@@ -1,0 +1,198 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_statistics.h"
+#include "data/feature_space_generator.h"
+#include "data/scenario.h"
+#include "features/ambiguity.h"
+
+namespace transer {
+namespace {
+
+FeatureDomainSpec BasicSpec() {
+  FeatureDomainSpec spec;
+  spec.num_instances = 4000;
+  spec.match_fraction = 0.30;
+  spec.ambiguous_fraction = 0.10;
+  spec.seed = 91;
+  return spec;
+}
+
+// ---------- FeatureSpaceGenerator ----------
+
+TEST(FeatureSpaceGeneratorTest, ProducesRequestedShape) {
+  FeatureSpaceGenerator generator({4, 50, 92});
+  const FeatureMatrix x = generator.Generate(BasicSpec());
+  EXPECT_EQ(x.size(), 4000u);
+  EXPECT_EQ(x.num_features(), 4u);
+}
+
+TEST(FeatureSpaceGeneratorTest, FeaturesAreInUnitIntervalRounded) {
+  FeatureSpaceGenerator generator({5, 50, 93});
+  const FeatureMatrix x = generator.Generate(BasicSpec());
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (double v : x.Row(i)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      // Two-decimal grid.
+      EXPECT_NEAR(v * 100.0, std::round(v * 100.0), 1e-9);
+    }
+  }
+}
+
+TEST(FeatureSpaceGeneratorTest, MatchAndAmbiguityFractionsAreCalibrated) {
+  FeatureSpaceGenerator generator({4, 60, 94});
+  const FeatureMatrix x = generator.Generate(BasicSpec());
+  const AmbiguityStats stats = AmbiguityAnalyzer().Analyze(x);
+  // match-only instances ~ match_fraction; ambiguous ~ ambiguous_fraction
+  // (mode collisions can shift a little).
+  EXPECT_NEAR(stats.match_fraction, 0.30, 0.05);
+  EXPECT_NEAR(stats.ambiguous_fraction, 0.10, 0.05);
+}
+
+TEST(FeatureSpaceGeneratorTest, DeterministicForSeed) {
+  FeatureSpaceGenerator generator({4, 50, 95});
+  const FeatureMatrix a = generator.Generate(BasicSpec());
+  const FeatureMatrix b = generator.Generate(BasicSpec());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    for (size_t c = 0; c < a.num_features(); ++c) {
+      EXPECT_DOUBLE_EQ(a.Row(i)[c], b.Row(i)[c]);
+    }
+  }
+}
+
+TEST(FeatureSpaceGeneratorTest, SharedPrototypesCreateCommonVectors) {
+  FeatureSpaceGenerator generator({4, 40, 96});
+  FeatureDomainSpec spec_a = BasicSpec();
+  spec_a.seed = 97;
+  FeatureDomainSpec spec_b = BasicSpec();
+  spec_b.seed = 98;
+  spec_b.mode_shift = -0.05;
+  const FeatureMatrix a = generator.Generate(spec_a);
+  const FeatureMatrix b = generator.Generate(spec_b);
+  const CommonVectorStats common = AmbiguityAnalyzer().AnalyzeCommon(a, b);
+  EXPECT_GT(common.common_distinct_vectors, 20u);
+}
+
+TEST(FeatureSpaceGeneratorTest, AmbiguousMatchProbShiftsConditional) {
+  FeatureSpaceGenerator generator({4, 40, 99});
+  FeatureDomainSpec mostly_match = BasicSpec();
+  mostly_match.ambiguous_fraction = 0.5;
+  mostly_match.ambiguous_match_prob = 0.95;
+  const FeatureMatrix x = generator.Generate(mostly_match);
+  // With p = 0.95 on half the data, total matches far exceed the 30%
+  // unambiguous matches alone.
+  EXPECT_GT(x.CountMatches(),
+            static_cast<size_t>(0.55 * static_cast<double>(x.size())));
+}
+
+TEST(FeatureSpaceGeneratorTest, ModeShiftMovesTheDistribution) {
+  FeatureSpaceGenerator generator({4, 40, 100});
+  FeatureDomainSpec base = BasicSpec();
+  base.ambiguous_fraction = 0.0;
+  FeatureDomainSpec shifted = base;
+  shifted.mode_shift = 0.1;
+  const FeatureMatrix a = generator.Generate(base);
+  const FeatureMatrix b = generator.Generate(shifted);
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) mean_a += a.Row(i)[0];
+  for (size_t i = 0; i < b.size(); ++i) mean_b += b.Row(i)[0];
+  mean_a /= static_cast<double>(a.size());
+  mean_b /= static_cast<double>(b.size());
+  EXPECT_NEAR(mean_b - mean_a, 0.1, 0.02);
+}
+
+// ---------- histograms (Figure 2 property) ----------
+
+TEST(SimilarityHistogramTest, CountsSumToInstances) {
+  FeatureSpaceGenerator generator({5, 40, 101});
+  const FeatureMatrix x = generator.Generate(BasicSpec());
+  const SimilarityHistogram hist = ComputeSimilarityHistogram(x, 20);
+  size_t total = 0;
+  for (size_t c : hist.counts) total += c;
+  EXPECT_EQ(total, x.size());
+}
+
+TEST(SimilarityHistogramTest, ErDataIsBimodal) {
+  FeatureSpaceGenerator generator({5, 40, 102});
+  FeatureDomainSpec spec = BasicSpec();
+  spec.num_instances = 8000;
+  const FeatureMatrix x = generator.Generate(spec);
+  EXPECT_TRUE(ComputeSimilarityHistogram(x, 20).IsBimodal());
+}
+
+TEST(SimilarityHistogramTest, UnimodalDataIsNotBimodal) {
+  FeatureSpaceGenerator generator({5, 0, 103});
+  FeatureDomainSpec spec = BasicSpec();
+  spec.ambiguous_fraction = 0.0;
+  spec.match_fraction = 0.0;  // only the non-match mode remains
+  const FeatureMatrix x = generator.Generate(spec);
+  EXPECT_FALSE(ComputeSimilarityHistogram(x, 20).IsBimodal());
+}
+
+// ---------- scenarios ----------
+
+TEST(ScenarioTest, AllEightScenariosAreListed) {
+  EXPECT_EQ(AllScenarioIds().size(), 8u);
+  EXPECT_EQ(FocusScenarioIds().size(), 3u);
+}
+
+TEST(ScenarioTest, NamesFollowTableOrder) {
+  EXPECT_EQ(ScenarioName(ScenarioId::kDblpAcmToDblpScholar),
+            "DBLP-ACM -> DBLP-Scholar");
+  EXPECT_EQ(ScenarioName(ScenarioId::kKilBpBpToIosBpBp),
+            "KIL-Bp-Bp -> IOS-Bp-Bp");
+}
+
+TEST(ScenarioTest, BuildRespectsScaleClamping) {
+  ScenarioScale scale;
+  scale.scale = 0.01;
+  scale.min_instances = 300;
+  scale.max_instances = 1000;
+  const TransferScenario scenario =
+      BuildScenario(ScenarioId::kKilBpBpToIosBpBp, scale);
+  EXPECT_EQ(scenario.source.size(), 1000u);  // 406k * 0.01 clamps to max
+  EXPECT_EQ(scenario.target.size(), 1000u);
+  EXPECT_EQ(scenario.source.num_features(), 11u);
+}
+
+TEST(ScenarioTest, DirectionsShareTheSameData) {
+  ScenarioScale scale;
+  scale.scale = 0.02;
+  scale.max_instances = 600;
+  const TransferScenario forward =
+      BuildScenario(ScenarioId::kMsdToMb, scale);
+  const TransferScenario backward =
+      BuildScenario(ScenarioId::kMbToMsd, scale);
+  ASSERT_EQ(forward.source.size(), backward.target.size());
+  for (size_t i = 0; i < forward.source.size(); ++i) {
+    EXPECT_EQ(forward.source.label(i), backward.target.label(i));
+  }
+}
+
+TEST(ScenarioTest, CalibrationTracksPaperStatistics) {
+  ScenarioScale scale;
+  scale.scale = 0.2;
+  scale.max_instances = 8000;
+  const TransferScenario scenario =
+      BuildScenario(ScenarioId::kMsdToMb, scale);
+  const DomainPairStatistics stats =
+      ComputePairStatistics("MSD", scenario.source, "MB", scenario.target);
+  // Paper Table 1: MSD 33.2% match / 2.5% ambiguous; MB 22.1% ambiguous.
+  EXPECT_NEAR(stats.stats_a.match_fraction, 0.332, 0.06);
+  EXPECT_NEAR(stats.stats_a.ambiguous_fraction, 0.025, 0.04);
+  EXPECT_NEAR(stats.stats_b.ambiguous_fraction, 0.221, 0.06);
+  // The music pair shares a sizeable pool of common vectors.
+  EXPECT_GT(stats.common.common_distinct_vectors, 30u);
+}
+
+TEST(ScenarioTest, PaperSourceSizesMatchTable3) {
+  EXPECT_EQ(PaperSourceSize(ScenarioId::kDblpAcmToDblpScholar), 6660u);
+  EXPECT_EQ(PaperSourceSize(ScenarioId::kKilBpBpToIosBpBp), 406038u);
+}
+
+}  // namespace
+}  // namespace transer

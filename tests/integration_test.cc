@@ -1,0 +1,133 @@
+// Cross-module integration tests: CSV import -> TransER, method
+// properties on aligned domains, logging controls, and Status plumbing.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/transer.h"
+#include "data/feature_space_generator.h"
+#include "eval/metrics.h"
+#include "ml/logistic_regression.h"
+#include "transfer/coral.h"
+#include "transfer/naive_transfer.h"
+#include "transfer/tca.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace transer {
+namespace {
+
+ClassifierFactory MakeLrFactory() {
+  return []() -> std::unique_ptr<Classifier> {
+    return std::make_unique<LogisticRegression>();
+  };
+}
+
+FeatureMatrix MakeDomain(uint64_t seed, double match_mean = 0.8,
+                         size_t n = 800) {
+  FeatureSpaceGenerator generator(FeatureSpaceSharedSpec{4, 30, 900});
+  FeatureDomainSpec spec;
+  spec.num_instances = n;
+  spec.match_mean = match_mean;
+  spec.seed = seed;
+  return generator.Generate(spec);
+}
+
+// ---------- CSV import path ----------
+
+TEST(IntegrationTest, CsvRoundTripFeedsTransER) {
+  const FeatureMatrix source = MakeDomain(1);
+  const FeatureMatrix target = MakeDomain(2, 0.74);
+  const std::string source_path =
+      testing::TempDir() + "/transer_it_source.csv";
+  const std::string target_path =
+      testing::TempDir() + "/transer_it_target.csv";
+  ASSERT_TRUE(source.ToCsvFile(source_path).ok());
+  ASSERT_TRUE(target.WithoutLabels().ToCsvFile(target_path).ok());
+
+  auto loaded_source = FeatureMatrix::FromCsvFile(source_path);
+  auto loaded_target = FeatureMatrix::FromCsvFile(target_path);
+  ASSERT_TRUE(loaded_source.ok());
+  ASSERT_TRUE(loaded_target.ok());
+  EXPECT_EQ(loaded_target.value().CountUnlabeled(),
+            loaded_target.value().size());
+
+  TransER transer;
+  auto predicted = transer.Run(loaded_source.value(), loaded_target.value(),
+                               MakeLrFactory(), {});
+  ASSERT_TRUE(predicted.ok());
+  const LinkageQuality quality =
+      EvaluateLinkage(target.labels(), predicted.value());
+  EXPECT_GT(quality.f_star, 0.7);
+}
+
+// ---------- method properties on aligned domains ----------
+
+TEST(IntegrationTest, CoralIsNearIdentityOnAlignedDomains) {
+  // When source and target share their distribution, CORAL's alignment
+  // should barely move the data.
+  const FeatureMatrix source = MakeDomain(3);
+  const FeatureMatrix target = MakeDomain(4);
+  CoralTransfer coral;
+  const Matrix x_source = source.ToMatrix();
+  auto aligned = coral.AlignSource(x_source, target.ToMatrix());
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_LT(aligned.value().Subtract(x_source).FrobeniusNorm() /
+                x_source.FrobeniusNorm(),
+            0.15);
+}
+
+TEST(IntegrationTest, MethodsAgreeOnAlignedEasyDomains) {
+  const FeatureMatrix source = MakeDomain(5);
+  const FeatureMatrix target = MakeDomain(6);
+  const FeatureMatrix hidden = target.WithoutLabels();
+  NaiveTransfer naive;
+  TransER transer;
+  CoralTransfer coral;
+  TcaTransfer tca;
+  for (const TransferMethod* method :
+       std::initializer_list<const TransferMethod*>{&naive, &transer, &coral,
+                                                    &tca}) {
+    auto predicted = method->Run(source, hidden, MakeLrFactory(), {});
+    ASSERT_TRUE(predicted.ok()) << method->name();
+    const LinkageQuality quality =
+        EvaluateLinkage(target.labels(), predicted.value());
+    EXPECT_GT(quality.f_star, 0.8) << method->name();
+  }
+}
+
+// ---------- logging ----------
+
+TEST(LoggingTest, MinLevelRoundTrip) {
+  const LogLevel before = internal_logging::GetMinLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(internal_logging::GetMinLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(internal_logging::GetMinLogLevel(), LogLevel::kDebug);
+  internal_logging::SetMinLogLevel(before);
+}
+
+TEST(LoggingTest, ChecksPassOnTrueConditions) {
+  TRANSER_CHECK(true) << "never printed";
+  TRANSER_CHECK_EQ(1, 1);
+  TRANSER_CHECK_LT(1, 2);
+  TRANSER_CHECK_GE(2.0, 2.0);
+  SUCCEED();
+}
+
+// ---------- status macro ----------
+
+Status FailsWhen(bool fail) {
+  TRANSER_RETURN_IF_ERROR(fail ? Status::Internal("inner")
+                               : Status::OK());
+  return Status::NotFound("reached the end");
+}
+
+TEST(StatusMacroTest, PropagatesOnlyErrors) {
+  EXPECT_EQ(FailsWhen(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(FailsWhen(false).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace transer

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "knn/brute_force.h"
+#include "knn/kd_tree.h"
+#include "util/random.h"
+
+namespace transer {
+namespace {
+
+Matrix RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims; ++d) points(i, d) = rng.NextDouble();
+  }
+  return points;
+}
+
+TEST(KdTreeTest, FindsExactPoint) {
+  Matrix points = {{0.0, 0.0}, {1.0, 1.0}, {0.5, 0.5}};
+  KdTree tree(points);
+  const auto result = tree.Query(std::vector<double>{1.0, 1.0}, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].index, 1u);
+  EXPECT_DOUBLE_EQ(result[0].distance, 0.0);
+}
+
+TEST(KdTreeTest, ReturnsSortedByDistance) {
+  Matrix points = RandomPoints(200, 3, 31);
+  KdTree tree(points);
+  const std::vector<double> query = {0.3, 0.7, 0.5};
+  const auto result = tree.Query(query, 10);
+  ASSERT_EQ(result.size(), 10u);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+}
+
+TEST(KdTreeTest, SkipIndexExcludesSelf) {
+  Matrix points = {{0.1, 0.1}, {0.1, 0.1}, {0.9, 0.9}};
+  KdTree tree(points);
+  const auto result =
+      tree.Query(std::vector<double>{0.1, 0.1}, 2, /*skip_index=*/0);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_NE(result[0].index, 0u);
+  EXPECT_NE(result[1].index, 0u);
+}
+
+TEST(KdTreeTest, KLargerThanDataReturnsAll) {
+  Matrix points = RandomPoints(5, 2, 32);
+  KdTree tree(points);
+  const auto result = tree.Query(std::vector<double>{0.5, 0.5}, 50);
+  EXPECT_EQ(result.size(), 5u);
+}
+
+TEST(KdTreeTest, EmptyTreeAndZeroK) {
+  Matrix none(0, 2);
+  KdTree tree(none);
+  EXPECT_TRUE(tree.Query(std::vector<double>{0.5, 0.5}, 3).empty());
+  Matrix some = RandomPoints(10, 2, 33);
+  KdTree tree2(some);
+  EXPECT_TRUE(tree2.Query(std::vector<double>{0.5, 0.5}, 0).empty());
+}
+
+TEST(KdTreeTest, HandlesDuplicatePoints) {
+  Matrix points(64, 2, 0.5);  // all identical
+  KdTree tree(points);
+  const auto result = tree.Query(std::vector<double>{0.5, 0.5}, 7);
+  EXPECT_EQ(result.size(), 7u);
+  for (const auto& nb : result) EXPECT_DOUBLE_EQ(nb.distance, 0.0);
+}
+
+// Property: KD-tree agrees with brute force on sizes, dims and k.
+struct KnnCase {
+  size_t n;
+  size_t dims;
+  size_t k;
+  uint64_t seed;
+};
+
+class KdTreeEquivalenceTest : public ::testing::TestWithParam<KnnCase> {};
+
+TEST_P(KdTreeEquivalenceTest, MatchesBruteForce) {
+  const KnnCase param = GetParam();
+  Matrix points = RandomPoints(param.n, param.dims, param.seed);
+  KdTree tree(points);
+  BruteForceKnn brute(points);
+  Rng rng(param.seed + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> query(param.dims);
+    for (double& v : query) v = rng.NextDouble();
+    const ptrdiff_t skip =
+        trial % 3 == 0 ? static_cast<ptrdiff_t>(
+                             rng.NextUint64Below(param.n))
+                       : -1;
+    const auto expected = brute.Query(query, param.k, skip);
+    const auto actual = tree.Query(query, param.k, skip);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      // Ties can legitimately reorder equidistant points; compare
+      // distances, which must be identical position by position.
+      EXPECT_NEAR(actual[i].distance, expected[i].distance, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeEquivalenceTest,
+    ::testing::Values(KnnCase{50, 2, 5, 41}, KnnCase{500, 4, 7, 42},
+                      KnnCase{1000, 8, 3, 43}, KnnCase{300, 11, 10, 44},
+                      KnnCase{17, 1, 17, 45}, KnnCase{2000, 5, 1, 46}));
+
+}  // namespace
+}  // namespace transer

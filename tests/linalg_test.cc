@@ -1,0 +1,274 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/covariance.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace transer {
+namespace {
+
+Matrix RandomSpd(size_t n, Rng* rng) {
+  // A A^T + n I is symmetric positive definite.
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng->Gaussian(0.0, 1.0);
+  }
+  Matrix spd = a.Multiply(a.Transpose());
+  spd.AddDiagonal(static_cast<double>(n));
+  return spd;
+}
+
+// ---------- Matrix ----------
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, IdentityMultiplicationIsNeutral) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix i3 = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(m.Multiply(i3).MaxAbsDiff(m), 0.0);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposeTwiceIsIdentity) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_DOUBLE_EQ(m.Transpose().Transpose().MaxAbsDiff(m), 0.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a = {{1.0, 2.0}};
+  Matrix b = {{3.0, 5.0}};
+  EXPECT_DOUBLE_EQ(a.Add(b)(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(b.Subtract(a)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.Scale(3.0)(0, 1), 6.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  const auto out = m.MultiplyVector({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m = {{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, SelectRowsAndVStack) {
+  Matrix m = {{1.0}, {2.0}, {3.0}};
+  const Matrix picked = m.SelectRows({2, 0});
+  EXPECT_DOUBLE_EQ(picked(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(picked(1, 0), 1.0);
+  const Matrix stacked = Matrix::VStack(m, picked);
+  EXPECT_EQ(stacked.rows(), 5u);
+  EXPECT_DOUBLE_EQ(stacked(4, 0), 1.0);
+}
+
+TEST(MatrixTest, AddDiagonal) {
+  Matrix m(3, 3, 0.0);
+  m.AddDiagonal(2.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+// ---------- vector_ops ----------
+
+TEST(VectorOpsTest, DotAndNorms) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ(L2Norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(L2Distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredL2Distance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+}
+
+TEST(VectorOpsTest, MeanOfVectors) {
+  const auto mean = Mean({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 3.0);
+}
+
+TEST(VectorOpsTest, AxpyAndNormalize) {
+  std::vector<double> a = {1.0, 1.0};
+  Axpy(2.0, {1.0, 3.0}, &a);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 7.0);
+  NormalizeInPlace(&a);
+  EXPECT_NEAR(L2Norm(a), 1.0, 1e-12);
+  std::vector<double> zero = {0.0, 0.0};
+  NormalizeInPlace(&zero);  // must not produce NaN
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+// ---------- Cholesky ----------
+
+TEST(CholeskyTest, ReconstructsMatrix) {
+  Rng rng(21);
+  const Matrix a = RandomSpd(6, &rng);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol.value().L();
+  EXPECT_LT(l.Multiply(l.Transpose()).MaxAbsDiff(a), 1e-9);
+}
+
+TEST(CholeskyTest, SolveMatchesDirectMultiplication) {
+  Rng rng(22);
+  const Matrix a = RandomSpd(5, &rng);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const std::vector<double> x_true = {1.0, -2.0, 0.5, 3.0, -1.0};
+  const std::vector<double> b = a.MultiplyVector(x_true);
+  const std::vector<double> x = chol.value().Solve(b);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(CholeskyTest, InverseTimesMatrixIsIdentity) {
+  Rng rng(23);
+  const Matrix a = RandomSpd(4, &rng);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix inv = chol.value().Inverse();
+  EXPECT_LT(a.Multiply(inv).MaxAbsDiff(Matrix::Identity(4)), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix not_spd = {{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::Factor(not_spd).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix rect(2, 3, 1.0);
+  EXPECT_FALSE(Cholesky::Factor(rect).ok());
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesKnownValue) {
+  Matrix diag = {{4.0, 0.0}, {0.0, 9.0}};
+  auto chol = Cholesky::Factor(diag);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol.value().LogDeterminant(), std::log(36.0), 1e-12);
+}
+
+// ---------- Eigen ----------
+
+TEST(EigenTest, DiagonalMatrixEigenvalues) {
+  Matrix d = {{3.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 2.0}};
+  auto eig = SymmetricEigen(d);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.value().values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.value().values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.value().values[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(24);
+  const Matrix a = RandomSpd(7, &rng);
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix& v = eig.value().vectors;
+  Matrix lambda(7, 7, 0.0);
+  for (size_t i = 0; i < 7; ++i) lambda(i, i) = eig.value().values[i];
+  const Matrix reconstructed =
+      v.Multiply(lambda).Multiply(v.Transpose());
+  EXPECT_LT(reconstructed.MaxAbsDiff(a), 1e-8);
+}
+
+TEST(EigenTest, EigenvectorsAreOrthonormal) {
+  Rng rng(25);
+  const Matrix a = RandomSpd(6, &rng);
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix& v = eig.value().vectors;
+  EXPECT_LT(v.Transpose().Multiply(v).MaxAbsDiff(Matrix::Identity(6)),
+            1e-9);
+}
+
+TEST(EigenTest, GeneralizedEigenSatisfiesDefinition) {
+  Rng rng(26);
+  const Matrix b = RandomSpd(5, &rng);
+  Matrix a = RandomSpd(5, &rng);
+  a = a.Add(a.Transpose()).Scale(0.5);
+  auto eig = GeneralizedSymmetricEigen(a, b);
+  ASSERT_TRUE(eig.ok());
+  for (size_t j = 0; j < 5; ++j) {
+    const std::vector<double> v = eig.value().vectors.ColVector(j);
+    const std::vector<double> av = a.MultiplyVector(v);
+    const std::vector<double> bv = b.MultiplyVector(v);
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(av[i], eig.value().values[j] * bv[i], 1e-7);
+    }
+  }
+}
+
+TEST(EigenTest, MatrixPowerHalfSquaredIsOriginal) {
+  Rng rng(27);
+  const Matrix a = RandomSpd(5, &rng);
+  auto half = SymmetricMatrixPower(a, 0.5);
+  ASSERT_TRUE(half.ok());
+  EXPECT_LT(half.value().Multiply(half.value()).MaxAbsDiff(a), 1e-8);
+}
+
+TEST(EigenTest, MatrixPowerMinusOneIsInverse) {
+  Rng rng(28);
+  const Matrix a = RandomSpd(4, &rng);
+  auto inv = SymmetricMatrixPower(a, -1.0);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT(a.Multiply(inv.value()).MaxAbsDiff(Matrix::Identity(4)), 1e-8);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3, 1.0)).ok());
+}
+
+// ---------- covariance ----------
+
+TEST(CovarianceTest, ColumnMeans) {
+  Matrix x = {{1.0, 10.0}, {3.0, 20.0}};
+  const auto mean = ColumnMeans(x);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 15.0);
+}
+
+TEST(CovarianceTest, KnownCovariance) {
+  // Two perfectly correlated columns.
+  Matrix x = {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  const Matrix cov = SampleCovariance(x);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.0, 1e-12);
+  EXPECT_NEAR(cov(1, 0), cov(0, 1), 1e-12);
+}
+
+TEST(CovarianceTest, DegenerateInputsGiveZeros) {
+  EXPECT_DOUBLE_EQ(SampleCovariance(Matrix(1, 3, 5.0)).FrobeniusNorm(), 0.0);
+  EXPECT_DOUBLE_EQ(SampleCovariance(Matrix(0, 3)).FrobeniusNorm(), 0.0);
+}
+
+TEST(CovarianceTest, CenterRowsZeroesMeans) {
+  Rng rng(29);
+  Matrix x(50, 3);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 3; ++j) x(i, j) = rng.Uniform(0.0, 10.0);
+  }
+  const auto means = ColumnMeans(CenterRows(x));
+  for (double m : means) EXPECT_NEAR(m, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace transer

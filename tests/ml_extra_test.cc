@@ -1,0 +1,266 @@
+// Tests of the additional classifier families (gradient boosting,
+// threshold rule), the TrAdaBoost semi-supervised transfer method, and
+// the blocking-quality measures.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "blocking/blocking_metrics.h"
+#include "blocking/minhash_lsh.h"
+#include "data/bibliographic_generator.h"
+#include "data/feature_space_generator.h"
+#include "eval/metrics.h"
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/metrics_util.h"
+#include "ml/threshold_classifier.h"
+#include "transfer/tradaboost.h"
+#include "util/random.h"
+
+namespace transer {
+namespace {
+
+struct Blobs {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Blobs MakeBlobs(size_t n_per_class, size_t dims, double separation,
+                uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs;
+  blobs.x = Matrix(2 * n_per_class, dims);
+  blobs.y.resize(2 * n_per_class);
+  for (size_t i = 0; i < 2 * n_per_class; ++i) {
+    const int label = i < n_per_class ? 0 : 1;
+    blobs.y[i] = label;
+    for (size_t d = 0; d < dims; ++d) {
+      blobs.x(i, d) = rng.Gaussian(label == 0 ? 0.0 : separation, 1.0);
+    }
+  }
+  return blobs;
+}
+
+// ---------- GradientBoosting ----------
+
+TEST(GradientBoostingTest, LearnsSeparableBlobs) {
+  const Blobs train = MakeBlobs(200, 4, 3.0, 301);
+  const Blobs test = MakeBlobs(100, 4, 3.0, 302);
+  GradientBoosting gbdt;
+  gbdt.Fit(train.x, train.y);
+  EXPECT_GT(Accuracy(test.y, gbdt.PredictAll(test.x)), 0.95);
+  EXPECT_GT(gbdt.round_count(), 0u);
+}
+
+TEST(GradientBoostingTest, LearnsXorUnlikeLinearModels) {
+  Matrix x(400, 2);
+  std::vector<int> y(400);
+  Rng rng(303);
+  for (size_t i = 0; i < 400; ++i) {
+    const int a = rng.Bernoulli(0.5) ? 1 : 0;
+    const int b = rng.Bernoulli(0.5) ? 1 : 0;
+    x(i, 0) = a + rng.Gaussian(0.0, 0.05);
+    x(i, 1) = b + rng.Gaussian(0.0, 0.05);
+    y[i] = a ^ b;
+  }
+  GradientBoosting gbdt;
+  gbdt.Fit(x, y);
+  EXPECT_GT(Accuracy(y, gbdt.PredictAll(x)), 0.97);
+}
+
+TEST(GradientBoostingTest, ProbabilitiesOrderedAndBounded) {
+  const Blobs train = MakeBlobs(200, 2, 4.0, 304);
+  GradientBoosting gbdt;
+  gbdt.Fit(train.x, train.y);
+  const double p1 = gbdt.PredictProba(std::vector<double>{4.0, 4.0});
+  const double p0 = gbdt.PredictProba(std::vector<double>{0.0, 0.0});
+  EXPECT_GT(p1, 0.9);
+  EXPECT_LT(p0, 0.1);
+  EXPECT_GE(p0, 0.0);
+  EXPECT_LE(p1, 1.0);
+}
+
+TEST(GradientBoostingTest, SampleWeightsShiftDecision) {
+  Matrix x = {{0.0}, {0.0}, {0.0}, {0.0}};
+  std::vector<int> y = {1, 1, 0, 0};
+  GradientBoosting gbdt;
+  gbdt.Fit(x, y, {10.0, 10.0, 0.1, 0.1});
+  EXPECT_GT(gbdt.PredictProba(std::vector<double>{0.0}), 0.5);
+}
+
+TEST(GradientBoostingTest, SingleClassStaysFinite) {
+  Matrix x = {{0.2}, {0.4}};
+  std::vector<int> y = {1, 1};
+  GradientBoosting gbdt;
+  gbdt.Fit(x, y);
+  const double p = gbdt.PredictProba(std::vector<double>{0.3});
+  EXPECT_GT(p, 0.9);
+  EXPECT_LE(p, 1.0);
+}
+
+// ---------- ThresholdClassifier ----------
+
+TEST(ThresholdClassifierTest, TunesToTheGap) {
+  // Non-matches around 0.2, matches around 0.8: the tuned threshold must
+  // land in between.
+  FeatureSpaceGenerator generator(FeatureSpaceSharedSpec{4, 0, 305});
+  FeatureDomainSpec spec;
+  spec.num_instances = 1000;
+  spec.ambiguous_fraction = 0.0;
+  spec.seed = 306;
+  const FeatureMatrix data = generator.Generate(spec);
+  ThresholdClassifier threshold;
+  threshold.Fit(data.ToMatrix(), data.labels());
+  EXPECT_GT(threshold.threshold(), 0.4);
+  EXPECT_LT(threshold.threshold(), 0.75);
+  EXPECT_GT(Accuracy(data.labels(), threshold.PredictAll(data.ToMatrix())),
+            0.95);
+}
+
+TEST(ThresholdClassifierTest, FixedThresholdWithoutTuning) {
+  ThresholdClassifierOptions options;
+  options.tune = false;
+  options.threshold = 0.7;
+  ThresholdClassifier threshold(options);
+  threshold.Fit(Matrix{{0.1}, {0.9}}, {0, 1});
+  EXPECT_DOUBLE_EQ(threshold.threshold(), 0.7);
+  EXPECT_LT(threshold.PredictProba(std::vector<double>{0.5}), 0.5);
+  EXPECT_GT(threshold.PredictProba(std::vector<double>{0.9}), 0.5);
+}
+
+TEST(ThresholdClassifierTest, ProbabilityMonotoneInAverage) {
+  ThresholdClassifier threshold;
+  threshold.Fit(Matrix{{0.1, 0.1}, {0.9, 0.9}}, {0, 1});
+  double prev = -1.0;
+  for (double v = 0.0; v <= 1.0; v += 0.1) {
+    const double p = threshold.PredictProba(std::vector<double>{v, v});
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+// ---------- TrAdaBoost ----------
+
+ClassifierFactory MakeStumpFactory() {
+  return []() -> std::unique_ptr<Classifier> {
+    DecisionTreeOptions options;
+    options.max_depth = 2;
+    options.min_samples_split = 2;
+    return std::make_unique<DecisionTree>(options);
+  };
+}
+
+TEST(TrAdaBoostTest, UsesTargetLabelsToOverrideConflictingSource) {
+  // Source labels the mid region as match; the target concept says
+  // non-match. A few labelled target instances must win out.
+  FeatureSpaceGenerator generator(FeatureSpaceSharedSpec{4, 40, 307});
+  FeatureDomainSpec source_spec;
+  source_spec.num_instances = 1200;
+  source_spec.ambiguous_fraction = 0.25;
+  source_spec.ambiguous_match_prob = 0.9;
+  source_spec.seed = 308;
+  FeatureDomainSpec target_spec = source_spec;
+  target_spec.ambiguous_match_prob = 0.1;
+  target_spec.seed = 309;
+  const FeatureMatrix source = generator.Generate(source_spec);
+  const FeatureMatrix target = generator.Generate(target_spec);
+
+  Rng rng(310);
+  std::vector<size_t> all(target.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  rng.Shuffle(&all);
+  const std::vector<size_t> labeled_rows(all.begin(), all.begin() + 200);
+  const std::vector<size_t> test_rows(all.begin() + 200, all.end());
+  const FeatureMatrix target_labeled = target.Select(labeled_rows);
+  const FeatureMatrix target_test = target.Select(test_rows);
+
+  TrAdaBoost boost;
+  auto predicted = boost.Run(source, target_labeled,
+                             target_test.WithoutLabels(),
+                             MakeStumpFactory());
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  const double boost_f =
+      EvaluateLinkage(target_test.labels(), predicted.value()).f_star;
+
+  // Baseline: the same weak learner trained on the raw source only.
+  auto naive = MakeStumpFactory()();
+  naive->Fit(source.ToMatrix(), source.labels());
+  const double naive_f =
+      EvaluateLinkage(target_test.labels(),
+                      naive->PredictAll(target_test.ToMatrix()))
+          .f_star;
+  EXPECT_GT(boost_f, naive_f);
+}
+
+TEST(TrAdaBoostTest, RejectsInvalidInputs) {
+  FeatureMatrix a({"x"});
+  a.Append({0.1}, kNonMatch);
+  FeatureMatrix b({"x", "y"});
+  FeatureMatrix empty({"x"});
+  TrAdaBoost boost;
+  EXPECT_FALSE(boost.Run(a, b, a, MakeStumpFactory()).ok());
+  EXPECT_FALSE(boost.Run(a, empty, a, MakeStumpFactory()).ok());
+}
+
+TEST(TrAdaBoostTest, PredictsEveryUnlabeledInstance) {
+  FeatureSpaceGenerator generator(FeatureSpaceSharedSpec{4, 20, 311});
+  FeatureDomainSpec spec;
+  spec.num_instances = 400;
+  spec.seed = 312;
+  const FeatureMatrix source = generator.Generate(spec);
+  spec.seed = 313;
+  const FeatureMatrix target = generator.Generate(spec);
+  TrAdaBoost boost;
+  auto predicted = boost.Run(source, target.Select({0, 1, 2, 3, 4, 5}),
+                             target.WithoutLabels(), MakeStumpFactory());
+  ASSERT_TRUE(predicted.ok());
+  EXPECT_EQ(predicted.value().size(), target.size());
+}
+
+// ---------- blocking metrics ----------
+
+TEST(BlockingMetricsTest, PerfectBlockerScoresPerfectly) {
+  BibliographicOptions options;
+  options.num_entities = 150;
+  const LinkageProblem problem = GenerateBibliographic(options);
+  // "Blocker" that emits exactly the true matching pairs.
+  std::vector<PairRef> pairs;
+  for (size_t i = 0; i < problem.left.size(); ++i) {
+    for (size_t j = 0; j < problem.right.size(); ++j) {
+      if (problem.left.record(i).entity_id ==
+          problem.right.record(j).entity_id) {
+        pairs.push_back({i, j});
+      }
+    }
+  }
+  const BlockingQuality quality = EvaluateBlocking(problem, pairs);
+  EXPECT_DOUBLE_EQ(quality.PairsCompleteness(), 1.0);
+  EXPECT_DOUBLE_EQ(quality.PairsQuality(), 1.0);
+  EXPECT_GT(quality.ReductionRatio(), 0.99);
+}
+
+TEST(BlockingMetricsTest, LshBlockerTradesOffCompletenessAndReduction) {
+  BibliographicOptions options;
+  options.num_entities = 250;
+  const LinkageProblem problem = GenerateBibliographic(options);
+  MinHashLshBlocker blocker;
+  const BlockingQuality quality =
+      EvaluateBlocking(problem, blocker.Block(problem.left, problem.right));
+  EXPECT_GT(quality.PairsCompleteness(), 0.9);
+  EXPECT_GT(quality.ReductionRatio(), 0.5);
+  EXPECT_GT(quality.PairsQuality(), 0.05);
+}
+
+TEST(BlockingMetricsTest, EmptyCandidateSet) {
+  BibliographicOptions options;
+  options.num_entities = 30;
+  const LinkageProblem problem = GenerateBibliographic(options);
+  const BlockingQuality quality = EvaluateBlocking(problem, {});
+  EXPECT_DOUBLE_EQ(quality.PairsCompleteness(), 0.0);
+  EXPECT_DOUBLE_EQ(quality.PairsQuality(), 0.0);
+  EXPECT_DOUBLE_EQ(quality.ReductionRatio(), 1.0);
+}
+
+}  // namespace
+}  // namespace transer

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "text/phonetic.h"
+#include "text/similarity_registry.h"
+
+namespace transer {
+namespace {
+
+TEST(SoundexTest, ClassicTextbookCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // h is transparent
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, PadsShortCodes) {
+  EXPECT_EQ(Soundex("Lee"), "L000");
+  EXPECT_EQ(Soundex("Gauss"), "G200");
+}
+
+TEST(SoundexTest, CaseAndPunctuationInsensitive) {
+  EXPECT_EQ(Soundex("o'brien"), Soundex("OBrien"));
+  EXPECT_EQ(Soundex("  SMITH "), Soundex("smith"));
+}
+
+TEST(SoundexTest, EmptyAndNonAlphabetic) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+}
+
+TEST(SoundexTest, SimilarSurnamesShareCodes) {
+  EXPECT_EQ(Soundex("smith"), Soundex("smyth"));
+  EXPECT_EQ(Soundex("macdonald"), Soundex("mcdonald"));
+  EXPECT_EQ(Soundex("stewart"), Soundex("stuart"));
+}
+
+TEST(NysiisTest, StableAndNonEmpty) {
+  EXPECT_FALSE(Nysiis("macintyre").empty());
+  EXPECT_EQ(Nysiis("smith"), Nysiis("smith"));
+  EXPECT_EQ(Nysiis(""), "");
+}
+
+TEST(NysiisTest, VariantsCollide) {
+  EXPECT_EQ(Nysiis("knight"), Nysiis("night"));
+  EXPECT_EQ(Nysiis("phillips"), Nysiis("fillips"));
+  EXPECT_EQ(Nysiis("brown"), Nysiis("braun"));
+}
+
+TEST(NysiisTest, RespectsMaxLength) {
+  const std::string code = Nysiis("wolfeschlegelsteinhausen", 6);
+  EXPECT_LE(code.size(), 6u);
+  EXPECT_GT(Nysiis("wolfeschlegelsteinhausen", 0).size(), 6u);
+}
+
+TEST(NysiisTest, OutputIsUppercaseLetters) {
+  for (char c : Nysiis("ferguson")) {
+    EXPECT_TRUE(c >= 'A' && c <= 'Z') << c;
+  }
+}
+
+TEST(SoundexSimilarityTest, BinaryOutcome) {
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("robert", "rupert"), 1.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("robert", "campbell"), 0.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("", ""), 0.0);  // no code, no match
+}
+
+TEST(SoundexSimilarityTest, RegisteredInGlobalRegistry) {
+  auto fn = SimilarityRegistry::Global().Lookup("soundex");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_DOUBLE_EQ(fn.value()("smith", "smyth"), 1.0);
+}
+
+}  // namespace
+}  // namespace transer

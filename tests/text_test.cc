@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "text/edit_distance.h"
+#include "text/jaro_winkler.h"
+#include "text/normalize.h"
+#include "text/numeric_similarity.h"
+#include "text/set_similarity.h"
+#include "text/similarity_registry.h"
+#include "text/tokenize.h"
+
+namespace transer {
+namespace {
+
+// ---------- normalize ----------
+
+TEST(NormalizeTest, LowercasesStripsPunctuationCollapses) {
+  EXPECT_EQ(NormalizeValue("  O'Brien,  J.\tP. "), "o brien j p");
+}
+
+TEST(NormalizeTest, OptionsCanBeDisabled) {
+  NormalizeOptions keep;
+  keep.lowercase = false;
+  keep.strip_punctuation = false;
+  keep.collapse_whitespace = false;
+  keep.trim = false;
+  EXPECT_EQ(NormalizeValue("A-B  c", keep), "A-B  c");
+}
+
+TEST(NormalizeTest, IsMissingDetectsBlankValues) {
+  EXPECT_TRUE(IsMissing(""));
+  EXPECT_TRUE(IsMissing("   \t"));
+  EXPECT_FALSE(IsMissing(" x "));
+}
+
+// ---------- tokenize ----------
+
+TEST(TokenizeTest, WordTokens) {
+  EXPECT_EQ(WordTokens("  the  quick fox "),
+            (std::vector<std::string>{"the", "quick", "fox"}));
+  EXPECT_TRUE(WordTokens("   ").empty());
+}
+
+TEST(TokenizeTest, QGramsUnpadded) {
+  EXPECT_EQ(QGrams("abcd", 2),
+            (std::vector<std::string>{"ab", "bc", "cd"}));
+  EXPECT_EQ(QGrams("a", 2), (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(QGrams("", 2).empty());
+}
+
+TEST(TokenizeTest, QGramsPaddedFramesString) {
+  const auto grams = QGrams("ab", 2, /*padded=*/true);
+  EXPECT_EQ(grams,
+            (std::vector<std::string>{"#a", "ab", "b$"}));
+}
+
+TEST(TokenizeTest, UniqueSorted) {
+  EXPECT_EQ(UniqueSorted({"b", "a", "b"}),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+// ---------- Levenshtein & friends ----------
+
+TEST(EditDistanceTest, KnownLevenshteinValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(EditDistanceTest, DamerauCountsTranspositionAsOne) {
+  EXPECT_EQ(LevenshteinDistance("ca", "ac"), 2u);
+  EXPECT_EQ(DamerauLevenshteinDistance("ca", "ac"), 1u);
+  EXPECT_EQ(DamerauLevenshteinDistance("smith", "smiht"), 1u);
+}
+
+TEST(EditDistanceTest, SimilarityBounds) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(EditDistanceTest, LongestCommonSubstring) {
+  EXPECT_EQ(LongestCommonSubstring("database", "databank"), 6u);  // "databa"
+  EXPECT_EQ(LongestCommonSubstring("abc", "xyz"), 0u);
+  EXPECT_DOUBLE_EQ(LongestCommonSubstringSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LongestCommonSubstringSimilarity("ab", ""), 0.0);
+}
+
+// Property sweep: triangle-like bounds of Levenshtein similarity.
+class EditDistancePropertyTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(EditDistancePropertyTest, SymmetricAndBounded) {
+  const auto [a, b] = GetParam();
+  EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+  const double sim = LevenshteinSimilarity(a, b);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+  EXPECT_LE(DamerauLevenshteinDistance(a, b), LevenshteinDistance(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, EditDistancePropertyTest,
+    ::testing::Values(std::make_pair("jellyfish", "smellyfish"),
+                      std::make_pair("michael", "michelle"),
+                      std::make_pair("", "nonempty"),
+                      std::make_pair("aa", "aaaaaaa"),
+                      std::make_pair("transposed", "transpsoed"),
+                      std::make_pair("equal", "equal")));
+
+// ---------- Jaro / Jaro-Winkler ----------
+
+TEST(JaroTest, ClassicTextbookValues) {
+  // Standard examples from the record-linkage literature.
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("JELLYFISH", "SMELLYFISH"), 0.896296, 1e-5);
+}
+
+TEST(JaroWinklerTest, ClassicTextbookValues) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DIXON", "DICKSONX"), 0.813333, 1e-5);
+}
+
+TEST(JaroTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsButNeverExceedsOne) {
+  const double jaro = JaroSimilarity("prefix_aaa", "prefix_bbb");
+  const double jw = JaroWinklerSimilarity("prefix_aaa", "prefix_bbb");
+  EXPECT_GT(jw, jaro);
+  EXPECT_LE(jw, 1.0);
+}
+
+class JaroPropertyTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(JaroPropertyTest, SymmetricBoundedAndWinklerDominates) {
+  const auto [a, b] = GetParam();
+  const double ab = JaroSimilarity(a, b);
+  EXPECT_NEAR(ab, JaroSimilarity(b, a), 1e-12);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_GE(JaroWinklerSimilarity(a, b), ab - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, JaroPropertyTest,
+    ::testing::Values(std::make_pair("duncan", "duncna"),
+                      std::make_pair("campbell", "cambell"),
+                      std::make_pair("x", "y"),
+                      std::make_pair("macdonald", "mcdonald"),
+                      std::make_pair("isabella", "isobel")));
+
+// ---------- set similarities ----------
+
+TEST(SetSimilarityTest, JaccardKnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+  // Duplicates must not change set semantics.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a", "b"}, {"b", "c", "c"}),
+                   1.0 / 3.0);
+}
+
+TEST(SetSimilarityTest, DiceAndOverlapKnownValues) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a", "b"}, {"b", "c"}), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a", "b"}, {"b"}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a"}, {"b"}), 0.0);
+}
+
+TEST(SetSimilarityTest, WordJaccardOnSentences) {
+  EXPECT_DOUBLE_EQ(
+      WordJaccardSimilarity("efficient entity resolution",
+                            "entity resolution at scale"),
+      2.0 / 5.0);
+}
+
+TEST(SetSimilarityTest, QGramJaccardToleratesTypos) {
+  const double close = QGramJaccardSimilarity("thompson", "thomson");
+  const double far = QGramJaccardSimilarity("thompson", "anderson");
+  EXPECT_GT(close, far);
+  EXPECT_GT(close, 0.5);
+}
+
+TEST(SetSimilarityTest, MongeElkanHandlesWordReorder) {
+  const double reordered =
+      SymmetricMongeElkan("peter christen", "christen peter");
+  EXPECT_GT(reordered, 0.95);
+}
+
+// ---------- numeric ----------
+
+TEST(NumericSimilarityTest, AbsoluteDifference) {
+  EXPECT_DOUBLE_EQ(AbsoluteDifferenceSimilarity(1970, 1971, 10), 0.9);
+  EXPECT_DOUBLE_EQ(AbsoluteDifferenceSimilarity(1970, 1990, 10), 0.0);
+  EXPECT_DOUBLE_EQ(AbsoluteDifferenceSimilarity(5, 5, 10), 1.0);
+}
+
+TEST(NumericSimilarityTest, StringVariantFallsBackToExact) {
+  EXPECT_DOUBLE_EQ(NumericStringSimilarity("1970", "1971", 10), 0.9);
+  EXPECT_DOUBLE_EQ(NumericStringSimilarity("abc", "abc", 10), 1.0);
+  EXPECT_DOUBLE_EQ(NumericStringSimilarity("abc", "abd", 10), 0.0);
+}
+
+TEST(NumericSimilarityTest, ExactSimilarity) {
+  EXPECT_DOUBLE_EQ(ExactSimilarity("x", "x"), 1.0);
+  EXPECT_DOUBLE_EQ(ExactSimilarity("x", "y"), 0.0);
+}
+
+// ---------- registry ----------
+
+TEST(SimilarityRegistryTest, BuiltinsAreRegistered) {
+  auto& registry = SimilarityRegistry::Global();
+  for (const char* name :
+       {"jaro", "jaro_winkler", "levenshtein", "word_jaccard",
+        "qgram_jaccard", "qgram_dice", "lcs", "monge_elkan", "exact",
+        "year", "numeric_abs", "damerau_levenshtein"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+}
+
+TEST(SimilarityRegistryTest, LookupReturnsWorkingFunction) {
+  auto fn = SimilarityRegistry::Global().Lookup("jaro_winkler");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_NEAR(fn.value()("MARTHA", "MARHTA"), 0.961111, 1e-5);
+}
+
+TEST(SimilarityRegistryTest, UnknownNameIsNotFound) {
+  auto fn = SimilarityRegistry::Global().Lookup("no_such_sim");
+  ASSERT_FALSE(fn.ok());
+  EXPECT_EQ(fn.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SimilarityRegistryTest, RegisterAndReplace) {
+  SimilarityRegistry& registry = SimilarityRegistry::Global();
+  registry.Register("test_constant",
+                    [](std::string_view, std::string_view) { return 0.25; });
+  auto fn = registry.Lookup("test_constant");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_DOUBLE_EQ(fn.value()("a", "b"), 0.25);
+  registry.Register("test_constant",
+                    [](std::string_view, std::string_view) { return 0.75; });
+  EXPECT_DOUBLE_EQ(registry.Lookup("test_constant").value()("a", "b"), 0.75);
+}
+
+// All registered similarities stay within [0, 1] on assorted inputs.
+class RegistryRangePropertyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryRangePropertyTest, OutputWithinUnitInterval) {
+  auto fn = SimilarityRegistry::Global().Lookup(GetParam());
+  ASSERT_TRUE(fn.ok());
+  const std::vector<std::pair<std::string, std::string>> inputs = {
+      {"", ""},        {"a", ""},          {"abc", "abc"},
+      {"1970", "1985"}, {"smith", "smyth"}, {"x y z", "z y x"},
+  };
+  for (const auto& [a, b] : inputs) {
+    const double sim = fn.value()(a, b);
+    EXPECT_GE(sim, 0.0) << GetParam() << "('" << a << "','" << b << "')";
+    EXPECT_LE(sim, 1.0) << GetParam() << "('" << a << "','" << b << "')";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuiltins, RegistryRangePropertyTest,
+    ::testing::Values("jaro", "jaro_winkler", "levenshtein",
+                      "damerau_levenshtein", "word_jaccard", "qgram_jaccard",
+                      "qgram_dice", "lcs", "monge_elkan", "exact", "year",
+                      "numeric_abs"));
+
+}  // namespace
+}  // namespace transer
