@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_future_work.dir/extensions_future_work.cc.o"
+  "CMakeFiles/extensions_future_work.dir/extensions_future_work.cc.o.d"
+  "extensions_future_work"
+  "extensions_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_distributions.dir/figure2_distributions.cc.o"
+  "CMakeFiles/figure2_distributions.dir/figure2_distributions.cc.o.d"
+  "figure2_distributions"
+  "figure2_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

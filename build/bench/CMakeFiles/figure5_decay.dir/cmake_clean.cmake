@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_decay.dir/figure5_decay.cc.o"
+  "CMakeFiles/figure5_decay.dir/figure5_decay.cc.o.d"
+  "figure5_decay"
+  "figure5_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

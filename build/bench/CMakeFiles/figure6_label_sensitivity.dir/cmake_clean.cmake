@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_label_sensitivity.dir/figure6_label_sensitivity.cc.o"
+  "CMakeFiles/figure6_label_sensitivity.dir/figure6_label_sensitivity.cc.o.d"
+  "figure6_label_sensitivity"
+  "figure6_label_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_label_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

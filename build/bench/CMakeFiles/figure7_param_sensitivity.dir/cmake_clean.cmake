@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_param_sensitivity.dir/figure7_param_sensitivity.cc.o"
+  "CMakeFiles/figure7_param_sensitivity.dir/figure7_param_sensitivity.cc.o.d"
+  "figure7_param_sensitivity"
+  "figure7_param_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_param_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

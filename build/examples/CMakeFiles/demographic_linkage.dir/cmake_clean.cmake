@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demographic_linkage.dir/demographic_linkage.cpp.o"
+  "CMakeFiles/demographic_linkage.dir/demographic_linkage.cpp.o.d"
+  "demographic_linkage"
+  "demographic_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demographic_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_dedup.dir/music_dedup.cpp.o"
+  "CMakeFiles/music_dedup.dir/music_dedup.cpp.o.d"
+  "music_dedup"
+  "music_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

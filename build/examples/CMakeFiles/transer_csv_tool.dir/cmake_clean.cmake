@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transer_csv_tool.dir/transer_csv_tool.cpp.o"
+  "CMakeFiles/transer_csv_tool.dir/transer_csv_tool.cpp.o.d"
+  "transer_csv_tool"
+  "transer_csv_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transer_csv_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

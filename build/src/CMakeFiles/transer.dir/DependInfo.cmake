@@ -1,0 +1,87 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocking/blocking_metrics.cc" "src/CMakeFiles/transer.dir/blocking/blocking_metrics.cc.o" "gcc" "src/CMakeFiles/transer.dir/blocking/blocking_metrics.cc.o.d"
+  "/root/repo/src/blocking/minhash_lsh.cc" "src/CMakeFiles/transer.dir/blocking/minhash_lsh.cc.o" "gcc" "src/CMakeFiles/transer.dir/blocking/minhash_lsh.cc.o.d"
+  "/root/repo/src/blocking/sorted_neighbourhood.cc" "src/CMakeFiles/transer.dir/blocking/sorted_neighbourhood.cc.o" "gcc" "src/CMakeFiles/transer.dir/blocking/sorted_neighbourhood.cc.o.d"
+  "/root/repo/src/blocking/standard_blocking.cc" "src/CMakeFiles/transer.dir/blocking/standard_blocking.cc.o" "gcc" "src/CMakeFiles/transer.dir/blocking/standard_blocking.cc.o.d"
+  "/root/repo/src/core/active_transer.cc" "src/CMakeFiles/transer.dir/core/active_transer.cc.o" "gcc" "src/CMakeFiles/transer.dir/core/active_transer.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/transer.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/transer.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/transer.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/transer.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/source_selection.cc" "src/CMakeFiles/transer.dir/core/source_selection.cc.o" "gcc" "src/CMakeFiles/transer.dir/core/source_selection.cc.o.d"
+  "/root/repo/src/core/transer.cc" "src/CMakeFiles/transer.dir/core/transer.cc.o" "gcc" "src/CMakeFiles/transer.dir/core/transer.cc.o.d"
+  "/root/repo/src/data/bibliographic_generator.cc" "src/CMakeFiles/transer.dir/data/bibliographic_generator.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/bibliographic_generator.cc.o.d"
+  "/root/repo/src/data/corruptor.cc" "src/CMakeFiles/transer.dir/data/corruptor.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/corruptor.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/transer.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_statistics.cc" "src/CMakeFiles/transer.dir/data/dataset_statistics.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/dataset_statistics.cc.o.d"
+  "/root/repo/src/data/demographic_generator.cc" "src/CMakeFiles/transer.dir/data/demographic_generator.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/demographic_generator.cc.o.d"
+  "/root/repo/src/data/feature_space_generator.cc" "src/CMakeFiles/transer.dir/data/feature_space_generator.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/feature_space_generator.cc.o.d"
+  "/root/repo/src/data/music_generator.cc" "src/CMakeFiles/transer.dir/data/music_generator.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/music_generator.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/CMakeFiles/transer.dir/data/record.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/record.cc.o.d"
+  "/root/repo/src/data/scenario.cc" "src/CMakeFiles/transer.dir/data/scenario.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/scenario.cc.o.d"
+  "/root/repo/src/data/vocabulary.cc" "src/CMakeFiles/transer.dir/data/vocabulary.cc.o" "gcc" "src/CMakeFiles/transer.dir/data/vocabulary.cc.o.d"
+  "/root/repo/src/eval/aggregate.cc" "src/CMakeFiles/transer.dir/eval/aggregate.cc.o" "gcc" "src/CMakeFiles/transer.dir/eval/aggregate.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/transer.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/transer.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/CMakeFiles/transer.dir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/transer.dir/eval/table_printer.cc.o.d"
+  "/root/repo/src/features/ambiguity.cc" "src/CMakeFiles/transer.dir/features/ambiguity.cc.o" "gcc" "src/CMakeFiles/transer.dir/features/ambiguity.cc.o.d"
+  "/root/repo/src/features/comparator.cc" "src/CMakeFiles/transer.dir/features/comparator.cc.o" "gcc" "src/CMakeFiles/transer.dir/features/comparator.cc.o.d"
+  "/root/repo/src/features/feature_matrix.cc" "src/CMakeFiles/transer.dir/features/feature_matrix.cc.o" "gcc" "src/CMakeFiles/transer.dir/features/feature_matrix.cc.o.d"
+  "/root/repo/src/knn/brute_force.cc" "src/CMakeFiles/transer.dir/knn/brute_force.cc.o" "gcc" "src/CMakeFiles/transer.dir/knn/brute_force.cc.o.d"
+  "/root/repo/src/knn/kd_tree.cc" "src/CMakeFiles/transer.dir/knn/kd_tree.cc.o" "gcc" "src/CMakeFiles/transer.dir/knn/kd_tree.cc.o.d"
+  "/root/repo/src/linalg/cholesky.cc" "src/CMakeFiles/transer.dir/linalg/cholesky.cc.o" "gcc" "src/CMakeFiles/transer.dir/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/covariance.cc" "src/CMakeFiles/transer.dir/linalg/covariance.cc.o" "gcc" "src/CMakeFiles/transer.dir/linalg/covariance.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/transer.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/transer.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/transer.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/transer.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/CMakeFiles/transer.dir/linalg/vector_ops.cc.o" "gcc" "src/CMakeFiles/transer.dir/linalg/vector_ops.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/CMakeFiles/transer.dir/ml/classifier.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/classifier.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/transer.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/CMakeFiles/transer.dir/ml/gradient_boosting.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/knn_classifier.cc" "src/CMakeFiles/transer.dir/ml/knn_classifier.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/knn_classifier.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/CMakeFiles/transer.dir/ml/linear_svm.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/transer.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/metrics_util.cc" "src/CMakeFiles/transer.dir/ml/metrics_util.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/metrics_util.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/transer.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/transer.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/transer.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/sampling.cc" "src/CMakeFiles/transer.dir/ml/sampling.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/sampling.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/CMakeFiles/transer.dir/ml/scaler.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/scaler.cc.o.d"
+  "/root/repo/src/ml/threshold_classifier.cc" "src/CMakeFiles/transer.dir/ml/threshold_classifier.cc.o" "gcc" "src/CMakeFiles/transer.dir/ml/threshold_classifier.cc.o.d"
+  "/root/repo/src/text/char_ngram_embedder.cc" "src/CMakeFiles/transer.dir/text/char_ngram_embedder.cc.o" "gcc" "src/CMakeFiles/transer.dir/text/char_ngram_embedder.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/CMakeFiles/transer.dir/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/transer.dir/text/edit_distance.cc.o.d"
+  "/root/repo/src/text/jaro_winkler.cc" "src/CMakeFiles/transer.dir/text/jaro_winkler.cc.o" "gcc" "src/CMakeFiles/transer.dir/text/jaro_winkler.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/CMakeFiles/transer.dir/text/normalize.cc.o" "gcc" "src/CMakeFiles/transer.dir/text/normalize.cc.o.d"
+  "/root/repo/src/text/numeric_similarity.cc" "src/CMakeFiles/transer.dir/text/numeric_similarity.cc.o" "gcc" "src/CMakeFiles/transer.dir/text/numeric_similarity.cc.o.d"
+  "/root/repo/src/text/phonetic.cc" "src/CMakeFiles/transer.dir/text/phonetic.cc.o" "gcc" "src/CMakeFiles/transer.dir/text/phonetic.cc.o.d"
+  "/root/repo/src/text/set_similarity.cc" "src/CMakeFiles/transer.dir/text/set_similarity.cc.o" "gcc" "src/CMakeFiles/transer.dir/text/set_similarity.cc.o.d"
+  "/root/repo/src/text/similarity_registry.cc" "src/CMakeFiles/transer.dir/text/similarity_registry.cc.o" "gcc" "src/CMakeFiles/transer.dir/text/similarity_registry.cc.o.d"
+  "/root/repo/src/text/tokenize.cc" "src/CMakeFiles/transer.dir/text/tokenize.cc.o" "gcc" "src/CMakeFiles/transer.dir/text/tokenize.cc.o.d"
+  "/root/repo/src/transfer/coral.cc" "src/CMakeFiles/transer.dir/transfer/coral.cc.o" "gcc" "src/CMakeFiles/transer.dir/transfer/coral.cc.o.d"
+  "/root/repo/src/transfer/dr_transfer.cc" "src/CMakeFiles/transer.dir/transfer/dr_transfer.cc.o" "gcc" "src/CMakeFiles/transer.dir/transfer/dr_transfer.cc.o.d"
+  "/root/repo/src/transfer/dtal.cc" "src/CMakeFiles/transer.dir/transfer/dtal.cc.o" "gcc" "src/CMakeFiles/transer.dir/transfer/dtal.cc.o.d"
+  "/root/repo/src/transfer/embedding_lift.cc" "src/CMakeFiles/transer.dir/transfer/embedding_lift.cc.o" "gcc" "src/CMakeFiles/transer.dir/transfer/embedding_lift.cc.o.d"
+  "/root/repo/src/transfer/locit.cc" "src/CMakeFiles/transer.dir/transfer/locit.cc.o" "gcc" "src/CMakeFiles/transer.dir/transfer/locit.cc.o.d"
+  "/root/repo/src/transfer/naive_transfer.cc" "src/CMakeFiles/transer.dir/transfer/naive_transfer.cc.o" "gcc" "src/CMakeFiles/transer.dir/transfer/naive_transfer.cc.o.d"
+  "/root/repo/src/transfer/tca.cc" "src/CMakeFiles/transer.dir/transfer/tca.cc.o" "gcc" "src/CMakeFiles/transer.dir/transfer/tca.cc.o.d"
+  "/root/repo/src/transfer/tradaboost.cc" "src/CMakeFiles/transer.dir/transfer/tradaboost.cc.o" "gcc" "src/CMakeFiles/transer.dir/transfer/tradaboost.cc.o.d"
+  "/root/repo/src/transfer/transfer_method.cc" "src/CMakeFiles/transer.dir/transfer/transfer_method.cc.o" "gcc" "src/CMakeFiles/transer.dir/transfer/transfer_method.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/transer.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/transer.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/transer.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/transer.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/transer.dir/util/random.cc.o" "gcc" "src/CMakeFiles/transer.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/transer.dir/util/status.cc.o" "gcc" "src/CMakeFiles/transer.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/transer.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/transer.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/transer.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/transer.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

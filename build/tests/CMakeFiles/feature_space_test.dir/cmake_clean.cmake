@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_space_test.dir/feature_space_test.cc.o"
+  "CMakeFiles/feature_space_test.dir/feature_space_test.cc.o.d"
+  "feature_space_test"
+  "feature_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_extra_test.dir/ml_extra_test.cc.o"
+  "CMakeFiles/ml_extra_test.dir/ml_extra_test.cc.o.d"
+  "ml_extra_test"
+  "ml_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transer_test.dir/transer_test.cc.o"
+  "CMakeFiles/transer_test.dir/transer_test.cc.o.d"
+  "transer_test"
+  "transer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
