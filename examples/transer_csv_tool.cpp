@@ -3,15 +3,25 @@
 // predicted labels back out.
 //
 // Usage:
-//   transer_csv_tool --source=source.csv --target=target.csv \
+//   transer_csv_tool --source=source.csv --target=target.csv
 //       [--out=labels.csv] [--classifier=rf|lr|svm|dt|nb|knn]
 //       [--tc=0.9] [--tl=0.9] [--tp=0.99] [--k=7] [--b=3]
+//       [--on-error=strict|skip|repair]
 //
 // CSV format: one column per feature plus a final "label" column
 // (1 = match, 0 = non-match, -1 = unlabelled), as written by
 // FeatureMatrix::ToCsvFile. Target labels are ignored for prediction;
 // when present they are used to print evaluation measures.
+//
+// --on-error controls what happens to malformed or dirty input rows:
+//   strict  (default) any bad row fails the load;
+//   skip    bad rows are dropped and reported;
+//   repair  unparseable rows are dropped, non-finite values and
+//           out-of-domain labels are repaired in place.
+// Any degradation (skipped rows, repaired values, relaxed thresholds,
+// skipped phases) is summarised on stdout after the run.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -27,6 +37,7 @@
 #include "ml/naive_bayes.h"
 #include "ml/random_forest.h"
 #include "util/string_util.h"
+#include "util/validation.h"
 
 namespace transer {
 namespace {
@@ -52,6 +63,17 @@ double GetDoubleFlag(int argc, char** argv, const std::string& name,
     std::exit(2);
   }
   return value;
+}
+
+// Exits with code 2 when a hyper-parameter is outside its valid range;
+// proceeding with an out-of-range threshold would silently produce
+// garbage (e.g. t_c > 1 selects nothing, b <= 0 aborts deep in the run).
+void RequireUnitInterval(const std::string& name, double value) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    std::fprintf(stderr, "--%s=%g is out of range: must be in [0, 1]\n",
+                 name.c_str(), value);
+    std::exit(2);
+  }
 }
 
 ClassifierFactory MakeFactory(const std::string& name) {
@@ -90,43 +112,84 @@ ClassifierFactory MakeFactory(const std::string& name) {
   std::exit(2);
 }
 
+Result<FeatureMatrix> LoadMatrix(const std::string& path,
+                                 const char* which,
+                                 const FeatureMatrix::IngestOptions& ingest) {
+  FeatureMatrix::IngestReport report;
+  auto matrix = FeatureMatrix::FromCsvFile(path, ingest, &report);
+  if (!matrix.ok()) return matrix;
+  if (report.rows_skipped > 0 || report.values_repaired > 0) {
+    std::printf("%s ingest: %s\n", which, report.Summary().c_str());
+    for (const CsvRowError& error : report.errors) {
+      std::printf("  row %zu: %s\n", error.line, error.message.c_str());
+    }
+  }
+  return matrix;
+}
+
 int Main(int argc, char** argv) {
   const std::string source_path = GetFlag(argc, argv, "source", "");
   const std::string target_path = GetFlag(argc, argv, "target", "");
   if (source_path.empty() || target_path.empty()) {
     std::fprintf(stderr,
                  "usage: %s --source=source.csv --target=target.csv "
-                 "[--out=labels.csv] [--classifier=rf]\n",
+                 "[--out=labels.csv] [--classifier=rf] "
+                 "[--on-error=strict|skip|repair]\n",
                  argv[0]);
     return 2;
   }
 
-  auto source = FeatureMatrix::FromCsvFile(source_path);
+  // Resolve and validate everything that can exit(2) before any I/O.
+  TransEROptions options;
+  options.t_c = GetDoubleFlag(argc, argv, "tc", options.t_c);
+  options.t_l = GetDoubleFlag(argc, argv, "tl", options.t_l);
+  options.t_p = GetDoubleFlag(argc, argv, "tp", options.t_p);
+  RequireUnitInterval("tc", options.t_c);
+  RequireUnitInterval("tl", options.t_l);
+  RequireUnitInterval("tp", options.t_p);
+  const double k_raw =
+      GetDoubleFlag(argc, argv, "k", static_cast<double>(options.k));
+  if (!(k_raw >= 1.0) || k_raw != std::floor(k_raw)) {
+    std::fprintf(stderr, "--k=%g is invalid: must be an integer >= 1\n",
+                 k_raw);
+    return 2;
+  }
+  options.k = static_cast<size_t>(k_raw);
+  options.b = GetDoubleFlag(argc, argv, "b", options.b);
+  if (!(options.b > 0.0)) {
+    std::fprintf(stderr, "--b=%g is invalid: must be > 0\n", options.b);
+    return 2;
+  }
+  const ClassifierFactory factory =
+      MakeFactory(GetFlag(argc, argv, "classifier", "rf"));
+
+  FeatureMatrix::IngestOptions ingest;
+  const std::string on_error = GetFlag(argc, argv, "on-error", "strict");
+  auto policy = ParseRepairPolicy(on_error);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "--on-error=%s is invalid (strict|skip|repair)\n",
+                 on_error.c_str());
+    return 2;
+  }
+  ingest.policy = policy.value();
+
+  auto source = LoadMatrix(source_path, "source", ingest);
   if (!source.ok()) {
     std::fprintf(stderr, "cannot load source: %s\n",
                  source.status().ToString().c_str());
     return 1;
   }
-  auto target = FeatureMatrix::FromCsvFile(target_path);
+  auto target = LoadMatrix(target_path, "target", ingest);
   if (!target.ok()) {
     std::fprintf(stderr, "cannot load target: %s\n",
                  target.status().ToString().c_str());
     return 1;
   }
 
-  TransEROptions options;
-  options.t_c = GetDoubleFlag(argc, argv, "tc", options.t_c);
-  options.t_l = GetDoubleFlag(argc, argv, "tl", options.t_l);
-  options.t_p = GetDoubleFlag(argc, argv, "tp", options.t_p);
-  options.k = static_cast<size_t>(GetDoubleFlag(argc, argv, "k",
-                                                static_cast<double>(options.k)));
-  options.b = GetDoubleFlag(argc, argv, "b", options.b);
-
   TransER transer(options);
   TransERReport report;
   auto predicted = transer.RunWithReport(
-      source.value(), target.value().WithoutLabels(),
-      MakeFactory(GetFlag(argc, argv, "classifier", "rf")),
+      source.value(), target.value().WithoutLabels(), factory,
       TransferRunOptions{}, &report);
   if (!predicted.ok()) {
     std::fprintf(stderr, "TransER failed: %s\n",
@@ -143,6 +206,7 @@ int Main(int argc, char** argv) {
   for (int label : predicted.value()) predicted_matches += label == 1;
   std::printf("predicted %zu matches / %zu pairs\n", predicted_matches,
               predicted.value().size());
+  std::printf("diagnostics: %s\n", report.diagnostics.Summary().c_str());
 
   // If the target CSV carried labels, report quality against them.
   if (target.value().CountUnlabeled() < target.value().size()) {

@@ -52,27 +52,47 @@ Result<EndToEndResult> RunTransferPipeline(
     const ClassifierFactory& make_classifier, const PipelineOptions& options,
     const TransferRunOptions& run_options) {
   EndToEndResult result;
-  auto source = BuildDomainFeatures(source_problem, options,
-                                    &result.source_info);
-  if (!source.ok()) return source.status();
-  auto target = BuildDomainFeatures(target_problem, options,
-                                    &result.target_info);
-  if (!target.ok()) return target.status();
+  TRANSER_ASSIGN_OR_RETURN(
+      FeatureMatrix source,
+      BuildDomainFeatures(source_problem, options, &result.source_info));
+  TRANSER_ASSIGN_OR_RETURN(
+      FeatureMatrix target,
+      BuildDomainFeatures(target_problem, options, &result.target_info));
 
-  if (source.value().num_features() != target.value().num_features()) {
+  if (source.num_features() != target.num_features()) {
     return Status::InvalidArgument(
         "source and target pipelines produced different feature spaces");
   }
-  result.source_instances = source.value().size();
-  result.target_instances = target.value().size();
 
-  auto predicted = method.Run(source.value(),
-                              target.value().WithoutLabels(),
-                              make_classifier, run_options);
-  if (!predicted.ok()) return predicted.status();
+  // Validate (and, under the default policy, repair) both domains before
+  // they reach the transfer method; every repair lands in diagnostics.
+  TRANSER_ASSIGN_OR_RETURN(
+      source, source.Validate(options.validation, nullptr,
+                              &result.diagnostics));
+  TRANSER_ASSIGN_OR_RETURN(
+      target, target.Validate(options.validation, nullptr,
+                              &result.diagnostics));
+  result.source_instances = source.size();
+  result.target_instances = target.size();
 
-  result.quality =
-      EvaluateLinkage(target.value().labels(), predicted.value());
+  // Route the method's degradation events into the result (preserving a
+  // caller-provided sink as well).
+  TransferRunOptions method_options = run_options;
+  method_options.diagnostics = &result.diagnostics;
+  TRANSER_ASSIGN_OR_RETURN(
+      std::vector<int> predicted,
+      method.Run(source, target.WithoutLabels(), make_classifier,
+                 method_options));
+  if (run_options.diagnostics != nullptr) {
+    run_options.diagnostics->Merge(result.diagnostics);
+  }
+  if (predicted.size() != target.size()) {
+    return Status::Internal(
+        "transfer method returned a prediction per-instance count that "
+        "does not match the target");
+  }
+
+  result.quality = EvaluateLinkage(target.labels(), predicted);
   return result;
 }
 

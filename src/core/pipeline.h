@@ -9,6 +9,8 @@
 #include "features/comparator.h"
 #include "features/feature_matrix.h"
 #include "transfer/transfer_method.h"
+#include "util/diagnostics.h"
+#include "util/validation.h"
 
 namespace transer {
 
@@ -17,6 +19,11 @@ namespace transer {
 struct PipelineOptions {
   MinHashLshOptions blocking;
   ComparatorOptions comparison;
+  /// Feature-matrix validation applied to both domains before transfer.
+  /// The default repairs non-finite values in place (recording a
+  /// DegradationEvent) rather than failing the whole linkage; set the
+  /// policy to kStrict to reject dirty domains instead.
+  ValidationOptions validation{.policy = RepairPolicy::kClampValues};
 };
 
 /// \brief Blocking + comparison statistics of one linkage problem.
@@ -48,6 +55,9 @@ struct EndToEndResult {
   PipelineBuildInfo target_info;
   size_t source_instances = 0;
   size_t target_instances = 0;
+  /// Every graceful-degradation step of the run: validation repairs on
+  /// either domain plus the transfer method's own events.
+  RunDiagnostics diagnostics;
 };
 
 /// Full Figure-1 + Figure-3 run: build both domains' feature matrices from

@@ -1,5 +1,6 @@
 #include "core/transer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "knn/kd_tree.h"
@@ -8,6 +9,7 @@
 #include "ml/sampling.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace transer {
 
@@ -56,6 +58,13 @@ double TransER::StructuralSimilarityFromDistance(double distance,
 Result<std::vector<size_t>> TransER::SelectInstances(
     const FeatureMatrix& source, const FeatureMatrix& target,
     const TransferRunOptions& run_options) const {
+  return SelectInstancesWithThresholds(source, target, run_options,
+                                       options_.t_c, options_.t_l);
+}
+
+Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
+    const FeatureMatrix& source, const FeatureMatrix& target,
+    const TransferRunOptions& run_options, double t_c, double t_l) const {
   transfer_internal::Deadline deadline(run_options.time_limit_seconds);
 
   const Matrix x_source = source.ToMatrix();
@@ -94,7 +103,7 @@ Result<std::vector<size_t>> TransER::SelectInstances(
                                ? 0.0
                                : static_cast<double>(same_label) /
                                      static_cast<double>(n_s.size());
-      if (sim_c < options_.t_c) continue;
+      if (sim_c < t_c) continue;
     }
 
     // Equation (2): decayed distance between neighbourhood centroids.
@@ -105,7 +114,7 @@ Result<std::vector<size_t>> TransER::SelectInstances(
           NeighbourhoodCentroid(x_target, n_t);
       const double sim_l = StructuralSimilarityFromDistance(
           L2Distance(centroid_s, centroid_t), m);
-      if (sim_l < options_.t_l) continue;
+      if (sim_l < t_l) continue;
     }
 
     // Optional covariance filter (the "+ sim_v" ablation).
@@ -127,31 +136,74 @@ Result<std::vector<int>> TransER::RunWithReport(
     const FeatureMatrix& source, const FeatureMatrix& target,
     const ClassifierFactory& make_classifier,
     const TransferRunOptions& run_options, TransERReport* report) const {
-  if (source.num_features() != target.num_features()) {
-    return Status::InvalidArgument(
-        "source and target feature spaces differ");
+  TRANSER_RETURN_IF_ERROR(ValidateDomainPair(source, target));
+  // Non-finite inputs would propagate silently through every distance
+  // and classifier; reject them here. Callers with dirty data repair it
+  // first via FeatureMatrix::Validate (as the pipeline does).
+  ValidationOptions strict;
+  if (auto checked = source.Validate(strict); !checked.ok()) {
+    return Status::InvalidArgument("source " + checked.status().message());
   }
-  if (source.empty()) {
-    return Status::InvalidArgument("source domain is empty");
+  strict.check_label_domain = false;  // target is legitimately unlabeled
+  if (auto checked = target.Validate(strict); !checked.ok()) {
+    return Status::InvalidArgument("target " + checked.status().message());
   }
+
   TransERReport local_report;
   local_report.source_instances = source.size();
+  RunDiagnostics& diag = local_report.diagnostics;
+  // Publishes the report (and merges events into the caller's sink) on
+  // every return path.
+  auto publish = [&]() {
+    if (run_options.diagnostics != nullptr) {
+      run_options.diagnostics->Merge(diag);
+    }
+    if (report != nullptr) *report = local_report;
+  };
 
-  // --- Phase (i): instance selector (SEL) ---
+  // A selection must keep at least one neighbourhood's worth of
+  // instances of both classes to be trainable.
+  const size_t min_selected = std::max(options_.k, size_t{4});
+  auto trainable = [&](const FeatureMatrix& m) {
+    return m.size() >= min_selected && m.CountMatches() > 0 &&
+           m.CountNonMatches() > 0;
+  };
+
+  // --- Phase (i): instance selector (SEL), with relaxation ladder ---
   FeatureMatrix transferred;  // X^U with labels Y^U
   if (options_.use_sel) {
-    auto selected = SelectInstances(source, target, run_options);
-    if (!selected.ok()) return selected.status();
-    transferred = source.Select(selected.value());
+    double t_c = options_.t_c;
+    double t_l = options_.t_l;
+    for (size_t step = 0;; ++step) {
+      auto selected =
+          SelectInstancesWithThresholds(source, target, run_options, t_c,
+                                        t_l);
+      if (!selected.ok()) return selected.status();
+      transferred = source.Select(selected.value());
+      if (trainable(transferred)) break;
+      if (step >= options_.max_sel_relax_steps) {
+        // Degenerate selections cannot train a two-class model; fall
+        // back to the full source (naive transfer for this run).
+        diag.Add(DegradationKind::kSelFallbackNaive, "sel",
+                 StrFormat("SEL kept %zu usable instances after %zu "
+                           "relaxations; using the full source",
+                           transferred.size(), step),
+                 static_cast<double>(transferred.size()),
+                 static_cast<double>(source.size()));
+        transferred = source;
+        break;
+      }
+      const double next_t_c = t_c * options_.sel_relax_factor;
+      const double next_t_l = t_l * options_.sel_relax_factor;
+      diag.Add(DegradationKind::kSelThresholdRelaxed, "sel",
+               StrFormat("SEL kept %zu usable instances (< %zu); relaxing "
+                         "t_c/t_l",
+                         transferred.size(), min_selected),
+               t_c, next_t_c);
+      t_c = next_t_c;
+      t_l = next_t_l;
+    }
   } else {
-    transferred = source;
-  }
-  // Degenerate selections cannot train a two-class model; fall back to
-  // the full source (equivalent to disabling SEL for this run).
-  if (transferred.CountMatches() == 0 || transferred.CountNonMatches() == 0) {
-    TRANSER_LOG(Warning) << "TransER SEL kept " << transferred.size()
-                         << " instances with a single class; falling back "
-                            "to the full source";
     transferred = source;
   }
   local_report.selected_instances = transferred.size();
@@ -173,49 +225,61 @@ Result<std::vector<int>> TransER::RunWithReport(
   if (!options_.use_gen_tcl) {
     // Ablation "without GEN & TCL": classify the target directly with the
     // classifier trained on the transferred instances.
-    if (report != nullptr) *report = local_report;
+    publish();
     return pseudo_labels;
   }
 
-  // --- Phase (iii): target domain classifier (TCL) ---
-  std::vector<size_t> candidates;
-  for (size_t i = 0; i < confidence.size(); ++i) {
-    if (confidence[i] >= options_.t_p) candidates.push_back(i);
-  }
-  local_report.candidate_instances = candidates.size();
+  // --- Phase (iii): target domain classifier (TCL), with t_p ladder ---
+  double t_p = options_.t_p;
+  FeatureMatrix x_vb;
+  for (size_t step = 0;; ++step) {
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < confidence.size(); ++i) {
+      if (confidence[i] >= t_p) candidates.push_back(i);
+    }
+    local_report.candidate_instances = candidates.size();
 
-  FeatureMatrix x_v = target.Select(candidates).WithLabels([&] {
-    std::vector<int> labels;
-    labels.reserve(candidates.size());
-    for (size_t index : candidates) labels.push_back(pseudo_labels[index]);
-    return labels;
-  }());
-  for (int label : x_v.labels()) {
-    if (label == kMatch) ++local_report.pseudo_matches;
-  }
+    FeatureMatrix x_v = target.Select(candidates).WithLabels([&] {
+      std::vector<int> labels;
+      labels.reserve(candidates.size());
+      for (size_t index : candidates) labels.push_back(pseudo_labels[index]);
+      return labels;
+    }());
+    local_report.pseudo_matches = x_v.CountMatches();
 
-  // Balance classes to 1 : b by under-sampling non-matches.
-  Rng rng(run_options.seed + 71);
-  const std::vector<size_t> balanced_rows =
-      UndersampleNonMatches(x_v.labels(), options_.b, &rng);
-  const FeatureMatrix x_vb = x_v.Select(balanced_rows);
-  local_report.balanced_instances = x_vb.size();
+    // Balance classes to 1 : b by under-sampling non-matches.
+    Rng rng(run_options.seed + 71);
+    const std::vector<size_t> balanced_rows =
+        UndersampleNonMatches(x_v.labels(), options_.b, &rng);
+    x_vb = x_v.Select(balanced_rows);
+    local_report.balanced_instances = x_vb.size();
+    if (trainable(x_vb)) break;
 
-  // Degenerate candidate sets cannot train C^V; the pseudo labels are the
-  // best available answer.
-  if (x_vb.CountMatches() == 0 || x_vb.CountNonMatches() == 0 ||
-      x_vb.size() < 4) {
-    TRANSER_LOG(Warning)
-        << "TransER TCL skipped: confident pseudo-label set degenerate ("
-        << x_vb.size() << " instances)";
-    if (report != nullptr) *report = local_report;
-    return pseudo_labels;
+    constexpr double kMinTp = 0.5;  // below 0.5 the filter means nothing
+    if (step >= options_.max_gen_relax_steps || t_p <= kMinTp) {
+      // Degenerate candidate sets cannot train C^V; the pseudo labels
+      // are the best available answer.
+      diag.Add(DegradationKind::kTclSkipped, "tcl",
+               StrFormat("confident pseudo-label set degenerate (%zu "
+                         "instances) at t_p=%.2f; returning pseudo labels",
+                         x_vb.size(), t_p),
+               static_cast<double>(x_vb.size()), 0.0);
+      publish();
+      return pseudo_labels;
+    }
+    const double next_t_p = std::max(kMinTp, t_p - options_.gen_relax_step);
+    diag.Add(DegradationKind::kGenThresholdLowered, "gen",
+             StrFormat("t_p filter left %zu usable candidates (< %zu); "
+                       "lowering t_p",
+                       x_vb.size(), min_selected),
+             t_p, next_t_p);
+    t_p = next_t_p;
   }
 
   auto classifier_v = make_classifier();
   classifier_v->Fit(x_vb.ToMatrix(), x_vb.labels());
   local_report.tcl_trained = true;
-  if (report != nullptr) *report = local_report;
+  publish();
   return classifier_v->PredictAll(x_target);
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "transfer/transfer_method.h"
+#include "util/diagnostics.h"
 
 namespace transer {
 
@@ -27,6 +28,20 @@ struct TransEROptions {
   /// from LocIT, sim_v = exp(-5 ||C^S - C^T||_F / m) >= t_v.
   bool use_sim_v = false;
   double t_v = 0.9;
+
+  // --- Graceful degradation ladder ---
+  /// When SEL keeps fewer than max(k, 4) instances (or a single class),
+  /// t_c and t_l are multiplied by `sel_relax_factor` up to
+  /// `max_sel_relax_steps` times before falling back to the full source;
+  /// when GEN's t_p filter leaves an untrainable candidate set, t_p is
+  /// lowered by `gen_relax_step` (floored at 0.5) before TCL is skipped.
+  /// Every step is recorded as a DegradationEvent. Setting
+  /// `max_sel_relax_steps` / `max_gen_relax_steps` to 0 restores the
+  /// paper's all-or-nothing behaviour.
+  size_t max_sel_relax_steps = 3;
+  double sel_relax_factor = 0.8;
+  size_t max_gen_relax_steps = 4;
+  double gen_relax_step = 0.1;
 };
 
 /// \brief Phase-level introspection of one TransER run.
@@ -37,6 +52,10 @@ struct TransERReport {
   size_t balanced_instances = 0;   ///< |X^V_b| after under-sampling
   size_t pseudo_matches = 0;       ///< matches among the pseudo labels
   bool tcl_trained = false;        ///< false when the fallback fired
+  /// Structured record of every deviation from the nominal algorithm
+  /// (threshold relaxations, fallbacks, skipped phases). Supersedes
+  /// inspecting `tcl_trained` alone.
+  RunDiagnostics diagnostics;
 };
 
 /// \brief The paper's contribution: instance-based homogeneous transfer
@@ -82,6 +101,12 @@ class TransER : public TransferMethod {
                                                  size_t num_features);
 
  private:
+  /// SEL with explicit thresholds — the degradation ladder re-runs the
+  /// selection under progressively relaxed t_c / t_l.
+  Result<std::vector<size_t>> SelectInstancesWithThresholds(
+      const FeatureMatrix& source, const FeatureMatrix& target,
+      const TransferRunOptions& run_options, double t_c, double t_l) const;
+
   TransEROptions options_;
 };
 

@@ -1,10 +1,20 @@
 #include "features/feature_matrix.h"
 
+#include <cmath>
+
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace transer {
+
+namespace {
+
+bool IsValidLabel(int label) {
+  return label == kMatch || label == kNonMatch || label == kUnlabeled;
+}
+
+}  // namespace
 
 void FeatureMatrix::Append(const std::vector<double>& features, int label,
                            PairRef ref) {
@@ -81,41 +91,251 @@ Status FeatureMatrix::ToCsvFile(const std::string& path) const {
 }
 
 Result<FeatureMatrix> FeatureMatrix::FromCsvFile(const std::string& path) {
-  auto table = Csv::ReadFile(path, /*has_header=*/true);
+  return FromCsvFile(path, IngestOptions{}, nullptr);
+}
+
+std::string FeatureMatrix::IngestReport::Summary() const {
+  std::string out = StrFormat("%zu rows read, %zu kept", rows_read, rows_kept);
+  if (rows_skipped > 0) out += StrFormat(", %zu skipped", rows_skipped);
+  if (values_repaired > 0) {
+    out += StrFormat(", %zu values repaired", values_repaired);
+  }
+  return out;
+}
+
+Result<FeatureMatrix> FeatureMatrix::FromCsvFile(const std::string& path,
+                                                 const IngestOptions& options,
+                                                 IngestReport* report) {
+  const bool strict = options.policy == RepairPolicy::kStrict;
+  const bool repair = options.policy == RepairPolicy::kClampValues;
+  IngestReport local_report;
+
+  CsvToleranceOptions tolerance;
+  tolerance.skip_bad_rows = !strict;
+  tolerance.max_bad_rows = options.max_bad_rows;
+  std::vector<CsvRowError> csv_errors;
+  auto table = Csv::ReadFile(path, /*has_header=*/true, tolerance,
+                             &csv_errors);
   if (!table.ok()) return table.status();
   auto& parsed = table.value();
   if (parsed.header.size() < 2) {
     return Status::InvalidArgument(
         "feature CSV needs at least one feature column plus label");
   }
+  local_report.rows_read = parsed.rows.size() + csv_errors.size();
+  local_report.rows_skipped = csv_errors.size();
+  local_report.errors = std::move(csv_errors);
+
   std::vector<std::string> names(parsed.header.begin(),
                                  parsed.header.end() - 1);
   FeatureMatrix out(std::move(names));
   out.Reserve(parsed.rows.size());
+  // Skips the row in tolerant modes (recording `message`); in strict
+  // mode the whole load fails.
+  auto skip_or_fail = [&](size_t r, std::string message) -> Status {
+    if (strict) return Status::InvalidArgument(std::move(message));
+    ++local_report.rows_skipped;
+    if (local_report.errors.size() < options.max_bad_rows) {
+      // Physical-line attribution was lost at the Csv layer; report the
+      // 1-based data-row index instead.
+      local_report.errors.push_back(CsvRowError{r + 1, std::move(message)});
+    }
+    return Status::OK();
+  };
+
   for (size_t r = 0; r < parsed.rows.size(); ++r) {
     const auto& row = parsed.rows[r];
     if (row.size() != parsed.header.size()) {
-      return Status::InvalidArgument(
-          StrFormat("row %zu has %zu fields, expected %zu", r, row.size(),
-                    parsed.header.size()));
+      TRANSER_RETURN_IF_ERROR(skip_or_fail(
+          r, StrFormat("row %zu has %zu fields, expected %zu", r, row.size(),
+                       parsed.header.size())));
+      continue;
     }
     std::vector<double> features(out.num_features());
-    for (size_t c = 0; c < out.num_features(); ++c) {
+    bool row_ok = true;
+    for (size_t c = 0; c < out.num_features() && row_ok; ++c) {
       if (!ParseDouble(row[c], &features[c])) {
-        return Status::InvalidArgument(
-            StrFormat("row %zu col %zu: '%s' is not numeric", r, c,
-                      row[c].c_str()));
+        TRANSER_RETURN_IF_ERROR(skip_or_fail(
+            r, StrFormat("row %zu col %zu: '%s' is not numeric", r, c,
+                         row[c].c_str())));
+        row_ok = false;
+        break;
+      }
+      // "nan" / "inf" parse successfully; they are value-level faults.
+      if (!strict && !std::isfinite(features[c])) {
+        if (repair) {
+          features[c] = std::isnan(features[c]) ? 0.0
+                        : features[c] > 0.0     ? 1.0
+                                                : 0.0;
+          ++local_report.values_repaired;
+        } else {
+          TRANSER_RETURN_IF_ERROR(skip_or_fail(
+              r, StrFormat("row %zu col %zu: non-finite value", r, c)));
+          row_ok = false;
+        }
       }
     }
+    if (!row_ok) continue;
     int64_t label = 0;
     if (!ParseInt64(row.back(), &label)) {
-      return Status::InvalidArgument(
-          StrFormat("row %zu: label '%s' is not an integer", r,
-                    row.back().c_str()));
+      TRANSER_RETURN_IF_ERROR(
+          skip_or_fail(r, StrFormat("row %zu: label '%s' is not an integer",
+                                    r, row.back().c_str())));
+      continue;
+    }
+    if (!strict && !IsValidLabel(static_cast<int>(label))) {
+      if (repair) {
+        label = kUnlabeled;
+        ++local_report.values_repaired;
+      } else {
+        TRANSER_RETURN_IF_ERROR(skip_or_fail(
+            r, StrFormat("row %zu: label %lld out of domain", r,
+                         static_cast<long long>(label))));
+        continue;
+      }
     }
     out.Append(features, static_cast<int>(label));
   }
+  local_report.rows_kept = out.size();
+  if (local_report.rows_skipped > options.max_bad_rows) {
+    return Status::InvalidArgument(StrFormat(
+        "%zu bad rows exceed the tolerance of %zu", local_report.rows_skipped,
+        options.max_bad_rows));
+  }
+  if (report != nullptr) *report = std::move(local_report);
   return out;
+}
+
+Result<FeatureMatrix> FeatureMatrix::Validate(
+    const ValidationOptions& options, ValidationReport* report,
+    RunDiagnostics* diagnostics) const {
+  ValidationReport local_report;
+  local_report.rows_checked = size();
+  const size_t m = num_features();
+
+  std::vector<bool> row_bad(size(), false);
+  std::vector<bool> column_constant(m, true);
+  FeatureMatrix repaired;
+  const bool clamp = options.policy == RepairPolicy::kClampValues;
+  if (clamp) repaired = *this;
+
+  for (size_t i = 0; i < size(); ++i) {
+    const std::span<const double> row = Row(i);
+    for (size_t c = 0; c < m; ++c) {
+      const double v = row[c];
+      if (options.require_finite && !std::isfinite(v)) {
+        ++local_report.nonfinite_values;
+        local_report.AddIssue(
+            i, c, StrFormat("row %zu col %zu: non-finite value", i, c),
+            options.max_issues);
+        row_bad[i] = true;
+        if (clamp) {
+          repaired.data_[i * m + c] =
+              std::isnan(v) ? 0.0 : (v > 0.0 ? 1.0 : 0.0);
+          ++local_report.values_repaired;
+        }
+      } else if (options.check_unit_interval && (v < 0.0 || v > 1.0)) {
+        ++local_report.out_of_range_values;
+        local_report.AddIssue(
+            i, c,
+            StrFormat("row %zu col %zu: value %g outside [0, 1]", i, c, v),
+            options.max_issues);
+        row_bad[i] = true;
+        if (clamp) {
+          repaired.data_[i * m + c] = v < 0.0 ? 0.0 : 1.0;
+          ++local_report.values_repaired;
+        }
+      }
+      if (i > 0 && row[c] != data_[c]) column_constant[c] = false;
+    }
+    if (options.check_label_domain && !IsValidLabel(labels_[i])) {
+      ++local_report.bad_labels;
+      local_report.AddIssue(
+          i, m, StrFormat("row %zu: label %d out of domain", i, labels_[i]),
+          options.max_issues);
+      row_bad[i] = true;
+      if (clamp) {
+        repaired.labels_[i] = kUnlabeled;
+        ++local_report.values_repaired;
+      }
+    }
+  }
+  if (options.flag_constant_columns && size() > 1) {
+    for (size_t c = 0; c < m; ++c) {
+      if (column_constant[c]) local_report.constant_columns.push_back(c);
+    }
+    if (!local_report.constant_columns.empty()) {
+      TRANSER_LOG(Warning) << local_report.constant_columns.size()
+                           << " constant feature columns carry no signal";
+    }
+  }
+
+  auto finish = [&](FeatureMatrix matrix) -> Result<FeatureMatrix> {
+    if (diagnostics != nullptr && !local_report.clean()) {
+      if (local_report.rows_dropped > 0) {
+        diagnostics->Add(DegradationKind::kRowsDropped, "validate",
+                         local_report.Summary(), 0.0,
+                         static_cast<double>(local_report.rows_dropped));
+      }
+      if (local_report.values_repaired > 0) {
+        diagnostics->Add(DegradationKind::kValuesRepaired, "validate",
+                         local_report.Summary(), 0.0,
+                         static_cast<double>(local_report.values_repaired));
+      }
+    }
+    if (report != nullptr) *report = std::move(local_report);
+    return matrix;
+  };
+
+  if (local_report.clean()) return finish(*this);
+
+  switch (options.policy) {
+    case RepairPolicy::kStrict: {
+      const std::string summary = local_report.Summary();
+      if (report != nullptr) *report = std::move(local_report);
+      return Status::InvalidArgument("feature matrix failed validation: " +
+                                     summary);
+    }
+    case RepairPolicy::kDropRows: {
+      std::vector<size_t> keep;
+      keep.reserve(size());
+      for (size_t i = 0; i < size(); ++i) {
+        if (!row_bad[i]) keep.push_back(i);
+      }
+      local_report.rows_dropped = size() - keep.size();
+      return finish(Select(keep));
+    }
+    case RepairPolicy::kClampValues:
+      return finish(std::move(repaired));
+  }
+  return Status::Internal("unreachable repair policy");
+}
+
+Status ValidateDomainPair(const FeatureMatrix& source,
+                          const FeatureMatrix& target) {
+  if (source.num_features() != target.num_features()) {
+    return Status::InvalidArgument(StrFormat(
+        "source and target feature spaces differ (%zu vs %zu features)",
+        source.num_features(), target.num_features()));
+  }
+  if (source.empty()) {
+    return Status::InvalidArgument("source domain is empty");
+  }
+  if (target.empty()) {
+    return Status::InvalidArgument("target domain is empty");
+  }
+  if (source.CountMatches() == 0 || source.CountNonMatches() == 0) {
+    return Status::FailedPrecondition(
+        "source domain carries a single class; a binary classifier cannot "
+        "be trained");
+  }
+  if (source.CountUnlabeled() > 0) {
+    return Status::FailedPrecondition(
+        StrFormat("source domain has %zu unlabeled instances; transfer "
+                  "needs a fully labelled source",
+                  source.CountUnlabeled()));
+  }
+  return Status::OK();
 }
 
 }  // namespace transer

@@ -6,7 +6,10 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/csv.h"
+#include "util/diagnostics.h"
 #include "util/status.h"
+#include "util/validation.h"
 
 namespace transer {
 
@@ -86,12 +89,57 @@ class FeatureMatrix {
   /// Reads a CSV produced by ToCsvFile (last column = label).
   static Result<FeatureMatrix> FromCsvFile(const std::string& path);
 
+  /// \brief Row-tolerant ingestion controls for FromCsvFile.
+  struct IngestOptions {
+    /// kStrict: any bad row fails the load (the one-argument overload).
+    /// kDropRows: rows with structural or value-level problems are
+    /// skipped and reported. kClampValues: structurally unparseable
+    /// rows are skipped, but value-level problems (non-finite features,
+    /// out-of-domain labels) are repaired in place.
+    RepairPolicy policy = RepairPolicy::kStrict;
+    /// Maximum skipped rows before the whole load fails anyway.
+    size_t max_bad_rows = 100;
+  };
+
+  /// \brief What tolerant ingestion did to the file.
+  struct IngestReport {
+    size_t rows_read = 0;     ///< data rows encountered (pre-skip)
+    size_t rows_kept = 0;
+    size_t rows_skipped = 0;
+    size_t values_repaired = 0;
+    std::vector<CsvRowError> errors;  ///< capped at max_bad_rows entries
+    std::string Summary() const;
+  };
+
+  /// FromCsvFile with skip-and-report semantics; `report` (optional)
+  /// receives per-row errors and repair counts.
+  static Result<FeatureMatrix> FromCsvFile(const std::string& path,
+                                           const IngestOptions& options,
+                                           IngestReport* report = nullptr);
+
+  /// Scans for non-finite values, out-of-domain labels and constant
+  /// columns, applying `options.policy`: kStrict returns an error on the
+  /// first violation class found; kDropRows returns a copy without the
+  /// offending rows; kClampValues returns a copy with NaN -> 0, ±Inf
+  /// (and, when `check_unit_interval`, out-of-range values) clamped
+  /// into [0, 1] and bad labels replaced by kUnlabeled. `report` and
+  /// `diagnostics` (both optional) receive the findings.
+  Result<FeatureMatrix> Validate(const ValidationOptions& options,
+                                 ValidationReport* report = nullptr,
+                                 RunDiagnostics* diagnostics = nullptr) const;
+
  private:
   std::vector<std::string> feature_names_;
   std::vector<double> data_;  ///< row-major, size() * num_features()
   std::vector<int> labels_;
   std::vector<PairRef> pairs_;
 };
+
+/// Checks that `source` and `target` form a usable transfer pair: same
+/// feature dimensionality, non-empty domains, and a source carrying both
+/// classes (a single-class source cannot train a binary classifier).
+Status ValidateDomainPair(const FeatureMatrix& source,
+                          const FeatureMatrix& target);
 
 }  // namespace transer
 

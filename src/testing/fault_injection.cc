@@ -1,0 +1,165 @@
+#include "testing/fault_injection.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace transer {
+namespace fault {
+
+namespace {
+
+/// Rebuilds `matrix` row by row through `mutate(row_index, features,
+/// label)` — the only write interface FeatureMatrix exposes.
+template <typename Mutator>
+FeatureMatrix RebuildRows(const FeatureMatrix& matrix, Mutator mutate) {
+  FeatureMatrix out(matrix.feature_names());
+  out.Reserve(matrix.size());
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    std::vector<double> features = matrix.RowVector(i);
+    int label = matrix.label(i);
+    mutate(i, &features, &label);
+    out.Append(features, label, matrix.pair(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNanFeatures:
+      return "nan_features";
+    case FaultKind::kInfFeatures:
+      return "inf_features";
+    case FaultKind::kLabelFlips:
+      return "label_flips";
+    case FaultKind::kOutOfDomainLabels:
+      return "out_of_domain_labels";
+    case FaultKind::kSingleClass:
+      return "single_class";
+    case FaultKind::kCorruptedCsvRows:
+      return "corrupted_csv_rows";
+  }
+  return "unknown";
+}
+
+std::vector<FaultKind> MatrixFaultKinds() {
+  return {FaultKind::kNanFeatures, FaultKind::kInfFeatures,
+          FaultKind::kLabelFlips, FaultKind::kOutOfDomainLabels,
+          FaultKind::kSingleClass};
+}
+
+FeatureMatrix InjectNanFeatures(const FeatureMatrix& matrix,
+                                const FaultOptions& options) {
+  Rng rng(options.seed);
+  return RebuildRows(matrix, [&](size_t, std::vector<double>* features,
+                                 int*) {
+    if (!features->empty() && rng.Bernoulli(options.rate)) {
+      (*features)[rng.NextUint64Below(features->size())] =
+          std::numeric_limits<double>::quiet_NaN();
+    }
+  });
+}
+
+FeatureMatrix InjectInfFeatures(const FeatureMatrix& matrix,
+                                const FaultOptions& options) {
+  Rng rng(options.seed);
+  return RebuildRows(matrix, [&](size_t, std::vector<double>* features,
+                                 int*) {
+    if (!features->empty() && rng.Bernoulli(options.rate)) {
+      const double inf = std::numeric_limits<double>::infinity();
+      (*features)[rng.NextUint64Below(features->size())] =
+          rng.Bernoulli(0.5) ? inf : -inf;
+    }
+  });
+}
+
+FeatureMatrix InjectLabelFlips(const FeatureMatrix& matrix,
+                               const FaultOptions& options) {
+  Rng rng(options.seed);
+  return RebuildRows(matrix, [&](size_t, std::vector<double>*, int* label) {
+    if (*label != kUnlabeled && rng.Bernoulli(options.rate)) {
+      *label = *label == kMatch ? kNonMatch : kMatch;
+    }
+  });
+}
+
+FeatureMatrix InjectOutOfDomainLabels(const FeatureMatrix& matrix,
+                                      const FaultOptions& options) {
+  Rng rng(options.seed);
+  return RebuildRows(matrix, [&](size_t, std::vector<double>*, int* label) {
+    if (rng.Bernoulli(options.rate)) {
+      *label = rng.Bernoulli(0.5) ? 7 : -3;
+    }
+  });
+}
+
+FeatureMatrix MakeSingleClass(const FeatureMatrix& matrix, int keep_label) {
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    if (matrix.label(i) == keep_label) keep.push_back(i);
+  }
+  return matrix.Select(keep);
+}
+
+FeatureMatrix InjectMatrixFault(const FeatureMatrix& matrix, FaultKind kind,
+                                const FaultOptions& options) {
+  switch (kind) {
+    case FaultKind::kNanFeatures:
+      return InjectNanFeatures(matrix, options);
+    case FaultKind::kInfFeatures:
+      return InjectInfFeatures(matrix, options);
+    case FaultKind::kLabelFlips:
+      return InjectLabelFlips(matrix, options);
+    case FaultKind::kOutOfDomainLabels:
+      return InjectOutOfDomainLabels(matrix, options);
+    case FaultKind::kSingleClass:
+      return MakeSingleClass(matrix, kMatch);
+    case FaultKind::kCorruptedCsvRows:
+      break;
+  }
+  TRANSER_CHECK(false) << "not a matrix-level fault: "
+                       << FaultKindName(kind);
+  return matrix;  // unreachable
+}
+
+std::string CorruptCsvText(const std::string& text,
+                           const FaultOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<std::string> lines = Split(text, '\n');
+  std::ostringstream out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    // Keep the header (line 0) and empty trailing lines intact.
+    if (i > 0 && !line.empty() && rng.Bernoulli(options.rate)) {
+      switch (rng.NextInt(0, 2)) {
+        case 0: {
+          // Truncate: drop everything after a random comma — missing
+          // fields, the most common export bug.
+          const size_t comma = line.find(',');
+          if (comma != std::string::npos) line.resize(comma);
+          break;
+        }
+        case 1:
+          // Garbage token where a number should be.
+          line += ",###corrupt###";
+          break;
+        default:
+          // Broken quoting: an unbalanced quote mid-field.
+          line.insert(line.size() / 2, "\"");
+          break;
+      }
+    }
+    out << line;
+    if (i + 1 < lines.size()) out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fault
+}  // namespace transer

@@ -1,0 +1,74 @@
+#ifndef TRANSER_TESTING_FAULT_INJECTION_H_
+#define TRANSER_TESTING_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "features/feature_matrix.h"
+
+namespace transer {
+namespace fault {
+
+/// \brief The fault classes the chaos suite injects. Each models a
+/// real-world dirty-data regime the pipeline must survive: sensor/ETL
+/// gaps (NaN), serialisation bugs (corrupted CSV), annotation noise
+/// (label flips) and pathological domains (single class).
+enum class FaultKind {
+  kNanFeatures = 0,   ///< random feature cells replaced by NaN
+  kInfFeatures,       ///< random feature cells replaced by ±Inf
+  kLabelFlips,        ///< random labels inverted
+  kOutOfDomainLabels, ///< random labels replaced by invalid codes
+  kSingleClass,       ///< all instances of one class removed
+  kCorruptedCsvRows,  ///< CSV text rows truncated / garbled / mis-quoted
+};
+
+/// Short identifier, e.g. "nan_features".
+const char* FaultKindName(FaultKind kind);
+
+/// All matrix-level fault kinds (everything except kCorruptedCsvRows).
+std::vector<FaultKind> MatrixFaultKinds();
+
+/// \brief Injection controls. Everything is driven by the seeded Rng so
+/// a chaos failure reproduces exactly from (kind, rate, seed).
+struct FaultOptions {
+  double rate = 0.1;    ///< fraction of rows (or cells) affected
+  uint64_t seed = 42;
+};
+
+/// Returns a copy of `matrix` with ~`rate` of the rows carrying one NaN
+/// feature cell each.
+FeatureMatrix InjectNanFeatures(const FeatureMatrix& matrix,
+                                const FaultOptions& options);
+
+/// Returns a copy with ~`rate` of the rows carrying one ±Inf cell each.
+FeatureMatrix InjectInfFeatures(const FeatureMatrix& matrix,
+                                const FaultOptions& options);
+
+/// Returns a copy with ~`rate` of the labelled rows' labels inverted.
+FeatureMatrix InjectLabelFlips(const FeatureMatrix& matrix,
+                               const FaultOptions& options);
+
+/// Returns a copy with ~`rate` of the rows' labels replaced by codes
+/// outside {kMatch, kNonMatch, kUnlabeled}.
+FeatureMatrix InjectOutOfDomainLabels(const FeatureMatrix& matrix,
+                                      const FaultOptions& options);
+
+/// Returns a copy containing only the rows labelled `keep_label` — the
+/// degenerate all-one-class domain.
+FeatureMatrix MakeSingleClass(const FeatureMatrix& matrix, int keep_label);
+
+/// Applies the matrix-level fault `kind` (kCorruptedCsvRows is a text
+/// fault; CHECK-fails here).
+FeatureMatrix InjectMatrixFault(const FeatureMatrix& matrix, FaultKind kind,
+                                const FaultOptions& options);
+
+/// Corrupts ~`rate` of the data lines of CSV `text`: truncation (missing
+/// fields), inserted garbage tokens, and broken quoting, chosen per line
+/// by the seeded Rng. The header line is left intact.
+std::string CorruptCsvText(const std::string& text,
+                           const FaultOptions& options);
+
+}  // namespace fault
+}  // namespace transer
+
+#endif  // TRANSER_TESTING_FAULT_INJECTION_H_

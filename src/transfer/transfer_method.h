@@ -6,6 +6,7 @@
 
 #include "features/feature_matrix.h"
 #include "ml/classifier.h"
+#include "util/diagnostics.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -18,6 +19,9 @@ struct TransferRunOptions {
   uint64_t seed = 0;
   double time_limit_seconds = 0.0;   ///< 0 = unlimited
   size_t memory_limit_bytes = 0;     ///< 0 = unlimited
+  /// Optional sink for the graceful-degradation events of the run
+  /// (threshold relaxations, fallbacks, skipped phases). Not owned.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// \brief A transfer-learning ER method: given a labelled source feature

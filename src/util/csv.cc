@@ -7,14 +7,21 @@ namespace transer {
 
 namespace {
 
-// Parses raw CSV text into rows of fields, honouring quoting.
+// Parses raw CSV text into rows of fields, honouring quoting. In strict
+// mode (`tolerance.skip_bad_rows` false) the first malformed row fails
+// the whole parse; in skip mode the row is dropped, recorded in
+// `errors`, and scanning resumes at the next physical '\n'.
 Result<std::vector<std::vector<std::string>>> ParseRows(
-    const std::string& content) {
+    const std::string& content, const CsvToleranceOptions& tolerance,
+    std::vector<CsvRowError>* errors) {
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  size_t line = 1;            // physical line of the cursor
+  size_t row_start_line = 1;  // physical line where the current row began
+  size_t bad_rows = 0;
 
   auto end_field = [&]() {
     row.push_back(std::move(field));
@@ -25,6 +32,31 @@ Result<std::vector<std::vector<std::string>>> ParseRows(
     end_field();
     rows.push_back(std::move(row));
     row.clear();
+  };
+  // Discards the partial row and returns the index to resume at (the
+  // character after the next unquoted newline, or end of input).
+  auto skip_to_next_line = [&](size_t i) {
+    row.clear();
+    field.clear();
+    in_quotes = false;
+    field_started = false;
+    while (i < content.size() && content[i] != '\n') ++i;
+    if (i < content.size()) {
+      ++line;
+      ++i;  // consume the newline
+    }
+    row_start_line = line;
+    return i;
+  };
+  // Handles one malformed row: records/propagates the error. Returns
+  // the resume index in skip mode, or npos to signal a strict failure.
+  auto handle_bad_row = [&](size_t i, std::string message) -> size_t {
+    if (!tolerance.skip_bad_rows) return std::string::npos;
+    ++bad_rows;
+    if (errors != nullptr && bad_rows <= tolerance.max_bad_rows) {
+      errors->push_back(CsvRowError{row_start_line, std::move(message)});
+    }
+    return skip_to_next_line(i);
   };
 
   for (size_t i = 0; i < content.size(); ++i) {
@@ -38,6 +70,7 @@ Result<std::vector<std::vector<std::string>>> ParseRows(
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field.push_back(c);
       }
       continue;
@@ -45,8 +78,14 @@ Result<std::vector<std::vector<std::string>>> ParseRows(
     switch (c) {
       case '"':
         if (!field.empty()) {
-          return Status::InvalidArgument(
-              "quote appearing mid-field at offset " + std::to_string(i));
+          const std::string message =
+              "quote appearing mid-field at offset " + std::to_string(i);
+          const size_t resume = handle_bad_row(i, message);
+          if (resume == std::string::npos) {
+            return Status::InvalidArgument(message);
+          }
+          i = resume - 1;  // loop increment lands on `resume`
+          break;
         }
         in_quotes = true;
         field_started = true;
@@ -59,6 +98,8 @@ Result<std::vector<std::vector<std::string>>> ParseRows(
         break;  // tolerate CRLF
       case '\n':
         end_row();
+        ++line;
+        row_start_line = line;
         break;
       default:
         field.push_back(c);
@@ -67,10 +108,21 @@ Result<std::vector<std::vector<std::string>>> ParseRows(
     }
   }
   if (in_quotes) {
-    return Status::InvalidArgument("unterminated quoted field");
-  }
-  if (field_started || !field.empty() || !row.empty()) {
+    const std::string message = "unterminated quoted field";
+    if (!tolerance.skip_bad_rows) {
+      return Status::InvalidArgument(message);
+    }
+    ++bad_rows;
+    if (errors != nullptr && bad_rows <= tolerance.max_bad_rows) {
+      errors->push_back(CsvRowError{row_start_line, message});
+    }
+  } else if (field_started || !field.empty() || !row.empty()) {
     end_row();
+  }
+  if (bad_rows > tolerance.max_bad_rows) {
+    return Status::InvalidArgument(
+        std::to_string(bad_rows) + " malformed rows exceed the tolerance of " +
+        std::to_string(tolerance.max_bad_rows));
   }
   return rows;
 }
@@ -78,7 +130,13 @@ Result<std::vector<std::vector<std::string>>> ParseRows(
 }  // namespace
 
 Result<CsvTable> Csv::Parse(const std::string& content, bool has_header) {
-  auto rows = ParseRows(content);
+  return Parse(content, has_header, CsvToleranceOptions{}, nullptr);
+}
+
+Result<CsvTable> Csv::Parse(const std::string& content, bool has_header,
+                            const CsvToleranceOptions& tolerance,
+                            std::vector<CsvRowError>* errors) {
+  auto rows = ParseRows(content, tolerance, errors);
   if (!rows.ok()) return rows.status();
   CsvTable table;
   auto& parsed = rows.value();
@@ -94,11 +152,17 @@ Result<CsvTable> Csv::Parse(const std::string& content, bool has_header) {
 }
 
 Result<CsvTable> Csv::ReadFile(const std::string& path, bool has_header) {
+  return ReadFile(path, has_header, CsvToleranceOptions{}, nullptr);
+}
+
+Result<CsvTable> Csv::ReadFile(const std::string& path, bool has_header,
+                               const CsvToleranceOptions& tolerance,
+                               std::vector<CsvRowError>* errors) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Parse(buf.str(), has_header);
+  return Parse(buf.str(), has_header, tolerance, errors);
 }
 
 std::string Csv::EscapeField(const std::string& field) {

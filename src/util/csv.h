@@ -14,6 +14,23 @@ struct CsvTable {
   std::vector<std::vector<std::string>> rows;
 };
 
+/// \brief One skipped row in tolerant parse/ingest mode.
+struct CsvRowError {
+  size_t line = 0;  ///< 1-based physical line where the row started
+  std::string message;
+};
+
+/// \brief Tolerance for structurally malformed rows.
+///
+/// In strict mode (the default) the first malformed row fails the whole
+/// parse. In skip mode the offending row is dropped, the error recorded,
+/// and parsing resumes at the next physical line — up to `max_bad_rows`
+/// skips, beyond which the input is considered unusable.
+struct CsvToleranceOptions {
+  bool skip_bad_rows = false;
+  size_t max_bad_rows = 100;
+};
+
 /// \brief Minimal RFC-4180 CSV reader/writer.
 ///
 /// Supports quoted fields with embedded commas, quotes ("" escape) and
@@ -25,8 +42,19 @@ class Csv {
   /// first row populates `CsvTable::header`.
   static Result<CsvTable> Parse(const std::string& content, bool has_header);
 
+  /// Parse with row-level fault tolerance; skipped-row errors are
+  /// appended to `errors` (optional).
+  static Result<CsvTable> Parse(const std::string& content, bool has_header,
+                                const CsvToleranceOptions& tolerance,
+                                std::vector<CsvRowError>* errors);
+
   /// Reads and parses a CSV file.
   static Result<CsvTable> ReadFile(const std::string& path, bool has_header);
+
+  /// ReadFile with row-level fault tolerance.
+  static Result<CsvTable> ReadFile(const std::string& path, bool has_header,
+                                   const CsvToleranceOptions& tolerance,
+                                   std::vector<CsvRowError>* errors);
 
   /// Serialises a table (header written when non-empty).
   static std::string Serialize(const CsvTable& table);

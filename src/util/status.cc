@@ -1,6 +1,20 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace transer {
+
+namespace status_internal {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result::value() called on error result: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace status_internal
 
 namespace {
 

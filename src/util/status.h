@@ -64,7 +64,17 @@ class Status {
   std::string message_;
 };
 
-/// \brief A value-or-error pair. `ok()` must be checked before `value()`.
+namespace status_internal {
+
+/// Aborts with the error's rendering; called when `value()` is accessed
+/// on an error Result (a programmer error, but one that must fail loudly
+/// rather than dereference an empty optional).
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+
+}  // namespace status_internal
+
+/// \brief A value-or-error pair. `ok()` must be checked before `value()`;
+/// accessing `value()` on an error result aborts with the status message.
 template <typename T>
 class Result {
  public:
@@ -78,11 +88,26 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return std::move(*value_); }
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
 
  private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      status_internal::DieOnBadResultAccess(status_);
+    }
+  }
+
   Status status_;
   std::optional<T> value_;
 };
@@ -95,5 +120,22 @@ class Result {
     ::transer::Status _st = (expr);            \
     if (!_st.ok()) return _st;                 \
   } while (0)
+
+#define TRANSER_STATUS_CONCAT_INNER_(a, b) a##b
+#define TRANSER_STATUS_CONCAT_(a, b) TRANSER_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates `expr` (a Result<T> expression); on error propagates the
+/// status from the current function, otherwise moves the value into
+/// `lhs` (a declaration or an existing lvalue):
+///
+///   TRANSER_ASSIGN_OR_RETURN(auto features, FeatureMatrix::FromCsvFile(p));
+#define TRANSER_ASSIGN_OR_RETURN(lhs, expr)                             \
+  TRANSER_ASSIGN_OR_RETURN_IMPL_(                                       \
+      TRANSER_STATUS_CONCAT_(_transer_result_, __LINE__), lhs, expr)
+
+#define TRANSER_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                   \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value();
 
 #endif  // TRANSER_UTIL_STATUS_H_

@@ -1,0 +1,56 @@
+#include "util/validation.h"
+
+#include <sstream>
+
+namespace transer {
+
+const char* RepairPolicyName(RepairPolicy policy) {
+  switch (policy) {
+    case RepairPolicy::kStrict:
+      return "strict";
+    case RepairPolicy::kDropRows:
+      return "drop";
+    case RepairPolicy::kClampValues:
+      return "clamp";
+  }
+  return "unknown";
+}
+
+Result<RepairPolicy> ParseRepairPolicy(std::string_view name) {
+  if (name == "strict") return RepairPolicy::kStrict;
+  if (name == "drop" || name == "skip") return RepairPolicy::kDropRows;
+  if (name == "clamp" || name == "repair") return RepairPolicy::kClampValues;
+  return Status::InvalidArgument("unknown repair policy '" +
+                                 std::string(name) +
+                                 "' (strict|drop|skip|clamp|repair)");
+}
+
+void ValidationReport::AddIssue(size_t row, size_t col, std::string message,
+                                size_t max_issues) {
+  if (issues.size() >= max_issues) return;
+  issues.push_back(ValidationIssue{row, col, std::move(message)});
+}
+
+std::string ValidationReport::Summary() const {
+  std::ostringstream out;
+  out << rows_checked << " rows checked";
+  if (clean() && constant_columns.empty()) {
+    out << ", clean";
+    return out.str();
+  }
+  if (nonfinite_values > 0) out << ", " << nonfinite_values << " non-finite";
+  if (out_of_range_values > 0) {
+    out << ", " << out_of_range_values << " out-of-range";
+  }
+  if (bad_labels > 0) out << ", " << bad_labels << " bad labels";
+  if (rows_dropped > 0) out << ", " << rows_dropped << " rows dropped";
+  if (values_repaired > 0) {
+    out << ", " << values_repaired << " values repaired";
+  }
+  if (!constant_columns.empty()) {
+    out << ", " << constant_columns.size() << " constant columns";
+  }
+  return out.str();
+}
+
+}  // namespace transer

@@ -1,0 +1,81 @@
+#ifndef TRANSER_UTIL_VALIDATION_H_
+#define TRANSER_UTIL_VALIDATION_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief What to do with instances that violate the data contract
+/// (non-finite feature values, out-of-domain labels, wrong arity).
+enum class RepairPolicy {
+  kStrict = 0,   ///< reject the whole input with a non-OK Status
+  kDropRows,     ///< drop offending rows, keep the rest
+  kClampValues,  ///< repair in place: NaN -> 0, clamp into [0, 1],
+                 ///< out-of-domain labels -> kUnlabeled
+};
+
+/// Short identifier, e.g. "strict" / "drop" / "clamp".
+const char* RepairPolicyName(RepairPolicy policy);
+
+/// Parses "strict" / "drop" / "clamp" (also the transer_csv_tool
+/// aliases "skip" -> kDropRows and "repair" -> kClampValues).
+Result<RepairPolicy> ParseRepairPolicy(std::string_view name);
+
+/// \brief Knobs for FeatureMatrix::Validate.
+struct ValidationOptions {
+  RepairPolicy policy = RepairPolicy::kStrict;
+  /// Labels must be kMatch / kNonMatch / kUnlabeled.
+  bool check_label_domain = true;
+  /// NaN / ±Inf feature values are violations.
+  bool require_finite = true;
+  /// Values outside [0, 1] are violations (features are attribute
+  /// similarities, so the unit interval is the contract).
+  bool check_unit_interval = false;
+  /// Record (but never repair) columns whose value never changes —
+  /// they carry no signal and often indicate a broken comparator.
+  bool flag_constant_columns = true;
+  /// Cap on retained issue messages; counting continues past the cap.
+  size_t max_issues = 32;
+};
+
+/// \brief One localised contract violation.
+struct ValidationIssue {
+  size_t row = 0;
+  size_t col = 0;  ///< == num_features for label issues
+  std::string message;
+};
+
+/// \brief Aggregated outcome of one validation pass.
+struct ValidationReport {
+  size_t rows_checked = 0;
+  size_t nonfinite_values = 0;
+  size_t out_of_range_values = 0;
+  size_t bad_labels = 0;
+  size_t rows_dropped = 0;
+  size_t values_repaired = 0;
+  std::vector<size_t> constant_columns;
+  std::vector<ValidationIssue> issues;  ///< capped at max_issues
+
+  /// True when no violation was found (constant columns are advisory
+  /// and do not make the input unclean).
+  bool clean() const {
+    return nonfinite_values == 0 && out_of_range_values == 0 &&
+           bad_labels == 0;
+  }
+
+  /// One-line human-readable rendering.
+  std::string Summary() const;
+
+  /// Records an issue, respecting the retention cap.
+  void AddIssue(size_t row, size_t col, std::string message,
+                size_t max_issues);
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_UTIL_VALIDATION_H_

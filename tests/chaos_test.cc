@@ -1,0 +1,219 @@
+// Chaos suite: runs the full TransER pipeline under every injected
+// fault class and asserts the documented contract — each run returns
+// either a non-OK Status or a degraded-but-sane result (correct output
+// arity, labels in {0, 1}, at least one DegradationEvent when the fault
+// perturbed the data). Never a crash, hang, or silent NaN output.
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/transer.h"
+#include "data/bibliographic_generator.h"
+#include "data/feature_space_generator.h"
+#include "ml/random_forest.h"
+#include "testing/fault_injection.h"
+#include "util/diagnostics.h"
+
+namespace transer {
+namespace {
+
+ClassifierFactory MakeRfFactory() {
+  return []() -> std::unique_ptr<Classifier> {
+    RandomForestOptions options;
+    options.num_trees = 8;
+    return std::make_unique<RandomForest>(options);
+  };
+}
+
+struct DomainPair {
+  FeatureMatrix source;
+  FeatureMatrix target;
+};
+
+DomainPair MakeShiftedPair(uint64_t seed, size_t n = 600) {
+  FeatureSpaceGenerator generator({4, 40, seed});
+  FeatureDomainSpec source;
+  source.num_instances = n;
+  source.match_fraction = 0.3;
+  source.ambiguous_fraction = 0.1;
+  source.seed = seed + 1;
+  FeatureDomainSpec target = source;
+  target.mode_shift = -0.05;
+  target.seed = seed + 2;
+  return {generator.Generate(source), generator.Generate(target)};
+}
+
+/// The chaos contract for one finished run.
+void ExpectSaneOutcome(const Result<std::vector<int>>& predicted,
+                       const TransERReport& report, size_t target_size,
+                       const std::string& fault_name,
+                       bool require_degradation_event) {
+  if (!predicted.ok()) {
+    // A refusal is a valid outcome — but it must carry a message.
+    EXPECT_FALSE(predicted.status().message().empty()) << fault_name;
+    return;
+  }
+  ASSERT_EQ(predicted.value().size(), target_size) << fault_name;
+  for (int label : predicted.value()) {
+    ASSERT_TRUE(label == kMatch || label == kNonMatch)
+        << fault_name << ": label " << label;
+  }
+  if (require_degradation_event) {
+    EXPECT_TRUE(report.diagnostics.degraded())
+        << fault_name << ": fault was absorbed without any event";
+  }
+}
+
+TEST(ChaosTest, MatrixFaultsOnSourceNeverCrashTransER) {
+  const DomainPair pair = MakeShiftedPair(501);
+  TransER transer;
+  for (const fault::FaultKind kind : fault::MatrixFaultKinds()) {
+    SCOPED_TRACE(fault::FaultKindName(kind));
+    const FeatureMatrix faulty_source =
+        fault::InjectMatrixFault(pair.source, kind, {.rate = 0.2,
+                                                     .seed = 502});
+    TransERReport report;
+    auto predicted =
+        transer.RunWithReport(faulty_source, pair.target.WithoutLabels(),
+                              MakeRfFactory(), {}, &report);
+    // Label flips keep the input structurally valid, so a clean OK run
+    // without events is acceptable for them; every other fault must
+    // surface as an error (NaN/Inf/bad labels/single class all do).
+    const bool structurally_dirty = kind != fault::FaultKind::kLabelFlips;
+    if (structurally_dirty) {
+      EXPECT_FALSE(predicted.ok())
+          << fault::FaultKindName(kind) << " was silently accepted";
+    }
+    ExpectSaneOutcome(predicted, report, pair.target.size(),
+                      fault::FaultKindName(kind),
+                      /*require_degradation_event=*/false);
+  }
+}
+
+TEST(ChaosTest, MatrixFaultsOnTargetNeverCrashTransER) {
+  const DomainPair pair = MakeShiftedPair(503);
+  TransER transer;
+  for (const fault::FaultKind kind :
+       {fault::FaultKind::kNanFeatures, fault::FaultKind::kInfFeatures}) {
+    SCOPED_TRACE(fault::FaultKindName(kind));
+    const FeatureMatrix faulty_target =
+        fault::InjectMatrixFault(pair.target, kind, {.rate = 0.2,
+                                                     .seed = 504})
+            .WithoutLabels();
+    TransERReport report;
+    auto predicted = transer.RunWithReport(pair.source, faulty_target,
+                                           MakeRfFactory(), {}, &report);
+    EXPECT_FALSE(predicted.ok())
+        << fault::FaultKindName(kind) << " in the target was accepted";
+  }
+}
+
+TEST(ChaosTest, PipelineRepairsDirtyDomainsAndReportsIt) {
+  // The record-level pipeline runs under the kClampValues default: a
+  // dirty feature matrix is repaired, the repair recorded, and the
+  // linkage completes with sane quality instead of failing outright.
+  const DomainPair pair = MakeShiftedPair(505);
+  const FeatureMatrix dirty_source =
+      fault::InjectNanFeatures(pair.source, {.rate = 0.1, .seed = 506});
+
+  ValidationOptions validation;
+  validation.policy = RepairPolicy::kClampValues;
+  RunDiagnostics diagnostics;
+  auto repaired = dirty_source.Validate(validation, nullptr, &diagnostics);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(diagnostics.HasKind(DegradationKind::kValuesRepaired));
+
+  // The repaired matrix must run clean end to end.
+  TransER transer;
+  TransERReport report;
+  auto predicted =
+      transer.RunWithReport(repaired.value(), pair.target.WithoutLabels(),
+                            MakeRfFactory(), {}, &report);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  ExpectSaneOutcome(predicted, report, pair.target.size(), "repaired_nan",
+                    /*require_degradation_event=*/false);
+}
+
+TEST(ChaosTest, RecordPipelineSurvivesEveryFaultPolicy) {
+  // Full Figure-1 run (blocking -> comparison -> transfer) with each
+  // validation policy; the clean generated data must pass all three.
+  BibliographicOptions bib;
+  bib.num_entities = 150;
+  bib.overlap = 0.5;
+  bib.seed = 507;
+  const LinkageProblem source_problem = GenerateBibliographic(bib);
+  bib.seed = 508;
+  bib.right_corruption.typo_probability = 0.35;
+  const LinkageProblem target_problem = GenerateBibliographic(bib);
+  TransER transer;
+  for (const RepairPolicy policy :
+       {RepairPolicy::kStrict, RepairPolicy::kDropRows,
+        RepairPolicy::kClampValues}) {
+    SCOPED_TRACE(RepairPolicyName(policy));
+    PipelineOptions options;
+    options.validation.policy = policy;
+    auto result = RunTransferPipeline(source_problem, target_problem,
+                                      transer, MakeRfFactory(), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result.value().target_instances, 0u);
+    EXPECT_GE(result.value().quality.f_star, 0.0);
+  }
+}
+
+TEST(ChaosTest, EmptySelAndLowConfidenceDegradeWithEvents) {
+  // Thresholds at their ceilings force both ladders to fire; the run
+  // must still produce a full prediction vector.
+  const DomainPair pair = MakeShiftedPair(509, 400);
+  TransEROptions options;
+  options.t_c = 1.0;
+  options.t_l = 1.0;
+  options.t_p = 1.0;
+  TransER transer(options);
+  TransERReport report;
+  auto predicted =
+      transer.RunWithReport(pair.source, pair.target.WithoutLabels(),
+                            MakeRfFactory(), {}, &report);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  ExpectSaneOutcome(predicted, report, pair.target.size(),
+                    "ceiling_thresholds",
+                    /*require_degradation_event=*/true);
+}
+
+TEST(ChaosTest, CorruptedCsvFilesLoadUnderSkipOrFailUnderStrict) {
+  const DomainPair pair = MakeShiftedPair(510, 300);
+  const std::string path = ::testing::TempDir() + "/chaos_domain.csv";
+  ASSERT_TRUE(pair.source.ToCsvFile(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  for (const uint64_t seed : {601u, 602u, 603u}) {
+    SCOPED_TRACE(seed);
+    const std::string corrupted =
+        fault::CorruptCsvText(text, {.rate = 0.15, .seed = seed});
+    const std::string bad_path =
+        ::testing::TempDir() + "/chaos_domain_bad.csv";
+    std::ofstream(bad_path, std::ios::binary) << corrupted;
+
+    EXPECT_FALSE(FeatureMatrix::FromCsvFile(bad_path).ok());
+
+    FeatureMatrix::IngestOptions ingest;
+    ingest.policy = RepairPolicy::kDropRows;
+    ingest.max_bad_rows = pair.source.size();
+    FeatureMatrix::IngestReport report;
+    auto loaded = FeatureMatrix::FromCsvFile(bad_path, ingest, &report);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_GT(loaded.value().size(), 0u);
+    EXPECT_GT(report.rows_skipped, 0u);
+    // Whatever survived the skip pass must be fully clean.
+    EXPECT_TRUE(loaded.value().Validate({}).ok());
+  }
+}
+
+}  // namespace
+}  // namespace transer
