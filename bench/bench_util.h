@@ -46,6 +46,12 @@ class Flags {
     return *raw != "false" && *raw != "0";
   }
 
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    const std::string* raw = Find(name);
+    return raw != nullptr ? *raw : fallback;
+  }
+
  private:
   const std::string* Find(const std::string& name) const {
     const std::string prefix = "--" + name + "=";

@@ -7,7 +7,11 @@
 //        --time-limit (seconds per run, the scaled stand-in for the
 //        paper's 72 h cap; default 30),
 //        --memory-limit-mb (the scaled stand-in for the 200 GB cap;
-//        default 64), --seed.
+//        default 64), --seed,
+//        --checkpoint=<path.jsonl> (crash-safe restartability: every
+//        completed (method, scenario, classifier) cell is journaled;
+//        re-running with the same flags skips completed cells and
+//        reproduces the identical table).
 
 #include <cstdio>
 #include <map>
@@ -38,6 +42,7 @@ int Main(int argc, char** argv) {
   run_options.memory_limit_bytes =
       static_cast<size_t>(flags.GetInt("memory-limit-mb", 64)) << 20;
   run_options.seed = scale.seed;
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
 
   SetLogLevel(LogLevel::kError);
   std::printf(
@@ -54,16 +59,34 @@ int Main(int argc, char** argv) {
   // Per-method accumulation for the paper's Averages block.
   std::map<std::string, std::vector<LinkageQuality>> all_results;
 
-  const char* measure_names[] = {"P", "R", "F*", "F1"};
+  // The sweep visits scenarios major, methods minor — the same order as
+  // the table — so results slice per-scenario below. With --checkpoint
+  // every completed cell is journaled and a re-run resumes.
+  std::vector<TransferScenario> scenarios;
   for (ScenarioId id : AllScenarioIds()) {
-    const TransferScenario scenario = BuildScenario(id, scale);
+    scenarios.push_back(BuildScenario(id, scale));
+  }
+  SweepOptions sweep_options;
+  sweep_options.checkpoint_path = checkpoint_path;
+  sweep_options.base_options = run_options;
+  auto sweep = RunCheckpointedSweep(methods, scenarios,
+                                    DefaultClassifierSuite(), sweep_options);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 sweep.status().ToString().c_str());
+    return 1;
+  }
+
+  const char* measure_names[] = {"P", "R", "F*", "F1"};
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    const TransferScenario& scenario = scenarios[s];
     std::vector<MethodScenarioResult> row_results;
-    for (const auto& method : methods) {
-      MethodScenarioResult result = RunMethodOnScenario(
-          *method, scenario, DefaultClassifierSuite(), run_options);
-      all_results[method->name()].insert(
-          all_results[method->name()].end(), result.per_classifier.begin(),
-          result.per_classifier.end());
+    for (size_t m = 0; m < methods.size(); ++m) {
+      MethodScenarioResult result =
+          sweep.value()[s * methods.size() + m];
+      all_results[result.method].insert(all_results[result.method].end(),
+                                        result.per_classifier.begin(),
+                                        result.per_classifier.end());
       row_results.push_back(std::move(result));
     }
     for (int measure = 0; measure < 4; ++measure) {

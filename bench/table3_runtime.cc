@@ -5,7 +5,9 @@
 // time / memory caps.
 //
 // Flags: --scale (default 0.015), --time-limit (default 30 s/run),
-//        --memory-limit-mb (default 64), --seed.
+//        --memory-limit-mb (default 64), --seed,
+//        --checkpoint=<path.jsonl> (journal completed cells; a re-run
+//        resumes, reusing journaled runtimes for completed cells).
 
 #include <cstdio>
 
@@ -42,14 +44,29 @@ int Main(int argc, char** argv) {
   for (const auto& method : methods) header.push_back(method->name());
   TablePrinter table(header);
 
+  std::vector<TransferScenario> scenarios;
   for (ScenarioId id : AllScenarioIds()) {
-    const TransferScenario scenario = BuildScenario(id, scale);
+    scenarios.push_back(BuildScenario(id, scale));
+  }
+  SweepOptions sweep_options;
+  sweep_options.checkpoint_path = flags.GetString("checkpoint", "");
+  sweep_options.base_options = run_options;
+  auto sweep = RunCheckpointedSweep(methods, scenarios,
+                                    DefaultClassifierSuite(), sweep_options);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 sweep.status().ToString().c_str());
+    return 1;
+  }
+
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    const TransferScenario& scenario = scenarios[s];
     std::vector<std::string> row = {scenario.name,
                                     std::to_string(scenario.source.size()),
                                     std::to_string(scenario.target.size())};
-    for (const auto& method : methods) {
-      const MethodScenarioResult result = RunMethodOnScenario(
-          *method, scenario, DefaultClassifierSuite(), run_options);
+    for (size_t m = 0; m < methods.size(); ++m) {
+      const MethodScenarioResult& result =
+          sweep.value()[s * methods.size() + m];
       if (!result.failure.empty() && result.completed_runs == 0) {
         row.push_back(result.failure);
       } else {
@@ -57,7 +74,6 @@ int Main(int argc, char** argv) {
       }
     }
     table.AddRow(std::move(row));
-    std::fprintf(stderr, "done: %s\n", scenario.name.c_str());
   }
   table.Print();
   std::printf(

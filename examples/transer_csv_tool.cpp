@@ -7,6 +7,13 @@
 //       [--out=labels.csv] [--classifier=rf|lr|svm|dt|nb|knn]
 //       [--tc=0.9] [--tl=0.9] [--tp=0.99] [--k=7] [--b=3]
 //       [--on-error=strict|skip|repair]
+//       [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]
+//
+// Exit codes:
+//   0  success
+//   1  load or run failure (bad CSV file, internal error)
+//   2  invalid flags / hyper-parameters
+//   3  resource budget exhausted (--time-limit-s or --memory-limit-mb)
 //
 // CSV format: one column per feature plus a final "label" column
 // (1 = match, 0 = non-match, -1 = unlabelled), as written by
@@ -127,15 +134,44 @@ Result<FeatureMatrix> LoadMatrix(const std::string& path,
   return matrix;
 }
 
+void PrintUsage(std::FILE* out, const char* prog) {
+  std::fprintf(
+      out,
+      "usage: %s --source=source.csv --target=target.csv\n"
+      "    [--out=labels.csv] [--classifier=rf|lr|svm|dt|nb|knn]\n"
+      "    [--tc=0.9] [--tl=0.9] [--tp=0.99] [--k=7] [--b=3]\n"
+      "    [--on-error=strict|skip|repair]\n"
+      "    [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]\n"
+      "\n"
+      "--time-limit-s and --memory-limit-mb bound the run: the pipeline\n"
+      "checks them cooperatively and stops with a budget error instead of\n"
+      "running away. 0 (the default) means unlimited.\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  load or run failure (bad CSV file, internal error)\n"
+      "  2  invalid flags / hyper-parameters\n"
+      "  3  resource budget exhausted (time or memory limit hit)\n",
+      prog);
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string bare = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  return false;
+}
+
 int Main(int argc, char** argv) {
+  if (HasFlag(argc, argv, "help")) {
+    PrintUsage(stdout, argv[0]);
+    return 0;
+  }
   const std::string source_path = GetFlag(argc, argv, "source", "");
   const std::string target_path = GetFlag(argc, argv, "target", "");
   if (source_path.empty() || target_path.empty()) {
-    std::fprintf(stderr,
-                 "usage: %s --source=source.csv --target=target.csv "
-                 "[--out=labels.csv] [--classifier=rf] "
-                 "[--on-error=strict|skip|repair]\n",
-                 argv[0]);
+    PrintUsage(stderr, argv[0]);
     return 2;
   }
 
@@ -162,6 +198,23 @@ int Main(int argc, char** argv) {
   }
   const ClassifierFactory factory =
       MakeFactory(GetFlag(argc, argv, "classifier", "rf"));
+
+  TransferRunOptions run_options;
+  run_options.time_limit_seconds =
+      GetDoubleFlag(argc, argv, "time-limit-s", 0.0);
+  if (run_options.time_limit_seconds < 0.0) {
+    std::fprintf(stderr, "--time-limit-s=%g is invalid: must be >= 0\n",
+                 run_options.time_limit_seconds);
+    return 2;
+  }
+  const double memory_mb = GetDoubleFlag(argc, argv, "memory-limit-mb", 0.0);
+  if (memory_mb < 0.0 || memory_mb != std::floor(memory_mb)) {
+    std::fprintf(stderr,
+                 "--memory-limit-mb=%g is invalid: must be an integer >= 0\n",
+                 memory_mb);
+    return 2;
+  }
+  run_options.memory_limit_bytes = static_cast<size_t>(memory_mb) << 20;
 
   FeatureMatrix::IngestOptions ingest;
   const std::string on_error = GetFlag(argc, argv, "on-error", "strict");
@@ -190,11 +243,14 @@ int Main(int argc, char** argv) {
   TransERReport report;
   auto predicted = transer.RunWithReport(
       source.value(), target.value().WithoutLabels(), factory,
-      TransferRunOptions{}, &report);
+      run_options, &report);
   if (!predicted.ok()) {
     std::fprintf(stderr, "TransER failed: %s\n",
                  predicted.status().ToString().c_str());
-    return 1;
+    const std::string& message = predicted.status().message();
+    const bool budget = message.find("(TE)") != std::string::npos ||
+                        message.find("(ME)") != std::string::npos;
+    return budget ? 3 : 1;
   }
 
   std::printf("source: %zu instances (%zu matches), target: %zu\n",

@@ -84,18 +84,36 @@ std::vector<uint64_t> MinHashLshBlocker::Signature(
 
 std::vector<PairRef> MinHashLshBlocker::Block(const Dataset& left,
                                               const Dataset& right) const {
+  // The unlimited context never trips, so value() cannot abort.
+  return Block(left, right, ExecutionContext::Unlimited()).value();
+}
+
+Result<std::vector<PairRef>> MinHashLshBlocker::Block(
+    const Dataset& left, const Dataset& right,
+    const ExecutionContext& context, RunDiagnostics* diagnostics) const {
+  TRANSER_RETURN_IF_ERROR(context.Check("minhash_lsh", diagnostics));
+
   // For each band, bucket both sides by the band slice of the signature.
   struct Bucket {
     std::vector<size_t> lefts;
     std::vector<size_t> rights;
   };
 
+  // Signatures dominate resident memory: one row set per record.
+  ScopedReservation signature_memory;
+  TRANSER_RETURN_IF_ERROR(signature_memory.Acquire(
+      context, "minhash_lsh",
+      (left.size() + right.size()) * hash_seeds_.size() * sizeof(uint64_t),
+      diagnostics));
+
   std::vector<std::vector<uint64_t>> left_sigs(left.size());
   std::vector<std::vector<uint64_t>> right_sigs(right.size());
   for (size_t i = 0; i < left.size(); ++i) {
+    TRANSER_RETURN_IF_ERROR(context.Check("minhash_lsh", diagnostics));
     left_sigs[i] = Signature(left.record(i));
   }
   for (size_t j = 0; j < right.size(); ++j) {
+    TRANSER_RETURN_IF_ERROR(context.Check("minhash_lsh", diagnostics));
     right_sigs[j] = Signature(right.record(j));
   }
 
@@ -103,6 +121,7 @@ std::vector<PairRef> MinHashLshBlocker::Block(const Dataset& left,
   std::vector<PairRef> pairs;
 
   for (size_t band = 0; band < options_.num_bands; ++band) {
+    TRANSER_RETURN_IF_ERROR(context.Check("minhash_lsh", diagnostics));
     std::unordered_map<uint64_t, Bucket> buckets;
     auto band_key = [&](const std::vector<uint64_t>& sig) {
       uint64_t key = 0x9e3779b97f4a7c15ULL + band;

@@ -7,6 +7,8 @@
 
 #include "data/dataset.h"
 #include "features/feature_matrix.h"
+#include "util/execution_context.h"
+#include "util/status.h"
 
 namespace transer {
 
@@ -32,6 +34,15 @@ class MinHashLshBlocker {
 
   /// Returns deduplicated candidate pairs between `left` and `right`.
   std::vector<PairRef> Block(const Dataset& left, const Dataset& right) const;
+
+  /// Context-observing variant: checks the deadline / cancellation per
+  /// record while min-hashing and per band while bucketing, and reserves
+  /// the signature storage against the memory budget.
+  Result<std::vector<PairRef>> Block(const Dataset& left,
+                                     const Dataset& right,
+                                     const ExecutionContext& context,
+                                     RunDiagnostics* diagnostics = nullptr)
+      const;
 
   /// The minhash signature of one record (num_bands*rows_per_band values);
   /// exposed for tests of the LSH property.

@@ -7,15 +7,20 @@
 
 namespace transer {
 
+namespace {
+
+struct Entry {
+  std::string key;
+  size_t index;
+  bool is_left;
+};
+
+}  // namespace
+
 std::vector<PairRef> SortedNeighbourhoodBlocker::Block(
     const Dataset& left, const Dataset& right) const {
   TRANSER_CHECK_GT(options_.window, 1u);
 
-  struct Entry {
-    std::string key;
-    size_t index;
-    bool is_left;
-  };
   std::vector<Entry> entries;
   entries.reserve(left.size() + right.size());
   for (size_t i = 0; i < left.size(); ++i) {
@@ -30,6 +35,58 @@ std::vector<PairRef> SortedNeighbourhoodBlocker::Block(
   std::unordered_set<uint64_t> emitted;
   std::vector<PairRef> pairs;
   for (size_t start = 0; start < entries.size(); ++start) {
+    const size_t end = std::min(entries.size(), start + options_.window);
+    for (size_t a = start; a < end; ++a) {
+      for (size_t b = a + 1; b < end; ++b) {
+        const Entry& ea = entries[a];
+        const Entry& eb = entries[b];
+        if (ea.is_left == eb.is_left) continue;
+        const size_t li = ea.is_left ? ea.index : eb.index;
+        const size_t rj = ea.is_left ? eb.index : ea.index;
+        const uint64_t id =
+            (static_cast<uint64_t>(li) << 32) | static_cast<uint64_t>(rj);
+        if (emitted.insert(id).second) pairs.push_back(PairRef{li, rj});
+      }
+    }
+  }
+  return pairs;
+}
+
+Result<std::vector<PairRef>> SortedNeighbourhoodBlocker::Block(
+    const Dataset& left, const Dataset& right,
+    const ExecutionContext& context, RunDiagnostics* diagnostics) const {
+  TRANSER_CHECK_GT(options_.window, 1u);
+  TRANSER_RETURN_IF_ERROR(context.Check("sorted_neighbourhood", diagnostics));
+
+  // The merged key list dominates memory (keys plus indices); pair output
+  // is bounded by window * entries and rides on the same reservation.
+  ScopedReservation entry_memory;
+  TRANSER_RETURN_IF_ERROR(entry_memory.Acquire(
+      context, "sorted_neighbourhood",
+      (left.size() + right.size()) *
+          (sizeof(Entry) + options_.window * sizeof(PairRef)),
+      diagnostics));
+
+  std::vector<Entry> entries;
+  entries.reserve(left.size() + right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    TRANSER_RETURN_IF_ERROR(
+        context.Check("sorted_neighbourhood", diagnostics));
+    entries.push_back({key_fn_(left.record(i)), i, true});
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    TRANSER_RETURN_IF_ERROR(
+        context.Check("sorted_neighbourhood", diagnostics));
+    entries.push_back({key_fn_(right.record(j)), j, false});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.key < b.key; });
+
+  std::unordered_set<uint64_t> emitted;
+  std::vector<PairRef> pairs;
+  for (size_t start = 0; start < entries.size(); ++start) {
+    TRANSER_RETURN_IF_ERROR(
+        context.Check("sorted_neighbourhood", diagnostics));
     const size_t end = std::min(entries.size(), start + options_.window);
     for (size_t a = start; a < end; ++a) {
       for (size_t b = a + 1; b < end; ++b) {

@@ -27,6 +27,14 @@ class SortedNeighbourhoodBlocker {
   /// Returns deduplicated candidate pairs between `left` and `right`.
   std::vector<PairRef> Block(const Dataset& left, const Dataset& right) const;
 
+  /// Context-observing variant: checks the deadline / cancellation per
+  /// window and reserves the merged key list against the memory budget.
+  Result<std::vector<PairRef>> Block(const Dataset& left,
+                                     const Dataset& right,
+                                     const ExecutionContext& context,
+                                     RunDiagnostics* diagnostics = nullptr)
+      const;
+
  private:
   BlockingKeyFn key_fn_;
   SortedNeighbourhoodOptions options_;

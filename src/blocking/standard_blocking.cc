@@ -39,6 +39,56 @@ std::vector<PairRef> StandardBlocker::Block(const Dataset& left,
   return pairs;
 }
 
+Result<std::vector<PairRef>> StandardBlocker::Block(
+    const Dataset& left, const Dataset& right,
+    const ExecutionContext& context, RunDiagnostics* diagnostics) const {
+  TRANSER_RETURN_IF_ERROR(context.Check("standard_blocking", diagnostics));
+
+  std::unordered_map<std::string, std::vector<size_t>> left_blocks;
+  std::unordered_map<std::string, std::vector<size_t>> right_blocks;
+  for (size_t i = 0; i < left.size(); ++i) {
+    TRANSER_RETURN_IF_ERROR(context.Check("standard_blocking", diagnostics));
+    std::string key = key_fn_(left.record(i));
+    if (!key.empty()) left_blocks[std::move(key)].push_back(i);
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    TRANSER_RETURN_IF_ERROR(context.Check("standard_blocking", diagnostics));
+    std::string key = key_fn_(right.record(j));
+    if (!key.empty()) right_blocks[std::move(key)].push_back(j);
+  }
+
+  // Count first so the output allocation is reserved in one piece.
+  size_t num_pairs = 0;
+  auto usable = [this](const std::vector<size_t>& lefts,
+                       const std::vector<size_t>& rights) {
+    return lefts.size() <= options_.max_block_size &&
+           rights.size() <= options_.max_block_size;
+  };
+  for (const auto& [key, lefts] : left_blocks) {
+    auto it = right_blocks.find(key);
+    if (it == right_blocks.end() || !usable(lefts, it->second)) continue;
+    num_pairs += lefts.size() * it->second.size();
+  }
+  ScopedReservation pair_memory;
+  TRANSER_RETURN_IF_ERROR(pair_memory.Acquire(context, "standard_blocking",
+                                              num_pairs * sizeof(PairRef),
+                                              diagnostics));
+
+  std::vector<PairRef> pairs;
+  pairs.reserve(num_pairs);
+  for (const auto& [key, lefts] : left_blocks) {
+    TRANSER_RETURN_IF_ERROR(context.Check("standard_blocking", diagnostics));
+    auto it = right_blocks.find(key);
+    if (it == right_blocks.end() || !usable(lefts, it->second)) continue;
+    for (size_t li : lefts) {
+      for (size_t rj : it->second) {
+        pairs.push_back(PairRef{li, rj});
+      }
+    }
+  }
+  return pairs;
+}
+
 BlockingKeyFn StandardBlocker::AttributePrefixKey(size_t attribute_index,
                                                   size_t prefix_len) {
   return [attribute_index, prefix_len](const Record& record) -> std::string {

@@ -7,6 +7,8 @@
 
 #include "data/dataset.h"
 #include "features/feature_matrix.h"
+#include "util/execution_context.h"
+#include "util/status.h"
 
 namespace transer {
 
@@ -30,6 +32,16 @@ class StandardBlocker {
 
   /// Returns deduplicated candidate pairs between `left` and `right`.
   std::vector<PairRef> Block(const Dataset& left, const Dataset& right) const;
+
+  /// Context-observing variant: checks the deadline / cancellation per
+  /// block and reserves the candidate-pair storage against the memory
+  /// budget before emitting it, returning 'TE' / 'ME' statuses instead
+  /// of running past the limits.
+  Result<std::vector<PairRef>> Block(const Dataset& left,
+                                     const Dataset& right,
+                                     const ExecutionContext& context,
+                                     RunDiagnostics* diagnostics = nullptr)
+      const;
 
   /// Convenience key: lower-cased prefix of the given attribute.
   static BlockingKeyFn AttributePrefixKey(size_t attribute_index,

@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include <optional>
+
 #include "core/transer.h"
 #include "transfer/coral.h"
 #include "transfer/dr_transfer.h"
@@ -48,6 +50,127 @@ MethodScenarioResult RunMethodOnScenario(
   result.total_runtime_seconds = total.ElapsedSeconds();
   result.quality = AggregateQuality(result.per_classifier);
   return result;
+}
+
+Result<std::vector<MethodScenarioResult>> RunCheckpointedSweep(
+    const std::vector<std::unique_ptr<TransferMethod>>& methods,
+    const std::vector<TransferScenario>& scenarios,
+    const std::vector<NamedClassifierFactory>& suite,
+    const SweepOptions& options) {
+  std::optional<SweepCheckpoint> checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    TRANSER_ASSIGN_OR_RETURN(
+        SweepCheckpoint opened,
+        SweepCheckpoint::Open(options.checkpoint_path, options.diagnostics));
+    checkpoint.emplace(std::move(opened));
+  }
+  // The optional sweep-level context is only *checked* here, between and
+  // after cells; per-cell time/memory limits in base_options keep their
+  // per-run semantics (each Run resolves its own context from them).
+  const ExecutionContext* sweep_context = options.base_options.context;
+  auto check_sweep = [&]() -> Status {
+    return sweep_context != nullptr
+               ? sweep_context->Check("sweep", options.diagnostics)
+               : Status::OK();
+  };
+
+  std::vector<MethodScenarioResult> results;
+  for (const TransferScenario& scenario : scenarios) {
+    const FeatureMatrix unlabeled_target = scenario.target.WithoutLabels();
+    const std::vector<int>& truth = scenario.target.labels();
+    for (const auto& method : methods) {
+      TRANSER_RETURN_IF_ERROR(check_sweep());
+      if (sweep_context != nullptr) {
+        sweep_context->BeginStage(method->name() + "/" + scenario.name);
+      }
+
+      MethodScenarioResult result;
+      result.method = method->name();
+      result.scenario = scenario.name;
+
+      uint64_t run_index = 0;
+      for (const auto& family : suite) {
+        const uint64_t cell_seed =
+            options.base_options.seed + 1000 * run_index;
+        ++run_index;
+        const SweepCellKey key{method->name(), scenario.name, family.name};
+        const SweepCellRecord* existing =
+            checkpoint.has_value() ? checkpoint->Find(key) : nullptr;
+        if (existing != nullptr && existing->seed != cell_seed) {
+          return Status::FailedPrecondition(StrFormat(
+              "sweep checkpoint %s holds cell %s/%s/%s at seed %llu but "
+              "this sweep would run it at seed %llu; the journal belongs "
+              "to a different sweep configuration",
+              options.checkpoint_path.c_str(), key.method.c_str(),
+              key.scenario.c_str(), key.classifier.c_str(),
+              static_cast<unsigned long long>(existing->seed),
+              static_cast<unsigned long long>(cell_seed)));
+        }
+        if (existing != nullptr) {
+          if (existing->failure.empty()) {
+            // Completed cell: reuse the journaled result verbatim.
+            result.per_classifier.push_back(existing->quality);
+            result.total_runtime_seconds += existing->runtime_seconds;
+            ++result.completed_runs;
+            continue;
+          }
+          if (existing->failure == "TE" || existing->failure == "ME") {
+            // Budget failures are deterministic: re-running would burn
+            // the same budget to the same end. Short-circuit the group
+            // exactly as the live path does.
+            result.failure = existing->failure;
+            break;
+          }
+          // Anything else is treated as transient (I/O, flaky
+          // environment): one bounded retry on resume.
+          if (options.diagnostics != nullptr) {
+            options.diagnostics->Add(
+                DegradationKind::kCheckpointCellRetried, "sweep",
+                StrFormat("retrying cell %s/%s/%s once (journaled "
+                          "transient failure: %s)",
+                          key.method.c_str(), key.scenario.c_str(),
+                          key.classifier.c_str(),
+                          existing->failure.c_str()),
+                0.0, 1.0);
+          }
+        }
+
+        TransferRunOptions run_options = options.base_options;
+        run_options.seed = cell_seed;
+        Stopwatch cell_watch;
+        auto predicted = method->Run(scenario.source, unlabeled_target,
+                                     family.make, run_options);
+        SweepCellRecord record;
+        record.key = key;
+        record.seed = cell_seed;
+        record.runtime_seconds = cell_watch.ElapsedSeconds();
+        if (!predicted.ok()) {
+          if (sweep_context != nullptr && sweep_context->Interrupted()) {
+            // The sweep itself was cancelled / timed out mid-cell. The
+            // cell is incomplete, not failed — leave it out of the
+            // journal so a resume re-runs it fresh.
+            return predicted.status();
+          }
+          record.failure = FailureShorthand(predicted.status());
+          if (checkpoint.has_value()) {
+            TRANSER_RETURN_IF_ERROR(checkpoint->Record(record));
+          }
+          result.failure = record.failure;
+          break;  // the next classifier would fail the same way
+        }
+        record.quality = EvaluateLinkage(truth, predicted.value());
+        if (checkpoint.has_value()) {
+          TRANSER_RETURN_IF_ERROR(checkpoint->Record(record));
+        }
+        result.per_classifier.push_back(record.quality);
+        result.total_runtime_seconds += record.runtime_seconds;
+        ++result.completed_runs;
+      }
+      result.quality = AggregateQuality(result.per_classifier);
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
 }
 
 std::vector<std::unique_ptr<TransferMethod>> DefaultMethodLineup() {

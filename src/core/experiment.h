@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sweep_checkpoint.h"
 #include "data/scenario.h"
 #include "eval/aggregate.h"
 #include "eval/metrics.h"
@@ -43,6 +44,35 @@ std::string FailureShorthand(const Status& status);
 /// The baseline line-up of Section 5.1.3 in table order: TransER first,
 /// then Naive, DTAL*, DR, LocIT*, TCA, Coral.
 std::vector<std::unique_ptr<TransferMethod>> DefaultMethodLineup();
+
+/// \brief Controls for a (checkpointed) experiment sweep.
+struct SweepOptions {
+  /// JSONL journal path. Empty disables checkpointing (the sweep then
+  /// behaves exactly like looping RunMethodOnScenario).
+  std::string checkpoint_path;
+  /// Per-cell run options: `seed` is the sweep base seed (each cell runs
+  /// at seed + 1000 * classifier_index, as RunMethodOnScenario does);
+  /// `context`, when set, is checked between cells so cancellation or a
+  /// sweep-wide deadline stops the sweep at a cell boundary with every
+  /// completed cell already journaled.
+  TransferRunOptions base_options;
+  /// Sink for sweep-level events (checkpoint tail drops, cell retries).
+  RunDiagnostics* diagnostics = nullptr;
+};
+
+/// \brief Runs every (method x scenario x classifier) cell of a
+/// Table 2/3-style sweep with crash-safe restartability: each completed
+/// cell is journaled; on restart, completed cells are skipped (their
+/// recorded results reused, making the resumed aggregate bit-identical to
+/// an uninterrupted sweep), deterministic TE/ME failures are not
+/// re-attempted, and transiently-failed cells get one bounded retry.
+/// Results are ordered scenario-major, method-minor. Stops with the
+/// interrupting status when `base_options.context` is cancelled/expired.
+Result<std::vector<MethodScenarioResult>> RunCheckpointedSweep(
+    const std::vector<std::unique_ptr<TransferMethod>>& methods,
+    const std::vector<TransferScenario>& scenarios,
+    const std::vector<NamedClassifierFactory>& suite,
+    const SweepOptions& options);
 
 }  // namespace transer
 

@@ -21,14 +21,20 @@ size_t CountCandidateTrueMatches(const LinkageProblem& problem,
 
 Result<FeatureMatrix> BuildDomainFeatures(const LinkageProblem& problem,
                                           const PipelineOptions& options,
-                                          PipelineBuildInfo* info) {
+                                          PipelineBuildInfo* info,
+                                          const ExecutionContext* context,
+                                          RunDiagnostics* diagnostics) {
   if (!problem.left.schema().CompatibleWith(problem.right.schema())) {
     return Status::InvalidArgument(
         "left and right database schemas are incompatible");
   }
+  const ExecutionContext& ctx =
+      context != nullptr ? *context : ExecutionContext::Unlimited();
   const MinHashLshBlocker blocker(options.blocking);
-  const std::vector<PairRef> pairs = blocker.Block(problem.left,
-                                                   problem.right);
+  TRANSER_ASSIGN_OR_RETURN(
+      const std::vector<PairRef> pairs,
+      blocker.Block(problem.left, problem.right, ctx, diagnostics));
+  TRANSER_RETURN_IF_ERROR(ctx.Check("pipeline", diagnostics));
 
   auto comparator = PairComparator::Create(problem.left.schema(),
                                            problem.right.schema(),
@@ -52,12 +58,21 @@ Result<EndToEndResult> RunTransferPipeline(
     const ClassifierFactory& make_classifier, const PipelineOptions& options,
     const TransferRunOptions& run_options) {
   EndToEndResult result;
+  // One shared context bounds the whole linkage: blocking + comparison on
+  // both domains and the transfer run all draw from the same budget.
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
+  context.BeginStage("build_source");
   TRANSER_ASSIGN_OR_RETURN(
       FeatureMatrix source,
-      BuildDomainFeatures(source_problem, options, &result.source_info));
+      BuildDomainFeatures(source_problem, options, &result.source_info,
+                          &context, &result.diagnostics));
+  context.BeginStage("build_target");
   TRANSER_ASSIGN_OR_RETURN(
       FeatureMatrix target,
-      BuildDomainFeatures(target_problem, options, &result.target_info));
+      BuildDomainFeatures(target_problem, options, &result.target_info,
+                          &context, &result.diagnostics));
 
   if (source.num_features() != target.num_features()) {
     return Status::InvalidArgument(
@@ -76,9 +91,11 @@ Result<EndToEndResult> RunTransferPipeline(
   result.target_instances = target.size();
 
   // Route the method's degradation events into the result (preserving a
-  // caller-provided sink as well).
+  // caller-provided sink as well), and hand it the shared context.
+  context.BeginStage("transfer");
   TransferRunOptions method_options = run_options;
   method_options.diagnostics = &result.diagnostics;
+  method_options.context = &context;
   TRANSER_ASSIGN_OR_RETURN(
       std::vector<int> predicted,
       method.Run(source, target.WithoutLabels(), make_classifier,

@@ -43,10 +43,14 @@ struct PipelineBuildInfo {
 
 /// Runs blocking and comparison on a linkage problem, producing the
 /// labelled feature matrix of the domain. `info` (optional) receives
-/// blocking statistics.
-Result<FeatureMatrix> BuildDomainFeatures(const LinkageProblem& problem,
-                                          const PipelineOptions& options,
-                                          PipelineBuildInfo* info = nullptr);
+/// blocking statistics. `context` (optional) bounds the stage: blocking
+/// observes its deadline / cancellation / memory budget, surfacing 'TE' /
+/// 'ME' statuses; budget outcomes are recorded in `diagnostics` when set.
+Result<FeatureMatrix> BuildDomainFeatures(
+    const LinkageProblem& problem, const PipelineOptions& options,
+    PipelineBuildInfo* info = nullptr,
+    const ExecutionContext* context = nullptr,
+    RunDiagnostics* diagnostics = nullptr);
 
 /// \brief Result of an end-to-end transfer linkage.
 struct EndToEndResult {

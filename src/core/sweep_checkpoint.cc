@@ -1,0 +1,255 @@
+#include "core/sweep_checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace transer {
+
+namespace {
+
+/// Escapes the characters that would break a one-line JSON string.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Minimal field extraction for the flat one-line objects this journal
+/// writes: finds `"name":` and returns the raw value token (unescaped
+/// for strings). Not a general JSON parser — it only needs to read what
+/// EncodeSweepCellRecord produces, and any deviation is malformation.
+bool ExtractRaw(const std::string& line, const std::string& name,
+                std::string* out) {
+  const std::string needle = "\"" + name + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  size_t pos = at + needle.size();
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    ++pos;
+    std::string value;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\') {
+        ++pos;
+        if (pos >= line.size()) return false;
+        switch (line[pos]) {
+          case 'n':
+            value += '\n';
+            break;
+          case 'r':
+            value += '\r';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          default:
+            value += line[pos];
+        }
+      } else {
+        value += line[pos];
+      }
+      ++pos;
+    }
+    if (pos >= line.size()) return false;  // unterminated string
+    *out = std::move(value);
+    return true;
+  }
+  const size_t end = line.find_first_of(",}", pos);
+  if (end == std::string::npos || end == pos) return false;
+  *out = line.substr(pos, end - pos);
+  return true;
+}
+
+bool ExtractDouble(const std::string& line, const std::string& name,
+                   double* out) {
+  std::string raw;
+  return ExtractRaw(line, name, &raw) && ParseDouble(raw, out);
+}
+
+}  // namespace
+
+std::string EncodeSweepCellRecord(const SweepCellRecord& record) {
+  // %.17g round-trips every finite double exactly, so a resumed sweep
+  // aggregates bit-identical values.
+  return StrFormat(
+      "{\"method\":\"%s\",\"scenario\":\"%s\",\"classifier\":\"%s\","
+      "\"seed\":%llu,\"failure\":\"%s\",\"precision\":%.17g,"
+      "\"recall\":%.17g,\"f1\":%.17g,\"f_star\":%.17g,"
+      "\"runtime_seconds\":%.17g}",
+      JsonEscape(record.key.method).c_str(),
+      JsonEscape(record.key.scenario).c_str(),
+      JsonEscape(record.key.classifier).c_str(),
+      static_cast<unsigned long long>(record.seed),
+      JsonEscape(record.failure).c_str(), record.quality.precision,
+      record.quality.recall, record.quality.f1, record.quality.f_star,
+      record.runtime_seconds);
+}
+
+Result<SweepCellRecord> DecodeSweepCellRecord(const std::string& line) {
+  const std::string trimmed = Trim(line);
+  if (trimmed.empty() || trimmed.front() != '{' || trimmed.back() != '}') {
+    return Status::InvalidArgument("not a JSON object line");
+  }
+  SweepCellRecord record;
+  std::string seed_raw;
+  int64_t seed = 0;
+  if (!ExtractRaw(trimmed, "method", &record.key.method) ||
+      !ExtractRaw(trimmed, "scenario", &record.key.scenario) ||
+      !ExtractRaw(trimmed, "classifier", &record.key.classifier) ||
+      !ExtractRaw(trimmed, "seed", &seed_raw) ||
+      !ParseInt64(seed_raw, &seed) ||
+      !ExtractRaw(trimmed, "failure", &record.failure) ||
+      !ExtractDouble(trimmed, "precision", &record.quality.precision) ||
+      !ExtractDouble(trimmed, "recall", &record.quality.recall) ||
+      !ExtractDouble(trimmed, "f1", &record.quality.f1) ||
+      !ExtractDouble(trimmed, "f_star", &record.quality.f_star) ||
+      !ExtractDouble(trimmed, "runtime_seconds",
+                     &record.runtime_seconds)) {
+    return Status::InvalidArgument("malformed sweep checkpoint line");
+  }
+  record.seed = static_cast<uint64_t>(seed);
+  return record;
+}
+
+std::string SweepCheckpoint::IndexKey(const SweepCellKey& key) {
+  // '\x1f' (unit separator) cannot appear in the component names.
+  return key.method + '\x1f' + key.scenario + '\x1f' + key.classifier;
+}
+
+Result<SweepCheckpoint> SweepCheckpoint::Open(const std::string& path,
+                                              RunDiagnostics* diagnostics) {
+  if (path.empty()) {
+    return Status::InvalidArgument("sweep checkpoint path is empty");
+  }
+  SweepCheckpoint checkpoint(path);
+
+  std::ifstream in(path);
+  if (!in.is_open()) return checkpoint;  // fresh journal
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) lines.push_back(line);
+  }
+
+  size_t dropped_from = lines.size();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto record = DecodeSweepCellRecord(lines[i]);
+    if (!record.ok()) {
+      // Only a torn *tail* is consistent with the write-temp-then-rename
+      // protocol; garbage earlier in the journal means the file is not
+      // ours (or was edited) and silently dropping completed cells would
+      // corrupt the resumed aggregate.
+      if (i + 1 != lines.size()) {
+        return Status::FailedPrecondition(StrFormat(
+            "sweep checkpoint %s: line %zu of %zu is corrupt (not just a "
+            "torn tail): %s",
+            path.c_str(), i + 1, lines.size(),
+            record.status().message().c_str()));
+      }
+      dropped_from = i;
+      break;
+    }
+    const std::string index_key = IndexKey(record.value().key);
+    auto it = checkpoint.index_.find(index_key);
+    if (it != checkpoint.index_.end()) {
+      checkpoint.records_[it->second] = std::move(record).value();
+    } else {
+      checkpoint.index_[index_key] = checkpoint.records_.size();
+      checkpoint.records_.push_back(std::move(record).value());
+    }
+  }
+
+  if (dropped_from < lines.size()) {
+    if (diagnostics != nullptr) {
+      diagnostics->Add(DegradationKind::kCheckpointTailDropped, "sweep",
+                       StrFormat("dropped corrupt trailing journal line "
+                                 "%zu of %s; the cell will be re-run",
+                                 dropped_from + 1, path.c_str()),
+                       static_cast<double>(lines.size()),
+                       static_cast<double>(dropped_from));
+    }
+    // Persist the truncation so a second resume does not re-report it.
+    TRANSER_RETURN_IF_ERROR(checkpoint.Flush());
+  }
+  return checkpoint;
+}
+
+const SweepCellRecord* SweepCheckpoint::Find(const SweepCellKey& key) const {
+  auto it = index_.find(IndexKey(key));
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+Status SweepCheckpoint::Record(const SweepCellRecord& record) {
+  const std::string index_key = IndexKey(record.key);
+  auto it = index_.find(index_key);
+  const size_t previous_size = records_.size();
+  if (it != index_.end()) {
+    records_[it->second] = record;
+  } else {
+    index_[index_key] = records_.size();
+    records_.push_back(record);
+  }
+  Status flushed = Flush();
+  if (!flushed.ok()) {
+    // Keep the in-memory view consistent with the journal on disk.
+    if (it == index_.end()) {
+      records_.resize(previous_size);
+      index_.erase(index_key);
+    }
+    return flushed;
+  }
+  return Status::OK();
+}
+
+Status SweepCheckpoint::Flush() const {
+  // Write the full journal to a sibling temp file and rename it into
+  // place: POSIX rename is atomic, so readers (including a resume after a
+  // crash right here) see either the old journal or the new one, never a
+  // partial write.
+  const std::string temp_path = path_ + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("cannot open " + temp_path + " for writing");
+    }
+    for (const SweepCellRecord& record : records_) {
+      out << EncodeSweepCellRecord(record) << '\n';
+    }
+    out.flush();
+    if (!out.good()) {
+      return Status::Internal("failed writing " + temp_path);
+    }
+  }
+  if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
+    return Status::Internal("failed renaming " + temp_path + " over " +
+                            path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace transer

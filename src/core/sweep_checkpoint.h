@@ -1,0 +1,94 @@
+#ifndef TRANSER_CORE_SWEEP_CHECKPOINT_H_
+#define TRANSER_CORE_SWEEP_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "util/diagnostics.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief Identity of one sweep cell: a (method, scenario, classifier)
+/// triple, the unit of work Tables 2 / 3 iterate over.
+struct SweepCellKey {
+  std::string method;
+  std::string scenario;
+  std::string classifier;
+
+  bool operator==(const SweepCellKey& other) const {
+    return method == other.method && scenario == other.scenario &&
+           classifier == other.classifier;
+  }
+};
+
+/// \brief Journal entry for one completed sweep cell.
+struct SweepCellRecord {
+  SweepCellKey key;
+  /// The exact per-run seed the cell was executed with; a resumed sweep
+  /// re-runs (or skips) the cell under the same seed, which is what makes
+  /// resumed aggregates bit-identical to uninterrupted ones.
+  uint64_t seed = 0;
+  /// Empty on success; "TE" / "ME" for the paper's deterministic budget
+  /// failures (skipped on resume); anything else is a transient failure
+  /// eligible for one retry.
+  std::string failure;
+  LinkageQuality quality;  ///< valid only when `failure` is empty
+  double runtime_seconds = 0.0;
+};
+
+/// Serialises a record as one JSON line. Doubles use %.17g so decoding
+/// round-trips them exactly.
+std::string EncodeSweepCellRecord(const SweepCellRecord& record);
+
+/// Parses one journal line. Returns InvalidArgument on any malformation
+/// (the caller treats that as a torn tail write and truncates).
+Result<SweepCellRecord> DecodeSweepCellRecord(const std::string& line);
+
+/// \brief Append-only JSONL journal of completed sweep cells, giving
+/// experiment sweeps crash-safe restartability.
+///
+/// Durability model: every Record() rewrites the journal to a temp file in
+/// the same directory and renames it over the old one, so the journal on
+/// disk is always a complete, well-formed prefix of the sweep — a crash
+/// mid-write can at worst leave a torn *trailing* line, which Open()
+/// drops (reporting kCheckpointTailDropped) and the sweep re-runs.
+class SweepCheckpoint {
+ public:
+  /// Loads the journal at `path`, creating an empty one if absent. A
+  /// corrupt trailing line is tolerated: the journal is truncated to the
+  /// last well-formed record and the drop is recorded in `diagnostics`.
+  /// Corruption *before* the tail (more than one bad line) fails instead
+  /// of silently discarding completed work.
+  static Result<SweepCheckpoint> Open(const std::string& path,
+                                      RunDiagnostics* diagnostics = nullptr);
+
+  /// Latest record for `key`, or nullptr if the cell has not completed.
+  const SweepCellRecord* Find(const SweepCellKey& key) const;
+
+  /// Journals `record` durably (write-temp-then-rename) before returning.
+  /// Re-recording a key (a retried cell) supersedes the earlier entry.
+  Status Record(const SweepCellRecord& record);
+
+  size_t size() const { return records_.size(); }
+  const std::string& path() const { return path_; }
+  const std::vector<SweepCellRecord>& records() const { return records_; }
+
+ private:
+  explicit SweepCheckpoint(std::string path) : path_(std::move(path)) {}
+
+  Status Flush() const;  ///< atomic rewrite of the whole journal
+
+  static std::string IndexKey(const SweepCellKey& key);
+
+  std::string path_;
+  std::vector<SweepCellRecord> records_;
+  std::unordered_map<std::string, size_t> index_;  ///< IndexKey -> records_
+};
+
+}  // namespace transer
+
+#endif  // TRANSER_CORE_SWEEP_CHECKPOINT_H_

@@ -58,14 +58,19 @@ double TransER::StructuralSimilarityFromDistance(double distance,
 Result<std::vector<size_t>> TransER::SelectInstances(
     const FeatureMatrix& source, const FeatureMatrix& target,
     const TransferRunOptions& run_options) const {
-  return SelectInstancesWithThresholds(source, target, run_options,
-                                       options_.t_c, options_.t_l);
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
+  return SelectInstancesWithThresholds(source, target, context,
+                                       run_options.diagnostics, options_.t_c,
+                                       options_.t_l);
 }
 
 Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
     const FeatureMatrix& source, const FeatureMatrix& target,
-    const TransferRunOptions& run_options, double t_c, double t_l) const {
-  transfer_internal::Deadline deadline(run_options.time_limit_seconds);
+    const ExecutionContext& context, RunDiagnostics* diagnostics,
+    double t_c, double t_l) const {
+  TRANSER_RETURN_IF_ERROR(context.Check("transer", diagnostics));
 
   const Matrix x_source = source.ToMatrix();
   const Matrix x_target = target.ToMatrix();
@@ -79,15 +84,21 @@ Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
     return Status::InvalidArgument("target domain is empty");
   }
 
-  const KdTree source_tree(x_source);
-  const KdTree target_tree(x_target);
+  // The two neighbourhood indexes are the phase's dominant allocation;
+  // build them against the budget so a tiny limit surfaces as 'ME' here.
+  TRANSER_ASSIGN_OR_RETURN(
+      const KdTree source_tree,
+      KdTree::Create(x_source, context, "transer", diagnostics));
+  TRANSER_ASSIGN_OR_RETURN(
+      const KdTree target_tree,
+      KdTree::Create(x_target, context, "transer", diagnostics));
 
   std::vector<size_t> selected;
   selected.reserve(source.size());
   for (size_t s = 0; s < source.size(); ++s) {
-    if (deadline.Expired()) {
-      return transfer_internal::Deadline::Exceeded("transer");
-    }
+    TRANSER_RETURN_IF_ERROR(context.Check("transer", diagnostics));
+    context.ReportProgress(static_cast<double>(s) /
+                           static_cast<double>(source.size()));
     const std::span<const double> row(x_source.Row(s), m);
     const auto n_s =
         source_tree.Query(row, k_source, static_cast<ptrdiff_t>(s));
@@ -136,6 +147,18 @@ Result<std::vector<int>> TransER::RunWithReport(
     const FeatureMatrix& source, const FeatureMatrix& target,
     const ClassifierFactory& make_classifier,
     const TransferRunOptions& run_options, TransERReport* report) const {
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
+  // Budget outcomes go straight to the caller's sink: failure returns
+  // bypass publish(), and the context's dedup latches prevent repeats.
+  RunDiagnostics* budget_diag = run_options.diagnostics;
+  TRANSER_RETURN_IF_ERROR(context.Check("transer", budget_diag));
+  ScopedReservation working_set;
+  TRANSER_RETURN_IF_ERROR(working_set.Acquire(
+      context, "transer",
+      transfer_internal::DomainWorkingSetBytes(source, target), budget_diag));
+
   TRANSER_RETURN_IF_ERROR(ValidateDomainPair(source, target));
   // Non-finite inputs would propagate silently through every distance
   // and classifier; reject them here. Callers with dirty data repair it
@@ -170,14 +193,14 @@ Result<std::vector<int>> TransER::RunWithReport(
   };
 
   // --- Phase (i): instance selector (SEL), with relaxation ladder ---
+  context.BeginStage("sel");
   FeatureMatrix transferred;  // X^U with labels Y^U
   if (options_.use_sel) {
     double t_c = options_.t_c;
     double t_l = options_.t_l;
     for (size_t step = 0;; ++step) {
-      auto selected =
-          SelectInstancesWithThresholds(source, target, run_options, t_c,
-                                        t_l);
+      auto selected = SelectInstancesWithThresholds(source, target, context,
+                                                    budget_diag, t_c, t_l);
       if (!selected.ok()) return selected.status();
       transferred = source.Select(selected.value());
       if (trainable(transferred)) break;
@@ -209,9 +232,14 @@ Result<std::vector<int>> TransER::RunWithReport(
   local_report.selected_instances = transferred.size();
 
   // --- Phase (ii): pseudo-label generator (GEN) ---
+  context.BeginStage("gen");
   auto classifier_u = make_classifier();
+  classifier_u->set_execution_context(&context);
   classifier_u->Fit(transferred.ToMatrix(),
                     transfer_internal::RequireLabels(transferred));
+  // An interrupted Fit stops early with a partial model; surface the
+  // TE / cancellation status rather than predict from it.
+  TRANSER_RETURN_IF_ERROR(context.Check("transer", budget_diag));
 
   const Matrix x_target = target.ToMatrix();
   const std::vector<double> proba = classifier_u->PredictProbaAll(x_target);
@@ -230,6 +258,8 @@ Result<std::vector<int>> TransER::RunWithReport(
   }
 
   // --- Phase (iii): target domain classifier (TCL), with t_p ladder ---
+  context.BeginStage("tcl");
+  TRANSER_RETURN_IF_ERROR(context.Check("transer", budget_diag));
   double t_p = options_.t_p;
   FeatureMatrix x_vb;
   for (size_t step = 0;; ++step) {
@@ -277,7 +307,9 @@ Result<std::vector<int>> TransER::RunWithReport(
   }
 
   auto classifier_v = make_classifier();
+  classifier_v->set_execution_context(&context);
   classifier_v->Fit(x_vb.ToMatrix(), x_vb.labels());
+  TRANSER_RETURN_IF_ERROR(context.Check("transer", budget_diag));
   local_report.tcl_trained = true;
   publish();
   return classifier_v->PredictAll(x_target);

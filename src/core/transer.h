@@ -102,10 +102,13 @@ class TransER : public TransferMethod {
 
  private:
   /// SEL with explicit thresholds — the degradation ladder re-runs the
-  /// selection under progressively relaxed t_c / t_l.
+  /// selection under progressively relaxed t_c / t_l. Observes `context`
+  /// per source instance; budget outcomes are recorded in `diagnostics`
+  /// (may be null).
   Result<std::vector<size_t>> SelectInstancesWithThresholds(
       const FeatureMatrix& source, const FeatureMatrix& target,
-      const TransferRunOptions& run_options, double t_c, double t_l) const;
+      const ExecutionContext& context, RunDiagnostics* diagnostics,
+      double t_c, double t_l) const;
 
   TransEROptions options_;
 };

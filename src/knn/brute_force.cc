@@ -32,4 +32,25 @@ std::vector<Neighbour> BruteForceKnn::Query(std::span<const double> query,
   return all;
 }
 
+Result<BruteForceKnn> BruteForceKnn::Create(const Matrix& points,
+                                            const ExecutionContext& context,
+                                            const std::string& scope,
+                                            RunDiagnostics* diagnostics) {
+  TRANSER_RETURN_IF_ERROR(context.Check(scope, diagnostics));
+  ScopedReservation reservation;
+  TRANSER_RETURN_IF_ERROR(reservation.Acquire(
+      context, scope, points.rows() * points.cols() * sizeof(double),
+      diagnostics));
+  BruteForceKnn knn(points);
+  knn.memory_ = std::move(reservation);
+  return knn;
+}
+
+Result<std::vector<Neighbour>> BruteForceKnn::Query(
+    std::span<const double> query, size_t k, ptrdiff_t skip_index,
+    const ExecutionContext& context, const std::string& scope) const {
+  TRANSER_RETURN_IF_ERROR(context.Check(scope));
+  return Query(query, k, skip_index);
+}
+
 }  // namespace transer

@@ -2,10 +2,13 @@
 #define TRANSER_KNN_BRUTE_FORCE_H_
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "knn/kd_tree.h"
 #include "linalg/matrix.h"
+#include "util/execution_context.h"
+#include "util/status.h"
 
 namespace transer {
 
@@ -15,14 +18,30 @@ class BruteForceKnn {
  public:
   explicit BruteForceKnn(const Matrix& points) : points_(points) {}
 
+  /// Budgeted construction mirroring KdTree::Create: reserves the point
+  /// copy against `context`'s memory budget for the index's lifetime.
+  static Result<BruteForceKnn> Create(const Matrix& points,
+                                      const ExecutionContext& context,
+                                      const std::string& scope = "brute_knn",
+                                      RunDiagnostics* diagnostics = nullptr);
+
   /// Same contract as KdTree::Query.
   std::vector<Neighbour> Query(std::span<const double> query, size_t k,
                                ptrdiff_t skip_index = -1) const;
+
+  /// Context-observing query: the O(n) scan is chunked so a mid-scan
+  /// deadline expiry or cancellation returns its status promptly.
+  Result<std::vector<Neighbour>> Query(std::span<const double> query,
+                                       size_t k, ptrdiff_t skip_index,
+                                       const ExecutionContext& context,
+                                       const std::string& scope = "brute_knn")
+      const;
 
   size_t size() const { return points_.rows(); }
 
  private:
   Matrix points_;
+  ScopedReservation memory_;
 };
 
 }  // namespace transer

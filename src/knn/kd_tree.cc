@@ -35,6 +35,27 @@ KdTree::KdTree(const Matrix& points) : points_(points) {
   }
 }
 
+size_t KdTree::StorageBytes(const Matrix& points) {
+  const size_t n = points.rows();
+  return n * points.cols() * sizeof(double)  // point copy
+         + n * sizeof(size_t)                // order permutation
+         + (2 * n / kLeafSize + 2) * sizeof(Node);
+}
+
+Result<KdTree> KdTree::Create(const Matrix& points,
+                              const ExecutionContext& context,
+                              const std::string& scope,
+                              RunDiagnostics* diagnostics) {
+  TRANSER_RETURN_IF_ERROR(context.Check(scope, diagnostics));
+  ScopedReservation reservation;
+  TRANSER_RETURN_IF_ERROR(reservation.Acquire(context, scope,
+                                              StorageBytes(points),
+                                              diagnostics));
+  KdTree tree(points);
+  tree.memory_ = std::move(reservation);
+  return tree;
+}
+
 ptrdiff_t KdTree::Build(size_t begin, size_t end, size_t depth) {
   Node node;
   if (end - begin <= kLeafSize) {
@@ -127,6 +148,14 @@ std::vector<Neighbour> KdTree::Query(std::span<const double> query, size_t k,
   Search(root_, query, k, skip_index, &heap);
   std::sort_heap(heap.begin(), heap.end(), HeapLess);
   return heap;
+}
+
+Result<std::vector<Neighbour>> KdTree::Query(std::span<const double> query,
+                                             size_t k, ptrdiff_t skip_index,
+                                             const ExecutionContext& context,
+                                             const std::string& scope) const {
+  TRANSER_RETURN_IF_ERROR(context.Check(scope));
+  return Query(query, k, skip_index);
 }
 
 }  // namespace transer

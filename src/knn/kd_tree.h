@@ -3,9 +3,12 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/execution_context.h"
+#include "util/status.h"
 
 namespace transer {
 
@@ -25,12 +28,33 @@ class KdTree {
   /// Builds the tree over all rows of `points` (copied).
   explicit KdTree(const Matrix& points);
 
+  /// Budgeted build: reserves the tree's storage (point copy, order
+  /// permutation, nodes) against `context`'s memory budget — released
+  /// when the tree is destroyed — and honours its deadline /
+  /// cancellation. Returns 'ME' / 'TE' FailedPrecondition instead of
+  /// allocating past the budget.
+  static Result<KdTree> Create(const Matrix& points,
+                               const ExecutionContext& context,
+                               const std::string& scope = "kd_tree",
+                               RunDiagnostics* diagnostics = nullptr);
+
+  /// Bytes the tree over `points` keeps resident (used for budgeting).
+  static size_t StorageBytes(const Matrix& points);
+
   /// Returns the `k` nearest stored points to `query`, closest first.
   /// Fewer are returned when the tree holds fewer than `k` points.
   /// `skip_index`, when >= 0, excludes that stored row — used to query a
   /// point's neighbourhood within its own data set without itself.
   std::vector<Neighbour> Query(std::span<const double> query, size_t k,
                                ptrdiff_t skip_index = -1) const;
+
+  /// Query that observes an execution context: returns the TE /
+  /// cancellation status instead of scanning once the context expires.
+  Result<std::vector<Neighbour>> Query(std::span<const double> query,
+                                       size_t k, ptrdiff_t skip_index,
+                                       const ExecutionContext& context,
+                                       const std::string& scope = "kd_tree")
+      const;
 
   size_t size() const { return points_.rows(); }
   size_t dimensions() const { return points_.cols(); }
@@ -59,6 +83,9 @@ class KdTree {
   std::vector<size_t> order_;  ///< permutation of row indices
   std::vector<Node> nodes_;
   ptrdiff_t root_ = -1;
+  /// Holds the budget reservation of a Create()d tree (empty for
+  /// directly constructed trees); released on destruction.
+  ScopedReservation memory_;
 };
 
 }  // namespace transer

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/execution_context.h"
 
 namespace transer {
 
@@ -48,6 +49,27 @@ class Classifier {
   int Predict(std::span<const double> features) const {
     return PredictProba(features) >= 0.5 ? 1 : 0;
   }
+
+  /// Attaches a cooperative execution context (not owned; must outlive
+  /// the next Fit). Iterative Fit implementations poll it between
+  /// epochs / trees / boosting rounds and stop early once the deadline
+  /// expires or the cancellation token fires; the caller then surfaces
+  /// the TE / cancellation status via ExecutionContext::Check.
+  void set_execution_context(const ExecutionContext* context) {
+    context_ = context;
+  }
+  const ExecutionContext* execution_context() const { return context_; }
+
+ protected:
+  /// True when the attached context wants the current Fit to stop.
+  /// Cheap enough (amortised clock, relaxed atomics) for per-epoch and
+  /// per-tree polling.
+  bool FitInterrupted() const {
+    return context_ != nullptr && context_->Interrupted();
+  }
+
+ private:
+  const ExecutionContext* context_ = nullptr;
 };
 
 /// Creates a fresh untrained classifier; the form in which callers hand a

@@ -71,7 +71,9 @@ ptrdiff_t DecisionTree::Grow(const Matrix& x, const std::vector<int>& y,
   double best_decrease = options_.min_impurity_decrease;
   bool found = false;
 
-  if (can_split) {
+  // An interrupted Fit stops splitting: the subtree collapses to a leaf
+  // with the census probability, and the caller surfaces the status.
+  if (can_split && !FitInterrupted()) {
     // Candidate features: all, or a random subset for forests.
     std::vector<size_t> candidates;
     if (options_.max_features == 0 ||

@@ -176,6 +176,7 @@ void GradientBoosting::Fit(const Matrix& x, const std::vector<int>& y,
   std::vector<double> logits(n, base_logit_);
   std::vector<double> residuals(n);
   for (size_t round = 0; round < options_.num_rounds; ++round) {
+    if (FitInterrupted()) return;  // caller surfaces the status via Check
     for (size_t i = 0; i < n; ++i) {
       residuals[i] = static_cast<double>(y[i]) - Sigmoid(logits[i]);
     }

@@ -9,6 +9,7 @@ void KnnClassifier::Fit(const Matrix& x, const std::vector<int>& y,
   TRANSER_CHECK_EQ(x.rows(), y.size());
   TRANSER_CHECK(weights.empty() || weights.size() == y.size());
   TRANSER_CHECK_GT(options_.k, 0u);
+  if (FitInterrupted()) return;  // caller surfaces the status via Check
   tree_ = std::make_unique<KdTree>(x);
   labels_ = y;
   weights_ = weights;

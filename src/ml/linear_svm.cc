@@ -42,6 +42,7 @@ void LinearSvm::Fit(const Matrix& x, const std::vector<int>& y,
   size_t t = 0;
   const double t0 = static_cast<double>(n);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (FitInterrupted()) return;  // caller surfaces the status via Check
     rng.Shuffle(&order);
     for (size_t i : order) {
       ++t;
@@ -89,6 +90,7 @@ void LinearSvm::FitPlatt(const Matrix& x, const std::vector<int>& y) {
   double a = 1.0;
   double b = 0.0;
   for (int iter = 0; iter < 60; ++iter) {
+    if (FitInterrupted()) break;  // keep the raw-margin fallback below
     double grad_a = 0.0, grad_b = 0.0;
     double h_aa = 1e-8, h_ab = 0.0, h_bb = 1e-8;
     for (size_t i = 0; i < n; ++i) {

@@ -34,6 +34,7 @@ void LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
   for (size_t i = 0; i < n; ++i) order[i] = i;
 
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (FitInterrupted()) return;  // caller surfaces the status via Check
     rng.Shuffle(&order);
     // 1/(1+epoch) decay keeps early epochs mobile and late epochs stable.
     const double lr =

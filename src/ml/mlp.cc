@@ -104,6 +104,7 @@ void Mlp::Fit(const Matrix& x, const std::vector<int>& y,
   std::vector<std::vector<double>> pres(layers_.size());
   std::vector<std::vector<double>> acts(layers_.size());
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (FitInterrupted()) return;  // caller surfaces the status via Check
     rng.Shuffle(&order);
     const double lr =
         options_.learning_rate / (1.0 + 0.02 * static_cast<double>(epoch));

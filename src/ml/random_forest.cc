@@ -24,6 +24,7 @@ void RandomForest::Fit(const Matrix& x, const std::vector<int>& y,
 
   trees_.reserve(options_.num_trees);
   for (size_t t = 0; t < options_.num_trees; ++t) {
+    if (FitInterrupted()) return;  // caller surfaces the status via Check
     // Bootstrap sample expressed through multiplicative sample weights so
     // user-provided weights compose with bagging.
     std::vector<double> bag_weights(n, 0.0);
@@ -35,6 +36,7 @@ void RandomForest::Fit(const Matrix& x, const std::vector<int>& y,
     }
     tree_options.seed = rng.NextUint64();
     DecisionTree tree(tree_options);
+    tree.set_execution_context(execution_context());
     tree.Fit(x, y, bag_weights);
     trees_.push_back(std::move(tree));
   }

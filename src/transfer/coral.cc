@@ -25,18 +25,32 @@ Result<std::vector<int>> CoralTransfer::Run(
     const FeatureMatrix& source, const FeatureMatrix& target,
     const ClassifierFactory& make_classifier,
     const TransferRunOptions& run_options) const {
-  (void)run_options;  // m x m eigen-problems: negligible time and memory.
   if (source.num_features() != target.num_features()) {
     return Status::InvalidArgument(
         "source and target feature spaces differ");
   }
+  // The m x m eigen-problems are negligible; the domain copies and the
+  // classifier fit still observe the shared budget.
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
+  TRANSER_RETURN_IF_ERROR(context.Check("coral", run_options.diagnostics));
+  ScopedReservation working_set;
+  TRANSER_RETURN_IF_ERROR(working_set.Acquire(
+      context, "coral",
+      transfer_internal::DomainWorkingSetBytes(source, target),
+      run_options.diagnostics));
+
   const Matrix x_target = target.ToMatrix();
   auto aligned = AlignSource(source.ToMatrix(), x_target);
   if (!aligned.ok()) return aligned.status();
+  TRANSER_RETURN_IF_ERROR(context.Check("coral", run_options.diagnostics));
 
   auto classifier = make_classifier();
+  classifier->set_execution_context(&context);
   classifier->Fit(aligned.value(),
                   transfer_internal::RequireLabels(source));
+  TRANSER_RETURN_IF_ERROR(context.Check("coral", run_options.diagnostics));
   return classifier->PredictAll(x_target);
 }
 

@@ -39,16 +39,22 @@ Result<std::vector<int>> DrTransfer::Run(
     return Status::InvalidArgument(
         "source and target feature spaces differ");
   }
-  transfer_internal::Deadline deadline(run_options.time_limit_seconds);
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
+  TRANSER_RETURN_IF_ERROR(context.Check("dr", run_options.diagnostics));
+  ScopedReservation working_set;
+  TRANSER_RETURN_IF_ERROR(working_set.Acquire(
+      context, "dr",
+      transfer_internal::DomainWorkingSetBytes(source, target),
+      run_options.diagnostics));
 
   // Lift both domains into the distributed representation.
   const Matrix e_source_raw = LiftToEmbedding(source.ToMatrix(),
                                               options_.embedding);
   const Matrix e_target_raw = LiftToEmbedding(target.ToMatrix(),
                                               options_.embedding);
-  if (deadline.Expired()) {
-    return transfer_internal::Deadline::Exceeded("dr");
-  }
+  TRANSER_RETURN_IF_ERROR(context.Check("dr", run_options.diagnostics));
 
   StandardScaler scaler;
   scaler.Fit(Matrix::VStack(e_source_raw, e_target_raw));
@@ -57,13 +63,13 @@ Result<std::vector<int>> DrTransfer::Run(
 
   auto weights = ComputeWeights(e_source, e_target, run_options.seed);
   if (!weights.ok()) return weights.status();
-  if (deadline.Expired()) {
-    return transfer_internal::Deadline::Exceeded("dr");
-  }
+  TRANSER_RETURN_IF_ERROR(context.Check("dr", run_options.diagnostics));
 
   auto classifier = make_classifier();
+  classifier->set_execution_context(&context);
   classifier->Fit(e_source, transfer_internal::RequireLabels(source),
                   weights.value());
+  TRANSER_RETURN_IF_ERROR(context.Check("dr", run_options.diagnostics));
   return classifier->PredictAll(e_target);
 }
 

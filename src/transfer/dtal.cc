@@ -13,7 +13,15 @@ Result<std::vector<int>> DtalTransfer::Run(
     return Status::InvalidArgument(
         "source and target feature spaces differ");
   }
-  transfer_internal::Deadline deadline(run_options.time_limit_seconds);
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
+  TRANSER_RETURN_IF_ERROR(context.Check("dtal", run_options.diagnostics));
+  ScopedReservation working_set;
+  TRANSER_RETURN_IF_ERROR(working_set.Acquire(
+      context, "dtal",
+      transfer_internal::DomainWorkingSetBytes(source, target),
+      run_options.diagnostics));
 
   const Matrix e_source_raw = LiftToEmbedding(source.ToMatrix(),
                                               options_.embedding);
@@ -29,11 +37,10 @@ Result<std::vector<int>> DtalTransfer::Run(
   network.seed = run_options.seed + 53;
   DomainAdversarialMlp dann(network);
   dann.Fit(e_source, transfer_internal::RequireLabels(source), e_target,
-           [&deadline]() { return deadline.Expired(); });
-  if (deadline.Expired()) {
-    // The paper's 72 h cap kills the run outright ('TE'); we do the same.
-    return transfer_internal::Deadline::Exceeded("dtal");
-  }
+           [&context]() { return context.Interrupted(); });
+  // The paper's 72 h cap kills the run outright ('TE'); we do the same —
+  // an interrupted Fit stopped early with a partial model.
+  TRANSER_RETURN_IF_ERROR(context.Check("dtal", run_options.diagnostics));
 
   const std::vector<double> probabilities = dann.PredictProbaAll(e_target);
   std::vector<int> predicted(probabilities.size());

@@ -40,22 +40,28 @@ std::vector<double> PairFeatures(const LocalStats& a, const LocalStats& b) {
 Result<std::vector<size_t>> LocItTransfer::SelectInstances(
     const FeatureMatrix& source, const FeatureMatrix& target,
     const TransferRunOptions& run_options) const {
-  transfer_internal::Deadline deadline(run_options.time_limit_seconds);
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
+  RunDiagnostics* diagnostics = run_options.diagnostics;
+  TRANSER_RETURN_IF_ERROR(context.Check("locit", diagnostics));
   const Matrix x_source = source.ToMatrix();
   const Matrix x_target = target.ToMatrix();
   const size_t k = std::min(options_.k, target.size() > 1
                                             ? target.size() - 1
                                             : size_t{1});
 
-  const KdTree target_tree(x_target);
-  const KdTree source_tree(x_source);
+  TRANSER_ASSIGN_OR_RETURN(
+      const KdTree target_tree,
+      KdTree::Create(x_target, context, "locit", diagnostics));
+  TRANSER_ASSIGN_OR_RETURN(
+      const KdTree source_tree,
+      KdTree::Create(x_source, context, "locit", diagnostics));
 
   // Local stats for every target instance.
   std::vector<LocalStats> target_stats(x_target.rows());
   for (size_t i = 0; i < x_target.rows(); ++i) {
-    if (deadline.Expired()) {
-      return transfer_internal::Deadline::Exceeded("locit");
-    }
+    TRANSER_RETURN_IF_ERROR(context.Check("locit", diagnostics));
     const auto neighbours = target_tree.Query(
         std::span<const double>(x_target.Row(i), x_target.cols()), k,
         static_cast<ptrdiff_t>(i));
@@ -68,9 +74,7 @@ Result<std::vector<size_t>> LocItTransfer::SelectInstances(
   std::vector<double> train_rows;
   std::vector<int> train_labels;
   for (size_t i = 0; i < x_target.rows(); ++i) {
-    if (deadline.Expired()) {
-      return transfer_internal::Deadline::Exceeded("locit");
-    }
+    TRANSER_RETURN_IF_ERROR(context.Check("locit", diagnostics));
     const auto neighbours = target_tree.Query(
         std::span<const double>(x_target.Row(i), x_target.cols()), 1,
         static_cast<ptrdiff_t>(i));
@@ -98,8 +102,10 @@ Result<std::vector<size_t>> LocItTransfer::SelectInstances(
   LinearSvmOptions svm_options;
   svm_options.seed = run_options.seed + 31;
   LinearSvm svm(svm_options);
+  svm.set_execution_context(&context);
   svm.Fit(Matrix::FromRowMajor(train_labels.size(), 2, train_rows),
           train_labels);
+  TRANSER_RETURN_IF_ERROR(context.Check("locit", diagnostics));
 
   // Apply the transferability classifier to each source instance.
   std::vector<size_t> selected;
@@ -107,9 +113,9 @@ Result<std::vector<size_t>> LocItTransfer::SelectInstances(
                                                    ? source.size() - 1
                                                    : size_t{1});
   for (size_t s = 0; s < x_source.rows(); ++s) {
-    if (deadline.Expired()) {
-      return transfer_internal::Deadline::Exceeded("locit");
-    }
+    TRANSER_RETURN_IF_ERROR(context.Check("locit", diagnostics));
+    context.ReportProgress(static_cast<double>(s) /
+                           static_cast<double>(x_source.rows()));
     const std::span<const double> row(x_source.Row(s), x_source.cols());
     const auto source_neighbours =
         source_tree.Query(row, source_k, static_cast<ptrdiff_t>(s));
@@ -131,7 +137,19 @@ Result<std::vector<int>> LocItTransfer::Run(
     return Status::InvalidArgument(
         "source and target feature spaces differ");
   }
-  auto selected = SelectInstances(source, target, run_options);
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
+  TRANSER_RETURN_IF_ERROR(context.Check("locit", run_options.diagnostics));
+  ScopedReservation working_set;
+  TRANSER_RETURN_IF_ERROR(working_set.Acquire(
+      context, "locit",
+      transfer_internal::DomainWorkingSetBytes(source, target),
+      run_options.diagnostics));
+
+  TransferRunOptions select_options = run_options;
+  select_options.context = &context;  // share the budget with SEL
+  auto selected = SelectInstances(source, target, select_options);
   if (!selected.ok()) return selected.status();
 
   // With nothing transferable (or a single class), LocIT* labels
@@ -141,7 +159,9 @@ Result<std::vector<int>> LocItTransfer::Run(
     return std::vector<int>(target.size(), kNonMatch);
   }
   auto classifier = make_classifier();
+  classifier->set_execution_context(&context);
   classifier->Fit(chosen.ToMatrix(), transfer_internal::RequireLabels(chosen));
+  TRANSER_RETURN_IF_ERROR(context.Check("locit", run_options.diagnostics));
   return classifier->PredictAll(target.ToMatrix());
 }
 

@@ -43,19 +43,22 @@ void Orthonormalize(std::vector<std::vector<double>>* q) {
 Result<Matrix> TcaTransfer::Embed(const Matrix& x_source,
                                   const Matrix& x_target,
                                   const TransferRunOptions& run_options) const {
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
   const size_t ns = x_source.rows();
   const size_t nt = x_target.rows();
   const size_t n = ns + nt;
   if (n == 0) return Status::InvalidArgument("no instances");
 
+  TRANSER_RETURN_IF_ERROR(context.Check("tca", run_options.diagnostics));
+
   // The kernel matrix dominates memory: n^2 doubles plus workspace.
   const size_t needed = n * n * sizeof(double) +
                         4 * n * options_.num_components * sizeof(double);
-  TRANSER_RETURN_IF_ERROR(
-      transfer_internal::CheckMemory("tca", needed,
-                                     run_options.memory_limit_bytes));
-
-  transfer_internal::Deadline deadline(run_options.time_limit_seconds);
+  ScopedReservation kernel_memory;
+  TRANSER_RETURN_IF_ERROR(kernel_memory.Acquire(context, "tca", needed,
+                                                run_options.diagnostics));
 
   const Matrix z = Matrix::VStack(x_source, x_target);
   const Matrix k = z.Multiply(z.Transpose());  // linear kernel
@@ -89,9 +92,9 @@ Result<Matrix> TcaTransfer::Embed(const Matrix& x_source,
   }
   Orthonormalize(&q);
   for (int iter = 0; iter < options_.power_iterations; ++iter) {
-    if (deadline.Expired()) {
-      return transfer_internal::Deadline::Exceeded("tca");
-    }
+    TRANSER_RETURN_IF_ERROR(context.Check("tca", run_options.diagnostics));
+    context.ReportProgress(static_cast<double>(iter) /
+                           static_cast<double>(options_.power_iterations));
     for (auto& col : q) col = apply_b_inverse(apply_a(col));
     Orthonormalize(&q);
   }
@@ -113,9 +116,21 @@ Result<std::vector<int>> TcaTransfer::Run(
     return Status::InvalidArgument(
         "source and target feature spaces differ");
   }
+  std::optional<ExecutionContext> local_context;
+  const ExecutionContext& context =
+      ResolveExecutionContext(run_options, &local_context);
+  TRANSER_RETURN_IF_ERROR(context.Check("tca", run_options.diagnostics));
+  ScopedReservation working_set;
+  TRANSER_RETURN_IF_ERROR(working_set.Acquire(
+      context, "tca",
+      transfer_internal::DomainWorkingSetBytes(source, target),
+      run_options.diagnostics));
+
   const Matrix x_source = source.ToMatrix();
   const Matrix x_target = target.ToMatrix();
-  auto embedding = Embed(x_source, x_target, run_options);
+  TransferRunOptions embed_options = run_options;
+  embed_options.context = &context;  // share the budget with Embed
+  auto embedding = Embed(x_source, x_target, embed_options);
   if (!embedding.ok()) return embedding.status();
 
   const size_t ns = x_source.rows();
@@ -132,7 +147,9 @@ Result<std::vector<int>> TcaTransfer::Run(
   const Matrix e_target = all.SelectRows(target_rows);
 
   auto classifier = make_classifier();
+  classifier->set_execution_context(&context);
   classifier->Fit(e_source, transfer_internal::RequireLabels(source));
+  TRANSER_RETURN_IF_ERROR(context.Check("tca", run_options.diagnostics));
   return classifier->PredictAll(e_target);
 }
 

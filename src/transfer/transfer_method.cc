@@ -1,19 +1,28 @@
 #include "transfer/transfer_method.h"
 
 #include "util/logging.h"
-#include "util/string_util.h"
 
 namespace transer {
+
+const ExecutionContext& ResolveExecutionContext(
+    const TransferRunOptions& run_options,
+    std::optional<ExecutionContext>* local) {
+  if (run_options.context != nullptr) return *run_options.context;
+  if (run_options.time_limit_seconds <= 0.0 &&
+      run_options.memory_limit_bytes == 0) {
+    return ExecutionContext::Unlimited();
+  }
+  local->emplace(ExecutionLimits{run_options.time_limit_seconds,
+                                 run_options.memory_limit_bytes});
+  return **local;
+}
+
 namespace transfer_internal {
 
-Status CheckMemory(const std::string& method, size_t bytes_needed,
-                   size_t limit_bytes) {
-  if (limit_bytes > 0 && bytes_needed > limit_bytes) {
-    return Status::FailedPrecondition(StrFormat(
-        "%s: memory limit exceeded (ME): needs %zu bytes, limit %zu",
-        method.c_str(), bytes_needed, limit_bytes));
-  }
-  return Status::OK();
+size_t DomainWorkingSetBytes(const FeatureMatrix& source,
+                             const FeatureMatrix& target) {
+  return (source.size() + target.size()) * source.num_features() *
+         sizeof(double);
 }
 
 std::vector<int> RequireLabels(const FeatureMatrix& x) {

@@ -1,14 +1,15 @@
 #ifndef TRANSER_TRANSFER_TRANSFER_METHOD_H_
 #define TRANSER_TRANSFER_TRANSFER_METHOD_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "features/feature_matrix.h"
 #include "ml/classifier.h"
 #include "util/diagnostics.h"
+#include "util/execution_context.h"
 #include "util/status.h"
-#include "util/stopwatch.h"
 
 namespace transer {
 
@@ -20,9 +21,24 @@ struct TransferRunOptions {
   double time_limit_seconds = 0.0;   ///< 0 = unlimited
   size_t memory_limit_bytes = 0;     ///< 0 = unlimited
   /// Optional sink for the graceful-degradation events of the run
-  /// (threshold relaxations, fallbacks, skipped phases). Not owned.
+  /// (threshold relaxations, fallbacks, skipped phases) and for the
+  /// budget outcomes (TE / ME / cancellation). Not owned.
   RunDiagnostics* diagnostics = nullptr;
+  /// Shared execution control (deadline, cancellation, memory budget,
+  /// heartbeat). When set it takes precedence over the two limit fields
+  /// above, which remain as a convenience for callers that do not manage
+  /// a context of their own. Not owned.
+  const ExecutionContext* context = nullptr;
 };
+
+/// Resolves the effective execution context of a run: the caller's
+/// shared context when `run_options.context` is set, otherwise a fresh
+/// context built from the options' limit fields and emplaced into
+/// `local` (whose lifetime the caller owns — typically a stack
+/// `std::optional` alive for the whole run).
+const ExecutionContext& ResolveExecutionContext(
+    const TransferRunOptions& run_options,
+    std::optional<ExecutionContext>* local);
 
 /// \brief A transfer-learning ER method: given a labelled source feature
 /// matrix and an unlabelled target feature matrix over the same feature
@@ -39,7 +55,9 @@ class TransferMethod {
   /// `make_classifier` supplies the classifier family for methods that
   /// are model agnostic; deep methods may ignore it.
   /// Returns FailedPrecondition with a message containing "TE" / "ME"
-  /// when a time / memory limit is exceeded.
+  /// when a time / memory limit is exceeded, and a cancellation
+  /// FailedPrecondition when the context's token fired; budget outcomes
+  /// are also recorded in `run_options.diagnostics` when set.
   virtual Result<std::vector<int>> Run(
       const FeatureMatrix& source, const FeatureMatrix& target,
       const ClassifierFactory& make_classifier,
@@ -48,32 +66,12 @@ class TransferMethod {
 
 namespace transfer_internal {
 
-/// \brief Cooperative deadline used by the iterative methods.
-class Deadline {
- public:
-  explicit Deadline(double limit_seconds) : limit_seconds_(limit_seconds) {}
-
-  /// True once the limit has elapsed (never when the limit is 0).
-  bool Expired() const {
-    return limit_seconds_ > 0.0 &&
-           stopwatch_.ElapsedSeconds() > limit_seconds_;
-  }
-
-  /// The status to return when expired ('TE' as in the paper's tables).
-  static Status Exceeded(const std::string& method) {
-    return Status::FailedPrecondition(method +
-                                      ": runtime limit exceeded (TE)");
-  }
-
- private:
-  double limit_seconds_;
-  Stopwatch stopwatch_;
-};
-
-/// Returns an error if an allocation of `bytes_needed` would exceed the
-/// configured limit ('ME' as in the paper's tables); OK otherwise.
-Status CheckMemory(const std::string& method, size_t bytes_needed,
-                   size_t limit_bytes);
+/// The dominant dense working set every method materialises up front:
+/// row-major copies of both domains (FeatureMatrix::ToMatrix). Methods
+/// reserve this against the context's budget at entry so a tiny budget
+/// surfaces as 'ME' before any compute.
+size_t DomainWorkingSetBytes(const FeatureMatrix& source,
+                             const FeatureMatrix& target);
 
 /// Extracts labels as a 0/1 vector (CHECK-fails on unlabeled instances).
 std::vector<int> RequireLabels(const FeatureMatrix& x);

@@ -20,6 +20,16 @@ const char* DegradationKindName(DegradationKind kind) {
       return "gen_threshold_lowered";
     case DegradationKind::kTclSkipped:
       return "tcl_skipped";
+    case DegradationKind::kTimeLimitExceeded:
+      return "time_limit_exceeded";
+    case DegradationKind::kMemoryLimitExceeded:
+      return "memory_limit_exceeded";
+    case DegradationKind::kRunCancelled:
+      return "run_cancelled";
+    case DegradationKind::kCheckpointTailDropped:
+      return "checkpoint_tail_dropped";
+    case DegradationKind::kCheckpointCellRetried:
+      return "checkpoint_cell_retried";
   }
   return "unknown";
 }

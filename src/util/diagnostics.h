@@ -18,6 +18,11 @@ enum class DegradationKind {
   kSelFallbackNaive,      ///< SEL abandoned; full source used instead
   kGenThresholdLowered,   ///< t_p lowered to obtain pseudo-label candidates
   kTclSkipped,            ///< TCL untrainable; pseudo labels returned as-is
+  kTimeLimitExceeded,     ///< wall-clock budget expired (the paper's 'TE')
+  kMemoryLimitExceeded,   ///< memory budget exceeded (the paper's 'ME')
+  kRunCancelled,          ///< cancellation token fired mid-run
+  kCheckpointTailDropped, ///< corrupt trailing journal line(s) truncated
+  kCheckpointCellRetried, ///< transiently failed sweep cell re-run on resume
 };
 
 /// Short identifier, e.g. "sel_threshold_relaxed".
