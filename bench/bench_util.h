@@ -3,19 +3,43 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace transer {
 namespace bench {
 
 /// \brief Tiny --key=value flag parser shared by the bench binaries.
+/// Every flag the binary understands must be named in `allowed`; any
+/// other argument (a typo, a positional, a stray -x) exits with code 2
+/// instead of being silently ignored — a mistyped --time-limit must not
+/// quietly run unlimited.
 class Flags {
  public:
-  Flags(int argc, char** argv) {
+  Flags(int argc, char** argv,
+        std::initializer_list<const char*> allowed) {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+    for (const char* name : allowed) allowed_.emplace_back(name);
+    for (const auto& arg : args_) {
+      if (!StartsWith(arg, "--")) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      const size_t eq = arg.find('=');
+      const std::string name =
+          arg.substr(2, eq == std::string::npos ? eq : eq - 2);
+      bool known = false;
+      for (const auto& candidate : allowed_) known |= candidate == name;
+      if (!known) {
+        std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+        std::exit(2);
+      }
+    }
   }
 
   double GetDouble(const std::string& name, double fallback) const {
@@ -70,6 +94,73 @@ class Flags {
   }
 
   std::vector<std::string> args_;
+  std::vector<std::string> allowed_;
+};
+
+/// Reads --threads (default 0 = hardware width), installs it as the
+/// process-wide default lane count, and returns the resolved value.
+/// Every binary taking this flag produces bit-identical tables at any
+/// --threads value; only wall time changes.
+inline int ConfigureThreads(const Flags& flags) {
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads=%lld is invalid: must be >= 0\n",
+                 static_cast<long long>(threads));
+    std::exit(2);
+  }
+  SetDefaultThreadCount(static_cast<int>(threads));
+  return DefaultThreadCount();
+}
+
+/// \brief Machine-readable run report of one bench binary, written to
+/// BENCH_<name>.json in the working directory: per-stage wall time, the
+/// thread count the binary ran with, and free-form numeric extras (e.g.
+/// speedup_vs_1_thread). Consumed by scripts; the human-readable table
+/// stays on stdout.
+class BenchReport {
+ public:
+  BenchReport(std::string name, int threads)
+      : name_(std::move(name)), threads_(threads) {}
+
+  void AddStage(const std::string& stage, double seconds) {
+    stages_.emplace_back(stage, seconds);
+  }
+
+  void AddExtra(const std::string& key, double value) {
+    extras_.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<name>.json. A write failure warns on stderr but never
+  /// fails the bench — the JSON sidecar is an artefact, not the result.
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out, "{\"name\":\"%s\",\"threads\":%d,\"stages\":[",
+                 name_.c_str(), threads_);
+    for (size_t i = 0; i < stages_.size(); ++i) {
+      std::fprintf(out, "%s{\"stage\":\"%s\",\"seconds\":%.6g}",
+                   i == 0 ? "" : ",", stages_[i].first.c_str(),
+                   stages_[i].second);
+    }
+    std::fprintf(out, "],\"extra\":{");
+    for (size_t i = 0; i < extras_.size(); ++i) {
+      std::fprintf(out, "%s\"%s\":%.6g", i == 0 ? "" : ",",
+                   extras_[i].first.c_str(), extras_[i].second);
+    }
+    std::fprintf(out, "}}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  int threads_;
+  std::vector<std::pair<std::string, double>> stages_;
+  std::vector<std::pair<std::string, double>> extras_;
 };
 
 }  // namespace bench

@@ -23,6 +23,7 @@
 #include "transfer/tradaboost.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace transer {
@@ -35,7 +36,10 @@ ClassifierFactory MakeRfFactory() {
 }
 
 int Main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv, {"scale", "seed", "budget", "labeled", "threads"});
+  const int threads = bench::ConfigureThreads(flags);
+  bench::BenchReport bench_report("extensions", threads);
+  Stopwatch run_watch;
   ScenarioScale scale;
   scale.scale = flags.GetDouble("scale", 0.015);
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
@@ -122,6 +126,8 @@ int Main(int argc, char** argv) {
       "\nExpected: the oracle budget never hurts; TrAdaBoost benefits from\n"
       "target labels where conditionals conflict; the ranker prefers the\n"
       "genuine source over the decoy.\n");
+  bench_report.AddStage("run", run_watch.ElapsedSeconds());
+  bench_report.Write();
   return 0;
 }
 

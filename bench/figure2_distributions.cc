@@ -34,7 +34,10 @@ void PrintHistogram(const std::string& title, const FeatureMatrix& x,
 }
 
 int Main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv, {"scale", "seed", "bins", "threads"});
+  const int threads = bench::ConfigureThreads(flags);
+  bench::BenchReport bench_report("figure2", threads);
+  Stopwatch run_watch;
   ScenarioScale scale;
   scale.scale = flags.GetDouble("scale", 0.05);
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
@@ -50,6 +53,8 @@ int Main(int argc, char** argv) {
   const TransferScenario bib =
       BuildScenario(ScenarioId::kDblpAcmToDblpScholar, scale);
   PrintHistogram("DBLP-ACM", bib.source, bins);
+  bench_report.AddStage("run", run_watch.ElapsedSeconds());
+  bench_report.Write();
   return 0;
 }
 

@@ -6,14 +6,20 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "core/transer.h"
 #include "eval/table_printer.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace transer {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv, {"threads"});
+  const int threads = bench::ConfigureThreads(flags);
+  bench::BenchReport bench_report("figure5", threads);
+  Stopwatch run_watch;
   std::printf(
       "Figure 5: behaviour of exponential decay functions e^{-c x}.\n"
       "c = 5 (the paper's choice) spreads normalised centroid distances\n"
@@ -37,10 +43,12 @@ int Main() {
               " (= e^-5 = %.4f)\n",
               TransER::StructuralSimilarityFromDistance(2.0, 4),
               std::exp(-5.0));
+  bench_report.AddStage("run", run_watch.ElapsedSeconds());
+  bench_report.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace transer
 
-int main() { return transer::Main(); }
+int main(int argc, char** argv) { return transer::Main(argc, argv); }

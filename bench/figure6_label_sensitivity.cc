@@ -15,13 +15,17 @@
 #include "ml/sampling.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace transer {
 namespace {
 
 int Main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv, {"scale", "seed", "threads"});
+  const int threads = bench::ConfigureThreads(flags);
+  bench::BenchReport bench_report("figure6", threads);
+  Stopwatch run_watch;
   ScenarioScale scale;
   scale.scale = flags.GetDouble("scale", 0.015);
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
@@ -63,6 +67,8 @@ int Main(int argc, char** argv) {
       "\nExpected shape (paper Figure 6): quality improves with the\n"
       "labelled fraction; the small bibliographic pair suffers most at\n"
       "25%% while the larger pairs are already good with fewer labels.\n");
+  bench_report.AddStage("run", run_watch.ElapsedSeconds());
+  bench_report.Write();
   return 0;
 }
 

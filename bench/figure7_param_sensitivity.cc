@@ -14,6 +14,7 @@
 #include "data/scenario.h"
 #include "eval/table_printer.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace transer {
@@ -43,7 +44,10 @@ std::vector<Sweep> Sweeps() {
 }
 
 int Main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv, {"scale", "seed", "threads"});
+  const int threads = bench::ConfigureThreads(flags);
+  bench::BenchReport bench_report("figure7", threads);
+  Stopwatch run_watch;
   ScenarioScale scale;
   scale.scale = flags.GetDouble("scale", 0.01);
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
@@ -84,6 +88,8 @@ int Main(int argc, char** argv) {
       "Expected shape (paper Figure 7): results are robust across most of\n"
       "each range, with drops at the strict extremes (t_l=1.0, t_p=1.0)\n"
       "where too few instances survive the filters.\n");
+  bench_report.AddStage("run", run_watch.ElapsedSeconds());
+  bench_report.Write();
   return 0;
 }
 

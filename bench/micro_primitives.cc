@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/transer.h"
 #include "data/feature_space_generator.h"
 #include "knn/kd_tree.h"
@@ -11,7 +14,9 @@
 #include "ml/random_forest.h"
 #include "text/jaro_winkler.h"
 #include "text/set_similarity.h"
+#include "util/parallel.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace transer {
 namespace {
@@ -113,4 +118,32 @@ BENCHMARK(BM_TransERSelect)->Arg(1000)->Arg(4000);
 }  // namespace
 }  // namespace transer
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects
+// flags it does not know, so --threads is consumed here (installing the
+// process-wide lane default) before the remaining argv reaches
+// benchmark::Initialize.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" || arg.rfind("--threads=", 0) == 0) {
+      int64_t threads = 0;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos ||
+          !transer::ParseInt64(arg.substr(eq + 1), &threads) ||
+          threads < 0) {
+        std::fprintf(stderr, "bad value for --threads\n");
+        return 2;
+      }
+      transer::SetDefaultThreadCount(static_cast<int>(threads));
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

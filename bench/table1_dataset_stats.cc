@@ -11,13 +11,17 @@
 #include "data/dataset_statistics.h"
 #include "data/scenario.h"
 #include "eval/table_printer.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace transer {
 namespace {
 
 int Main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv, {"scale", "seed", "threads"});
+  const int threads = bench::ConfigureThreads(flags);
+  bench::BenchReport bench_report("table1", threads);
+  Stopwatch run_watch;
   ScenarioScale scale;
   scale.scale = flags.GetDouble("scale", 0.025);
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
@@ -68,6 +72,8 @@ int Main(int argc, char** argv) {
       "\nPaper reference (Table 1): ambiguity rises from the bibliographic\n"
       "pair (3.6%% / 0.2%%) through music (2.5%% / 22.1%%) to the\n"
       "demographic pairs (10.6%% - 19.6%%).\n");
+  bench_report.AddStage("run", run_watch.ElapsedSeconds());
+  bench_report.Write();
   return 0;
 }
 

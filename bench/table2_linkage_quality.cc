@@ -11,7 +11,11 @@
 //        --checkpoint=<path.jsonl> (crash-safe restartability: every
 //        completed (method, scenario, classifier) cell is journaled;
 //        re-running with the same flags skips completed cells and
-//        reproduces the identical table).
+//        reproduces the identical table),
+//        --threads=N (worker lanes; default hardware width; the table
+//        is byte-identical for every value).
+//
+// Also writes BENCH_table2.json: per-stage wall time and thread count.
 
 #include <cstdio>
 #include <map>
@@ -21,6 +25,7 @@
 #include "data/scenario.h"
 #include "eval/table_printer.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace transer {
@@ -33,7 +38,11 @@ std::string Cell(const MethodScenarioResult& result,
 }
 
 int Main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv,
+                           {"scale", "seed", "time-limit",
+                            "memory-limit-mb", "checkpoint", "threads"});
+  const int threads = bench::ConfigureThreads(flags);
+  bench::BenchReport bench_report("table2", threads);
   ScenarioScale scale;
   scale.scale = flags.GetDouble("scale", 0.015);
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
@@ -62,15 +71,19 @@ int Main(int argc, char** argv) {
   // The sweep visits scenarios major, methods minor — the same order as
   // the table — so results slice per-scenario below. With --checkpoint
   // every completed cell is journaled and a re-run resumes.
+  Stopwatch setup_watch;
   std::vector<TransferScenario> scenarios;
   for (ScenarioId id : AllScenarioIds()) {
     scenarios.push_back(BuildScenario(id, scale));
   }
+  bench_report.AddStage("build_scenarios", setup_watch.ElapsedSeconds());
   SweepOptions sweep_options;
   sweep_options.checkpoint_path = checkpoint_path;
   sweep_options.base_options = run_options;
+  Stopwatch sweep_watch;
   auto sweep = RunCheckpointedSweep(methods, scenarios,
                                     DefaultClassifierSuite(), sweep_options);
+  bench_report.AddStage("sweep", sweep_watch.ElapsedSeconds());
   if (!sweep.ok()) {
     std::fprintf(stderr, "sweep failed: %s\n",
                  sweep.status().ToString().c_str());
@@ -124,6 +137,7 @@ int Main(int argc, char** argv) {
   }
 
   table.Print();
+  bench_report.Write();
   return 0;
 }
 

@@ -7,7 +7,13 @@
 // Flags: --scale (default 0.015), --time-limit (default 30 s/run),
 //        --memory-limit-mb (default 64), --seed,
 //        --checkpoint=<path.jsonl> (journal completed cells; a re-run
-//        resumes, reusing journaled runtimes for completed cells).
+//        resumes, reusing journaled runtimes for completed cells),
+//        --threads=N (worker lanes; default hardware width),
+//        --skip-speedup (omit the single-threaded reference run).
+//
+// Also writes BENCH_table3.json: per-stage wall time, thread count, and
+// the measured speedup of the bibliographic TransER pipeline at
+// --threads versus a single thread (speedup_vs_1_thread).
 
 #include <cstdio>
 
@@ -16,13 +22,19 @@
 #include "data/scenario.h"
 #include "eval/table_printer.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace transer {
 namespace {
 
 int Main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv,
+                           {"scale", "seed", "time-limit",
+                            "memory-limit-mb", "checkpoint", "threads",
+                            "skip-speedup"});
+  const int threads = bench::ConfigureThreads(flags);
+  bench::BenchReport bench_report("table3", threads);
   ScenarioScale scale;
   scale.scale = flags.GetDouble("scale", 0.015);
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
@@ -44,15 +56,19 @@ int Main(int argc, char** argv) {
   for (const auto& method : methods) header.push_back(method->name());
   TablePrinter table(header);
 
+  Stopwatch setup_watch;
   std::vector<TransferScenario> scenarios;
   for (ScenarioId id : AllScenarioIds()) {
     scenarios.push_back(BuildScenario(id, scale));
   }
+  bench_report.AddStage("build_scenarios", setup_watch.ElapsedSeconds());
   SweepOptions sweep_options;
   sweep_options.checkpoint_path = flags.GetString("checkpoint", "");
   sweep_options.base_options = run_options;
+  Stopwatch sweep_watch;
   auto sweep = RunCheckpointedSweep(methods, scenarios,
                                     DefaultClassifierSuite(), sweep_options);
+  bench_report.AddStage("sweep", sweep_watch.ElapsedSeconds());
   if (!sweep.ok()) {
     std::fprintf(stderr, "sweep failed: %s\n",
                  sweep.status().ToString().c_str());
@@ -80,6 +96,34 @@ int Main(int argc, char** argv) {
       "\nExpected ordering (paper Section 5.2.2): Naive and Coral are the\n"
       "fastest, TransER third, then DR; the deep DTAL* is the slowest and\n"
       "TCA exceeds memory on mid-sized data.\n");
+
+  // Speedup probe: the bibliographic TransER pipeline (the paper's
+  // headline end-to-end workload) timed at --threads versus one thread.
+  // Both runs produce identical predictions; only wall time differs.
+  if (!flags.GetBool("skip-speedup", false) && threads > 1) {
+    const TransferScenario& biblio = scenarios.front();
+    const auto& suite = DefaultClassifierSuite();
+    TransferRunOptions probe_options = run_options;
+    probe_options.num_threads = 1;
+    Stopwatch serial_watch;
+    RunMethodOnScenario(*methods.front(), biblio, suite, probe_options);
+    const double serial_seconds = serial_watch.ElapsedSeconds();
+    probe_options.num_threads = threads;
+    Stopwatch parallel_watch;
+    RunMethodOnScenario(*methods.front(), biblio, suite, probe_options);
+    const double parallel_seconds = parallel_watch.ElapsedSeconds();
+    bench_report.AddStage("transer_biblio_1_thread", serial_seconds);
+    bench_report.AddStage(
+        StrFormat("transer_biblio_%d_threads", threads), parallel_seconds);
+    const double speedup =
+        parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+    bench_report.AddExtra("speedup_vs_1_thread", speedup);
+    std::printf("\nTransER on %s: %.2fs at 1 thread, %.2fs at %d threads "
+                "(speedup %.2fx)\n",
+                biblio.name.c_str(), serial_seconds, parallel_seconds,
+                threads, speedup);
+  }
+  bench_report.Write();
   return 0;
 }
 

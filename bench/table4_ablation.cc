@@ -13,6 +13,7 @@
 #include "data/scenario.h"
 #include "eval/table_printer.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace transer {
 namespace {
@@ -54,7 +55,10 @@ std::vector<Variant> Variants() {
 }
 
 int Main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv, {"scale", "seed", "threads"});
+  const int threads = bench::ConfigureThreads(flags);
+  bench::BenchReport bench_report("table4", threads);
+  Stopwatch run_watch;
   ScenarioScale scale;
   scale.scale = flags.GetDouble("scale", 0.015);
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 33));
@@ -102,6 +106,8 @@ int Main(int argc, char** argv) {
       "\nExpected shape (paper Section 5.4): removing SEL or sim_c hurts\n"
       "most where the source carries conflicting labels; removing sim_l\n"
       "costs a few points; adding sim_v changes almost nothing.\n");
+  bench_report.AddStage("run", run_watch.ElapsedSeconds());
+  bench_report.Write();
   return 0;
 }
 

@@ -8,6 +8,11 @@
 //       [--tc=0.9] [--tl=0.9] [--tp=0.99] [--k=7] [--b=3]
 //       [--on-error=strict|skip|repair]
 //       [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]
+//       [--threads=<N>]
+//
+// --threads sets the worker-lane count for the parallel hot paths
+// (pair comparison, kNN, ensemble training); 0 or absent means the
+// hardware width. Predictions are bit-identical for every value.
 //
 // Exit codes:
 //   0  success
@@ -43,6 +48,7 @@
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/random_forest.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/validation.h"
 
@@ -142,6 +148,11 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "    [--tc=0.9] [--tl=0.9] [--tp=0.99] [--k=7] [--b=3]\n"
       "    [--on-error=strict|skip|repair]\n"
       "    [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]\n"
+      "    [--threads=<N>]\n"
+      "\n"
+      "--threads sets the worker-lane count for the parallel hot paths;\n"
+      "0 (the default) uses the hardware width. Predictions are\n"
+      "bit-identical for every value.\n"
       "\n"
       "--time-limit-s and --memory-limit-mb bound the run: the pipeline\n"
       "checks them cooperatively and stops with a budget error instead of\n"
@@ -215,6 +226,15 @@ int Main(int argc, char** argv) {
     return 2;
   }
   run_options.memory_limit_bytes = static_cast<size_t>(memory_mb) << 20;
+  const double threads_raw = GetDoubleFlag(argc, argv, "threads", 0.0);
+  if (threads_raw < 0.0 || threads_raw != std::floor(threads_raw)) {
+    std::fprintf(stderr,
+                 "--threads=%g is invalid: must be an integer >= 0\n",
+                 threads_raw);
+    return 2;
+  }
+  SetDefaultThreadCount(static_cast<int>(threads_raw));
+  run_options.num_threads = static_cast<int>(threads_raw);
 
   FeatureMatrix::IngestOptions ingest;
   const std::string on_error = GetFlag(argc, argv, "on-error", "strict");

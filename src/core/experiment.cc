@@ -1,6 +1,11 @@
 #include "core/experiment.h"
 
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <unordered_map>
 
 #include "core/transer.h"
 #include "transfer/coral.h"
@@ -9,6 +14,7 @@
 #include "transfer/locit.h"
 #include "transfer/naive_transfer.h"
 #include "transfer/tca.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -52,6 +58,23 @@ MethodScenarioResult RunMethodOnScenario(
   return result;
 }
 
+namespace {
+
+/// One (scenario, method) group of the sweep grid, the unit of parallel
+/// work: cells inside a group stay sequential so a TE/ME on the first
+/// classifier short-circuits the rest exactly as the serial sweep did.
+struct SweepGroup {
+  size_t scenario_index = 0;
+  size_t method_index = 0;
+};
+
+std::string SnapshotKey(const SweepCellKey& key) {
+  // '\x1f' (unit separator) cannot appear in the component names.
+  return key.method + '\x1f' + key.scenario + '\x1f' + key.classifier;
+}
+
+}  // namespace
+
 Result<std::vector<MethodScenarioResult>> RunCheckpointedSweep(
     const std::vector<std::unique_ptr<TransferMethod>>& methods,
     const std::vector<TransferScenario>& scenarios,
@@ -64,111 +87,225 @@ Result<std::vector<MethodScenarioResult>> RunCheckpointedSweep(
         SweepCheckpoint::Open(options.checkpoint_path, options.diagnostics));
     checkpoint.emplace(std::move(opened));
   }
-  // The optional sweep-level context is only *checked* here, between and
-  // after cells; per-cell time/memory limits in base_options keep their
+  // The optional sweep-level context is only *checked* here, between
+  // groups; per-cell time/memory limits in base_options keep their
   // per-run semantics (each Run resolves its own context from them).
   const ExecutionContext* sweep_context = options.base_options.context;
-  auto check_sweep = [&]() -> Status {
-    return sweep_context != nullptr
-               ? sweep_context->Check("sweep", options.diagnostics)
-               : Status::OK();
+
+  // Workers read completed cells from this immutable snapshot, never from
+  // the live checkpoint (the writer thread mutates it concurrently). No
+  // cell runs twice within one sweep, so the journal content at open time
+  // is all a worker ever needs to see.
+  std::unordered_map<std::string, SweepCellRecord> snapshot;
+  if (checkpoint.has_value()) {
+    snapshot.reserve(checkpoint->size());
+    for (const SweepCellRecord& record : checkpoint->records()) {
+      snapshot.emplace(SnapshotKey(record.key), record);
+    }
+  }
+
+  // All journal writes funnel through one writer thread: workers enqueue
+  // completed SweepCellRecords and the writer alone calls Record(), so
+  // the JSONL rewrite-and-rename protocol never races with itself.
+  std::mutex journal_mutex;
+  std::condition_variable journal_cv;
+  std::deque<SweepCellRecord> journal_queue;
+  bool journal_done = false;
+  Status journal_status;  // guarded by journal_mutex
+  std::thread journal_writer;
+  if (checkpoint.has_value()) {
+    journal_writer = std::thread([&] {
+      std::unique_lock<std::mutex> lock(journal_mutex);
+      for (;;) {
+        journal_cv.wait(lock,
+                        [&] { return journal_done || !journal_queue.empty(); });
+        if (journal_queue.empty()) return;  // done and drained
+        SweepCellRecord record = std::move(journal_queue.front());
+        journal_queue.pop_front();
+        lock.unlock();
+        Status recorded = checkpoint->Record(record);
+        lock.lock();
+        if (!recorded.ok() && journal_status.ok()) {
+          journal_status = std::move(recorded);
+        }
+      }
+    });
+  }
+  auto journal = [&](SweepCellRecord record) {
+    if (!checkpoint.has_value()) return;
+    {
+      std::lock_guard<std::mutex> lock(journal_mutex);
+      journal_queue.push_back(std::move(record));
+    }
+    journal_cv.notify_one();
+  };
+  auto finish_journal = [&] {
+    if (!journal_writer.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(journal_mutex);
+      journal_done = true;
+    }
+    journal_cv.notify_one();
+    journal_writer.join();
   };
 
-  std::vector<MethodScenarioResult> results;
-  for (const TransferScenario& scenario : scenarios) {
-    const FeatureMatrix unlabeled_target = scenario.target.WithoutLabels();
-    const std::vector<int>& truth = scenario.target.labels();
-    for (const auto& method : methods) {
-      TRANSER_RETURN_IF_ERROR(check_sweep());
-      if (sweep_context != nullptr) {
-        sweep_context->BeginStage(method->name() + "/" + scenario.name);
-      }
-
-      MethodScenarioResult result;
-      result.method = method->name();
-      result.scenario = scenario.name;
-
-      uint64_t run_index = 0;
-      for (const auto& family : suite) {
-        const uint64_t cell_seed =
-            options.base_options.seed + 1000 * run_index;
-        ++run_index;
-        const SweepCellKey key{method->name(), scenario.name, family.name};
-        const SweepCellRecord* existing =
-            checkpoint.has_value() ? checkpoint->Find(key) : nullptr;
-        if (existing != nullptr && existing->seed != cell_seed) {
-          return Status::FailedPrecondition(StrFormat(
-              "sweep checkpoint %s holds cell %s/%s/%s at seed %llu but "
-              "this sweep would run it at seed %llu; the journal belongs "
-              "to a different sweep configuration",
-              options.checkpoint_path.c_str(), key.method.c_str(),
-              key.scenario.c_str(), key.classifier.c_str(),
-              static_cast<unsigned long long>(existing->seed),
-              static_cast<unsigned long long>(cell_seed)));
-        }
-        if (existing != nullptr) {
-          if (existing->failure.empty()) {
-            // Completed cell: reuse the journaled result verbatim.
-            result.per_classifier.push_back(existing->quality);
-            result.total_runtime_seconds += existing->runtime_seconds;
-            ++result.completed_runs;
-            continue;
-          }
-          if (existing->failure == "TE" || existing->failure == "ME") {
-            // Budget failures are deterministic: re-running would burn
-            // the same budget to the same end. Short-circuit the group
-            // exactly as the live path does.
-            result.failure = existing->failure;
-            break;
-          }
-          // Anything else is treated as transient (I/O, flaky
-          // environment): one bounded retry on resume.
-          if (options.diagnostics != nullptr) {
-            options.diagnostics->Add(
-                DegradationKind::kCheckpointCellRetried, "sweep",
-                StrFormat("retrying cell %s/%s/%s once (journaled "
-                          "transient failure: %s)",
-                          key.method.c_str(), key.scenario.c_str(),
-                          key.classifier.c_str(),
-                          existing->failure.c_str()),
-                0.0, 1.0);
-          }
-        }
-
-        TransferRunOptions run_options = options.base_options;
-        run_options.seed = cell_seed;
-        Stopwatch cell_watch;
-        auto predicted = method->Run(scenario.source, unlabeled_target,
-                                     family.make, run_options);
-        SweepCellRecord record;
-        record.key = key;
-        record.seed = cell_seed;
-        record.runtime_seconds = cell_watch.ElapsedSeconds();
-        if (!predicted.ok()) {
-          if (sweep_context != nullptr && sweep_context->Interrupted()) {
-            // The sweep itself was cancelled / timed out mid-cell. The
-            // cell is incomplete, not failed — leave it out of the
-            // journal so a resume re-runs it fresh.
-            return predicted.status();
-          }
-          record.failure = FailureShorthand(predicted.status());
-          if (checkpoint.has_value()) {
-            TRANSER_RETURN_IF_ERROR(checkpoint->Record(record));
-          }
-          result.failure = record.failure;
-          break;  // the next classifier would fail the same way
-        }
-        record.quality = EvaluateLinkage(truth, predicted.value());
-        if (checkpoint.has_value()) {
-          TRANSER_RETURN_IF_ERROR(checkpoint->Record(record));
-        }
-        result.per_classifier.push_back(record.quality);
-        result.total_runtime_seconds += record.runtime_seconds;
-        ++result.completed_runs;
-      }
-      result.quality = AggregateQuality(result.per_classifier);
-      results.push_back(std::move(result));
+  // Grid in scenario-major, method-minor order — the result order and,
+  // via the ordered diagnostics merge below, the event order too.
+  std::vector<SweepGroup> grid;
+  grid.reserve(scenarios.size() * methods.size());
+  std::vector<FeatureMatrix> unlabeled_targets;
+  unlabeled_targets.reserve(scenarios.size());
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    unlabeled_targets.push_back(scenarios[s].target.WithoutLabels());
+    for (size_t m = 0; m < methods.size(); ++m) {
+      grid.push_back(SweepGroup{s, m});
     }
+  }
+
+  // Per-group outcomes land in pre-sized slots; diagnostics accumulate in
+  // group-local sinks and merge in grid order after the join, so the
+  // caller-visible event sequence matches the single-threaded sweep.
+  std::vector<MethodScenarioResult> results(grid.size());
+  std::vector<RunDiagnostics> group_run_diag(grid.size());
+  std::vector<RunDiagnostics> group_sweep_diag(grid.size());
+
+  auto run_group = [&](size_t g) -> Status {
+    const SweepGroup& group = grid[g];
+    const TransferScenario& scenario = scenarios[group.scenario_index];
+    const TransferMethod& method = *methods[group.method_index];
+    const FeatureMatrix& unlabeled_target =
+        unlabeled_targets[group.scenario_index];
+    const std::vector<int>& truth = scenario.target.labels();
+    if (sweep_context != nullptr) {
+      sweep_context->BeginStage(method.name() + "/" + scenario.name);
+    }
+
+    MethodScenarioResult result;
+    result.method = method.name();
+    result.scenario = scenario.name;
+
+    uint64_t run_index = 0;
+    for (const auto& family : suite) {
+      const uint64_t cell_seed = options.base_options.seed + 1000 * run_index;
+      ++run_index;
+      const SweepCellKey key{method.name(), scenario.name, family.name};
+      auto found = snapshot.find(SnapshotKey(key));
+      const SweepCellRecord* existing =
+          found == snapshot.end() ? nullptr : &found->second;
+      if (existing != nullptr && existing->seed != cell_seed) {
+        return Status::FailedPrecondition(StrFormat(
+            "sweep checkpoint %s holds cell %s/%s/%s at seed %llu but "
+            "this sweep would run it at seed %llu; the journal belongs "
+            "to a different sweep configuration",
+            options.checkpoint_path.c_str(), key.method.c_str(),
+            key.scenario.c_str(), key.classifier.c_str(),
+            static_cast<unsigned long long>(existing->seed),
+            static_cast<unsigned long long>(cell_seed)));
+      }
+      if (existing != nullptr) {
+        if (existing->failure.empty()) {
+          // Completed cell: reuse the journaled result verbatim.
+          result.per_classifier.push_back(existing->quality);
+          result.total_runtime_seconds += existing->runtime_seconds;
+          ++result.completed_runs;
+          continue;
+        }
+        if (existing->failure == "TE" || existing->failure == "ME") {
+          // Budget failures are deterministic: re-running would burn
+          // the same budget to the same end. Short-circuit the group
+          // exactly as the live path does.
+          result.failure = existing->failure;
+          break;
+        }
+        // Anything else is treated as transient (I/O, flaky
+        // environment): one bounded retry on resume.
+        group_sweep_diag[g].Add(
+            DegradationKind::kCheckpointCellRetried, "sweep",
+            StrFormat("retrying cell %s/%s/%s once (journaled "
+                      "transient failure: %s)",
+                      key.method.c_str(), key.scenario.c_str(),
+                      key.classifier.c_str(), existing->failure.c_str()),
+            0.0, 1.0);
+      }
+
+      TransferRunOptions run_options = options.base_options;
+      run_options.seed = cell_seed;
+      run_options.diagnostics = &group_run_diag[g];
+      Stopwatch cell_watch;
+      auto predicted = method.Run(scenario.source, unlabeled_target,
+                                  family.make, run_options);
+      SweepCellRecord record;
+      record.key = key;
+      record.seed = cell_seed;
+      record.runtime_seconds = cell_watch.ElapsedSeconds();
+      if (!predicted.ok()) {
+        if (sweep_context != nullptr && sweep_context->Interrupted()) {
+          // The sweep itself was cancelled / timed out mid-cell. The
+          // cell is incomplete, not failed — leave it out of the
+          // journal so a resume re-runs it fresh.
+          return predicted.status();
+        }
+        record.failure = FailureShorthand(predicted.status());
+        result.failure = record.failure;
+        journal(std::move(record));
+        break;  // the next classifier would fail the same way
+      }
+      record.quality = EvaluateLinkage(truth, predicted.value());
+      result.per_classifier.push_back(record.quality);
+      result.total_runtime_seconds += record.runtime_seconds;
+      ++result.completed_runs;
+      journal(std::move(record));
+    }
+    result.quality = AggregateQuality(result.per_classifier);
+    results[g] = std::move(result);
+    return Status::OK();
+  };
+
+  ParallelOptions par;
+  par.num_threads = options.base_options.num_threads;
+  par.diagnostics = options.diagnostics;
+  const Status swept = ParallelFor(
+      sweep_context != nullptr ? *sweep_context
+                               : ExecutionContext::Unlimited(),
+      "sweep", grid.size(),
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t g = begin; g < end; ++g) {
+          if (g != begin && sweep_context != nullptr) {
+            // Between-group check within a chunk; ParallelFor itself
+            // checks at chunk boundaries. Workers poll without the
+            // diagnostics sink (it is not thread-safe) — on error the
+            // post-join re-check records the outcome once.
+            TRANSER_RETURN_IF_ERROR(sweep_context->Check(
+                "sweep",
+                InParallelRegion() ? nullptr : options.diagnostics));
+          }
+          TRANSER_RETURN_IF_ERROR(run_group(g));
+        }
+        return Status::OK();
+      },
+      par);
+
+  finish_journal();
+
+  // Merge group-local diagnostics in grid order — identical event order
+  // at any thread count, and on error the groups that did run still
+  // surface their events, as the serial sweep did.
+  for (size_t g = 0; g < grid.size(); ++g) {
+    if (options.base_options.diagnostics != nullptr) {
+      options.base_options.diagnostics->Merge(group_run_diag[g]);
+    }
+    if (options.diagnostics != nullptr) {
+      options.diagnostics->Merge(group_sweep_diag[g]);
+    }
+  }
+
+  TRANSER_RETURN_IF_ERROR(swept);
+  TRANSER_RETURN_IF_ERROR(journal_status);
+  if (checkpoint.has_value()) {
+    // Journal order is completion order, which parallel scheduling makes
+    // nondeterministic; canonicalise so the finished journal is the same
+    // file whatever thread count ran the sweep.
+    TRANSER_RETURN_IF_ERROR(checkpoint->Canonicalize());
   }
   return results;
 }

@@ -40,8 +40,13 @@ Result<FeatureMatrix> BuildDomainFeatures(const LinkageProblem& problem,
                                            problem.right.schema(),
                                            options.comparison);
   if (!comparator.ok()) return comparator.status();
-  FeatureMatrix features =
-      comparator.value().CompareAll(problem.left, problem.right, pairs);
+  ParallelOptions compare_parallel;
+  compare_parallel.num_threads = options.num_threads;
+  compare_parallel.diagnostics = diagnostics;
+  TRANSER_ASSIGN_OR_RETURN(
+      FeatureMatrix features,
+      comparator.value().CompareAll(problem.left, problem.right, pairs, ctx,
+                                    compare_parallel));
 
   if (info != nullptr) {
     info->candidate_pairs = pairs.size();
@@ -63,15 +68,20 @@ Result<EndToEndResult> RunTransferPipeline(
   std::optional<ExecutionContext> local_context;
   const ExecutionContext& context =
       ResolveExecutionContext(run_options, &local_context);
+  // The run's thread count governs both build stages and the method.
+  PipelineOptions build_options = options;
+  if (build_options.num_threads == 0) {
+    build_options.num_threads = run_options.num_threads;
+  }
   context.BeginStage("build_source");
   TRANSER_ASSIGN_OR_RETURN(
       FeatureMatrix source,
-      BuildDomainFeatures(source_problem, options, &result.source_info,
+      BuildDomainFeatures(source_problem, build_options, &result.source_info,
                           &context, &result.diagnostics));
   context.BeginStage("build_target");
   TRANSER_ASSIGN_OR_RETURN(
       FeatureMatrix target,
-      BuildDomainFeatures(target_problem, options, &result.target_info,
+      BuildDomainFeatures(target_problem, build_options, &result.target_info,
                           &context, &result.diagnostics));
 
   if (source.num_features() != target.num_features()) {

@@ -1,8 +1,10 @@
 #include "core/sweep_checkpoint.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
 #include "util/string_util.h"
 
@@ -224,6 +226,21 @@ Status SweepCheckpoint::Record(const SweepCellRecord& record) {
     return flushed;
   }
   return Status::OK();
+}
+
+Status SweepCheckpoint::Canonicalize() {
+  std::sort(records_.begin(), records_.end(),
+            [](const SweepCellRecord& a, const SweepCellRecord& b) {
+              return std::tie(a.key.scenario, a.key.method,
+                              a.key.classifier) <
+                     std::tie(b.key.scenario, b.key.method,
+                              b.key.classifier);
+            });
+  index_.clear();
+  for (size_t i = 0; i < records_.size(); ++i) {
+    index_[IndexKey(records_[i].key)] = i;
+  }
+  return Flush();
 }
 
 Status SweepCheckpoint::Flush() const {

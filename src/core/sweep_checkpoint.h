@@ -73,6 +73,13 @@ class SweepCheckpoint {
   /// Re-recording a key (a retried cell) supersedes the earlier entry.
   Status Record(const SweepCellRecord& record);
 
+  /// Rewrites the journal in canonical (scenario, method, classifier)
+  /// name order. A parallel sweep journals cells in completion order,
+  /// which depends on scheduling; canonicalising at the end of a
+  /// completed sweep makes the final journal independent of how many
+  /// threads ran it (runtime_seconds fields aside).
+  Status Canonicalize();
+
   size_t size() const { return records_.size(); }
   const std::string& path() const { return path_; }
   const std::vector<SweepCellRecord>& records() const { return records_; }

@@ -8,6 +8,7 @@
 #include "linalg/vector_ops.h"
 #include "ml/sampling.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -63,13 +64,13 @@ Result<std::vector<size_t>> TransER::SelectInstances(
       ResolveExecutionContext(run_options, &local_context);
   return SelectInstancesWithThresholds(source, target, context,
                                        run_options.diagnostics, options_.t_c,
-                                       options_.t_l);
+                                       options_.t_l, run_options.num_threads);
 }
 
 Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
     const FeatureMatrix& source, const FeatureMatrix& target,
     const ExecutionContext& context, RunDiagnostics* diagnostics,
-    double t_c, double t_l) const {
+    double t_c, double t_l, int num_threads) const {
   TRANSER_RETURN_IF_ERROR(context.Check("transer", diagnostics));
 
   const Matrix x_source = source.ToMatrix();
@@ -88,57 +89,81 @@ Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
   // build them against the budget so a tiny limit surfaces as 'ME' here.
   TRANSER_ASSIGN_OR_RETURN(
       const KdTree source_tree,
-      KdTree::Create(x_source, context, "transer", diagnostics));
+      KdTree::Create(x_source, context, "transer", diagnostics,
+                     num_threads));
   TRANSER_ASSIGN_OR_RETURN(
       const KdTree target_tree,
-      KdTree::Create(x_target, context, "transer", diagnostics));
+      KdTree::Create(x_target, context, "transer", diagnostics,
+                     num_threads));
+
+  // Per-instance filters are independent; chunks fill private index
+  // lists that concatenate in chunk order, so the selection matches the
+  // serial scan exactly at any thread count.
+  ParallelOptions par;
+  par.num_threads = num_threads;
+  par.min_items_per_chunk = 8;
+  par.diagnostics = diagnostics;
+  const ChunkPlan plan = PlanChunks(source.size(), par.min_items_per_chunk);
+  std::vector<std::vector<size_t>> chunk_selected(plan.num_chunks);
+  TRANSER_RETURN_IF_ERROR(ParallelFor(
+      context, "transer", source.size(),
+      [&](size_t begin, size_t end, size_t chunk) -> Status {
+        std::vector<size_t>& kept = chunk_selected[chunk];
+        for (size_t s = begin; s < end; ++s) {
+          if (!InParallelRegion()) {
+            // Heartbeat only from the single driving thread.
+            context.ReportProgress(static_cast<double>(s) /
+                                   static_cast<double>(source.size()));
+          }
+          const std::span<const double> row(x_source.Row(s), m);
+          const auto n_s =
+              source_tree.Query(row, k_source, static_cast<ptrdiff_t>(s));
+          const auto n_t = target_tree.Query(row, k_target);
+
+          // Equation (1): fraction of source neighbours sharing the label.
+          if (options_.use_sim_c) {
+            size_t same_label = 0;
+            for (const auto& nb : n_s) {
+              if (source.label(nb.index) == source.label(s)) ++same_label;
+            }
+            const double sim_c = n_s.empty()
+                                     ? 0.0
+                                     : static_cast<double>(same_label) /
+                                           static_cast<double>(n_s.size());
+            if (sim_c < t_c) continue;
+          }
+
+          // Equation (2): decayed distance between neighbourhood centroids.
+          if (options_.use_sim_l) {
+            const std::vector<double> centroid_s =
+                NeighbourhoodCentroid(x_source, n_s);
+            const std::vector<double> centroid_t =
+                NeighbourhoodCentroid(x_target, n_t);
+            const double sim_l = StructuralSimilarityFromDistance(
+                L2Distance(centroid_s, centroid_t), m);
+            if (sim_l < t_l) continue;
+          }
+
+          // Optional covariance filter (the "+ sim_v" ablation).
+          if (options_.use_sim_v) {
+            const Matrix cov_s = NeighbourhoodCovariance(x_source, n_s);
+            const Matrix cov_t = NeighbourhoodCovariance(x_target, n_t);
+            const double sim_v =
+                std::exp(-5.0 * cov_s.Subtract(cov_t).FrobeniusNorm() /
+                         static_cast<double>(m));
+            if (sim_v < options_.t_v) continue;
+          }
+
+          kept.push_back(s);
+        }
+        return Status::OK();
+      },
+      par));
 
   std::vector<size_t> selected;
   selected.reserve(source.size());
-  for (size_t s = 0; s < source.size(); ++s) {
-    TRANSER_RETURN_IF_ERROR(context.Check("transer", diagnostics));
-    context.ReportProgress(static_cast<double>(s) /
-                           static_cast<double>(source.size()));
-    const std::span<const double> row(x_source.Row(s), m);
-    const auto n_s =
-        source_tree.Query(row, k_source, static_cast<ptrdiff_t>(s));
-    const auto n_t = target_tree.Query(row, k_target);
-
-    // Equation (1): fraction of source neighbours sharing the label.
-    if (options_.use_sim_c) {
-      size_t same_label = 0;
-      for (const auto& nb : n_s) {
-        if (source.label(nb.index) == source.label(s)) ++same_label;
-      }
-      const double sim_c = n_s.empty()
-                               ? 0.0
-                               : static_cast<double>(same_label) /
-                                     static_cast<double>(n_s.size());
-      if (sim_c < t_c) continue;
-    }
-
-    // Equation (2): decayed distance between neighbourhood centroids.
-    if (options_.use_sim_l) {
-      const std::vector<double> centroid_s =
-          NeighbourhoodCentroid(x_source, n_s);
-      const std::vector<double> centroid_t =
-          NeighbourhoodCentroid(x_target, n_t);
-      const double sim_l = StructuralSimilarityFromDistance(
-          L2Distance(centroid_s, centroid_t), m);
-      if (sim_l < t_l) continue;
-    }
-
-    // Optional covariance filter (the "+ sim_v" ablation).
-    if (options_.use_sim_v) {
-      const Matrix cov_s = NeighbourhoodCovariance(x_source, n_s);
-      const Matrix cov_t = NeighbourhoodCovariance(x_target, n_t);
-      const double sim_v =
-          std::exp(-5.0 * cov_s.Subtract(cov_t).FrobeniusNorm() /
-                   static_cast<double>(m));
-      if (sim_v < options_.t_v) continue;
-    }
-
-    selected.push_back(s);
+  for (const std::vector<size_t>& kept : chunk_selected) {
+    selected.insert(selected.end(), kept.begin(), kept.end());
   }
   return selected;
 }
@@ -199,8 +224,9 @@ Result<std::vector<int>> TransER::RunWithReport(
     double t_c = options_.t_c;
     double t_l = options_.t_l;
     for (size_t step = 0;; ++step) {
-      auto selected = SelectInstancesWithThresholds(source, target, context,
-                                                    budget_diag, t_c, t_l);
+      auto selected = SelectInstancesWithThresholds(
+          source, target, context, budget_diag, t_c, t_l,
+          run_options.num_threads);
       if (!selected.ok()) return selected.status();
       transferred = source.Select(selected.value());
       if (trainable(transferred)) break;

@@ -102,13 +102,16 @@ class TransER : public TransferMethod {
 
  private:
   /// SEL with explicit thresholds — the degradation ladder re-runs the
-  /// selection under progressively relaxed t_c / t_l. Observes `context`
-  /// per source instance; budget outcomes are recorded in `diagnostics`
-  /// (may be null).
+  /// selection under progressively relaxed t_c / t_l. Source instances
+  /// are filtered over the parallel runtime (`num_threads` lanes, 0 =
+  /// process default) with per-chunk index lists concatenated in chunk
+  /// order, so the selection is bit-identical at any parallelism.
+  /// Workers observe `context` per chunk; budget outcomes are recorded
+  /// in `diagnostics` (may be null).
   Result<std::vector<size_t>> SelectInstancesWithThresholds(
       const FeatureMatrix& source, const FeatureMatrix& target,
       const ExecutionContext& context, RunDiagnostics* diagnostics,
-      double t_c, double t_l) const;
+      double t_c, double t_l, int num_threads) const;
 
   TransEROptions options_;
 };

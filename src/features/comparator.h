@@ -1,12 +1,14 @@
 #ifndef TRANSER_FEATURES_COMPARATOR_H_
 #define TRANSER_FEATURES_COMPARATOR_H_
 
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
 #include "features/feature_matrix.h"
 #include "text/normalize.h"
 #include "text/similarity_registry.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace transer {
@@ -34,9 +36,23 @@ class PairComparator {
   /// Feature vector of one record pair (values normalised first).
   std::vector<double> Compare(const Record& left, const Record& right) const;
 
+  /// Compare() into a caller-owned buffer of num_features() doubles —
+  /// the allocation-free kernel of the parallel CompareAll fill.
+  void CompareInto(const Record& left, const Record& right,
+                   std::span<double> out) const;
+
   /// Compares every candidate pair, labelling each by entity-id equality.
   FeatureMatrix CompareAll(const Dataset& left, const Dataset& right,
                            const std::vector<PairRef>& pairs) const;
+
+  /// CompareAll over the parallel runtime: pairs are filled into
+  /// pre-sized rows in chunks, so the matrix is bit-identical for any
+  /// thread count. Workers poll `context`; a TE / ME / cancellation
+  /// surfaces as the usual FailedPrecondition.
+  Result<FeatureMatrix> CompareAll(const Dataset& left, const Dataset& right,
+                                   const std::vector<PairRef>& pairs,
+                                   const ExecutionContext& context,
+                                   const ParallelOptions& options) const;
 
  private:
   PairComparator(std::vector<std::string> names,

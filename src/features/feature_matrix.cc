@@ -69,6 +69,12 @@ size_t FeatureMatrix::CountUnlabeled() const {
   return count;
 }
 
+void FeatureMatrix::Resize(size_t n) {
+  data_.resize(n * num_features(), 0.0);
+  labels_.resize(n, kUnlabeled);
+  pairs_.resize(n);
+}
+
 void FeatureMatrix::Reserve(size_t n) {
   data_.reserve(n * num_features());
   labels_.reserve(n);

@@ -48,6 +48,20 @@ class FeatureMatrix {
   void Append(const std::vector<double>& features, int label,
               PairRef ref = {});
 
+  /// Resizes to exactly `n` rows (new rows zero-featured and
+  /// kUnlabeled), so parallel producers can fill disjoint row slots via
+  /// MutableRow / set_label / set_pair without further allocation.
+  void Resize(size_t n);
+
+  /// Mutable view of row i; rows are disjoint, so concurrent writers to
+  /// different rows need no synchronisation.
+  std::span<double> MutableRow(size_t i) {
+    return std::span<double>(data_.data() + i * num_features(),
+                             num_features());
+  }
+  void set_label(size_t i, int label) { labels_[i] = label; }
+  void set_pair(size_t i, PairRef ref) { pairs_[i] = ref; }
+
   /// Row accessors.
   std::span<const double> Row(size_t i) const {
     return std::span<const double>(data_.data() + i * num_features(),

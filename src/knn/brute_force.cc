@@ -4,32 +4,54 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace transer {
+
+namespace {
+
+/// Per-thread scan buffer reused across queries: the O(n) candidate
+/// list dominated Query's allocation profile (see micro_primitives).
+thread_local std::vector<Neighbour> tls_scan_scratch;
+
+/// Rows scanned between context polls in the budgeted Query.
+constexpr size_t kScanStride = 4096;
+
+void ScanRows(const Matrix& points, std::span<const double> query,
+              size_t begin, size_t end, ptrdiff_t skip_index,
+              std::vector<Neighbour>* all) {
+  for (size_t row = begin; row < end; ++row) {
+    if (static_cast<ptrdiff_t>(row) == skip_index) continue;
+    double dist_sq = 0.0;
+    const double* p = points.Row(row);
+    for (size_t d = 0; d < query.size(); ++d) {
+      const double diff = p[d] - query[d];
+      dist_sq += diff * diff;
+    }
+    all->push_back(Neighbour{row, std::sqrt(dist_sq)});
+  }
+}
+
+std::vector<Neighbour> TopK(std::vector<Neighbour>* all, size_t k) {
+  const size_t keep = std::min(k, all->size());
+  std::partial_sort(all->begin(),
+                    all->begin() + static_cast<ptrdiff_t>(keep), all->end(),
+                    NeighbourBefore);
+  return std::vector<Neighbour>(all->begin(),
+                                all->begin() + static_cast<ptrdiff_t>(keep));
+}
+
+}  // namespace
 
 std::vector<Neighbour> BruteForceKnn::Query(std::span<const double> query,
                                             size_t k,
                                             ptrdiff_t skip_index) const {
   TRANSER_CHECK_EQ(query.size(), points_.cols());
-  std::vector<Neighbour> all;
+  std::vector<Neighbour>& all = tls_scan_scratch;
+  all.clear();
   all.reserve(points_.rows());
-  for (size_t row = 0; row < points_.rows(); ++row) {
-    if (static_cast<ptrdiff_t>(row) == skip_index) continue;
-    double dist_sq = 0.0;
-    const double* p = points_.Row(row);
-    for (size_t d = 0; d < query.size(); ++d) {
-      const double diff = p[d] - query[d];
-      dist_sq += diff * diff;
-    }
-    all.push_back(Neighbour{row, std::sqrt(dist_sq)});
-  }
-  const size_t keep = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(keep),
-                    all.end(), [](const Neighbour& a, const Neighbour& b) {
-                      return a.distance < b.distance;
-                    });
-  all.resize(keep);
-  return all;
+  ScanRows(points_, query, 0, points_.rows(), skip_index, &all);
+  return TopK(&all, k);
 }
 
 Result<BruteForceKnn> BruteForceKnn::Create(const Matrix& points,
@@ -49,8 +71,36 @@ Result<BruteForceKnn> BruteForceKnn::Create(const Matrix& points,
 Result<std::vector<Neighbour>> BruteForceKnn::Query(
     std::span<const double> query, size_t k, ptrdiff_t skip_index,
     const ExecutionContext& context, const std::string& scope) const {
-  TRANSER_RETURN_IF_ERROR(context.Check(scope));
-  return Query(query, k, skip_index);
+  TRANSER_CHECK_EQ(query.size(), points_.cols());
+  std::vector<Neighbour>& all = tls_scan_scratch;
+  all.clear();
+  all.reserve(points_.rows());
+  for (size_t begin = 0; begin < points_.rows(); begin += kScanStride) {
+    TRANSER_RETURN_IF_ERROR(context.Check(scope));
+    const size_t end = std::min(points_.rows(), begin + kScanStride);
+    ScanRows(points_, query, begin, end, skip_index, &all);
+  }
+  return TopK(&all, k);
+}
+
+Result<std::vector<std::vector<Neighbour>>> BruteForceKnn::QueryBatch(
+    const Matrix& queries, size_t k, const ExecutionContext& context,
+    const std::string& scope, const ParallelOptions& options) const {
+  std::vector<std::vector<Neighbour>> results(queries.rows());
+  ParallelOptions chunk_options = options;
+  chunk_options.min_items_per_chunk =
+      std::max<size_t>(chunk_options.min_items_per_chunk, 4);
+  TRANSER_RETURN_IF_ERROR(ParallelFor(
+      context, scope, queries.rows(),
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = Query(
+              std::span<const double>(queries.Row(i), queries.cols()), k);
+        }
+        return Status::OK();
+      },
+      chunk_options));
+  return results;
 }
 
 }  // namespace transer

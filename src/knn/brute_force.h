@@ -8,6 +8,7 @@
 #include "knn/kd_tree.h"
 #include "linalg/matrix.h"
 #include "util/execution_context.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace transer {
@@ -36,6 +37,13 @@ class BruteForceKnn {
                                        const ExecutionContext& context,
                                        const std::string& scope = "brute_knn")
       const;
+
+  /// One Query per row of `queries` over the parallel runtime; same
+  /// contract as KdTree::QueryBatch.
+  Result<std::vector<std::vector<Neighbour>>> QueryBatch(
+      const Matrix& queries, size_t k, const ExecutionContext& context,
+      const std::string& scope = "brute_knn",
+      const ParallelOptions& options = {}) const;
 
   size_t size() const { return points_.rows(); }
 

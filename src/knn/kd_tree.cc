@@ -4,14 +4,17 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace transer {
 
 namespace {
 
-// Max-heap ordering on distance: heap[0] is the worst kept candidate.
+// Max-heap ordering on (distance, index): heap[0] is the worst kept
+// candidate, and distance ties resolve to the larger index being worse —
+// the unique top-k contract of NeighbourBefore.
 bool HeapLess(const Neighbour& a, const Neighbour& b) {
-  return a.distance < b.distance;
+  return NeighbourBefore(a, b);
 }
 
 void HeapPush(std::vector<Neighbour>* heap, Neighbour n) {
@@ -24,14 +27,64 @@ void HeapPopWorst(std::vector<Neighbour>* heap) {
   heap->pop_back();
 }
 
+/// Per-thread candidate heap reused across queries (the SEL loop issues
+/// millions of small queries; one allocation per thread, not per call).
+thread_local std::vector<Neighbour> tls_query_heap;
+
 }  // namespace
 
-KdTree::KdTree(const Matrix& points) : points_(points) {
+KdTree::KdTree(const Matrix& points, int num_threads) : points_(points) {
   order_.resize(points_.rows());
   for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
-  if (!order_.empty()) {
-    nodes_.reserve(2 * order_.size() / kLeafSize + 2);
-    root_ = Build(0, order_.size(), 0);
+  if (order_.empty()) return;
+  nodes_.reserve(2 * order_.size() / kLeafSize + 2);
+
+  const int threads = EffectiveThreadCount(num_threads);
+  if (threads <= 1 || order_.size() <= kLeafSize * 4) {
+    root_ = BuildInto(&nodes_, 0, order_.size(), 0);
+    return;
+  }
+
+  // Serial expansion down to a fixed frontier depth, then the pending
+  // subtrees build concurrently into private arenas over disjoint
+  // order_ ranges. Every nth_element call sees exactly the range the
+  // serial build would hand it, so the permutation and geometry are
+  // identical to the serial build for any thread count.
+  std::vector<PendingSubtree> pending;
+  root_ = ExpandTop(0, order_.size(), 0, &pending);
+
+  std::vector<std::vector<Node>> arenas(pending.size());
+  std::vector<ptrdiff_t> subtree_roots(pending.size(), -1);
+  ParallelOptions build_options;
+  build_options.num_threads = threads;
+  const Status built = ParallelFor(
+      ExecutionContext::Unlimited(), "kd_build", pending.size(),
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          subtree_roots[i] = BuildInto(&arenas[i], pending[i].begin,
+                                       pending[i].end, pending[i].depth);
+        }
+        return Status::OK();
+      },
+      build_options);
+  TRANSER_CHECK(built.ok());
+
+  // Splice the arenas in pending order and patch the encoded child
+  // slots (-2 - i) left by ExpandTop.
+  std::vector<ptrdiff_t> spliced_roots(pending.size(), -1);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const ptrdiff_t offset = static_cast<ptrdiff_t>(nodes_.size());
+    for (const Node& node : arenas[i]) {
+      Node fixed = node;
+      if (fixed.left >= 0) fixed.left += offset;
+      if (fixed.right >= 0) fixed.right += offset;
+      nodes_.push_back(fixed);
+    }
+    spliced_roots[i] = subtree_roots[i] + offset;
+  }
+  for (Node& node : nodes_) {
+    if (node.left <= -2) node.left = spliced_roots[-2 - node.left];
+    if (node.right <= -2) node.right = spliced_roots[-2 - node.right];
   }
 }
 
@@ -45,27 +98,18 @@ size_t KdTree::StorageBytes(const Matrix& points) {
 Result<KdTree> KdTree::Create(const Matrix& points,
                               const ExecutionContext& context,
                               const std::string& scope,
-                              RunDiagnostics* diagnostics) {
+                              RunDiagnostics* diagnostics, int num_threads) {
   TRANSER_RETURN_IF_ERROR(context.Check(scope, diagnostics));
   ScopedReservation reservation;
   TRANSER_RETURN_IF_ERROR(reservation.Acquire(context, scope,
                                               StorageBytes(points),
                                               diagnostics));
-  KdTree tree(points);
+  KdTree tree(points, num_threads);
   tree.memory_ = std::move(reservation);
   return tree;
 }
 
-ptrdiff_t KdTree::Build(size_t begin, size_t end, size_t depth) {
-  Node node;
-  if (end - begin <= kLeafSize) {
-    node.is_leaf = true;
-    node.begin = begin;
-    node.end = end;
-    nodes_.push_back(node);
-    return static_cast<ptrdiff_t>(nodes_.size() - 1);
-  }
-
+KdTree::Node KdTree::SplitRange(size_t begin, size_t end, size_t depth) {
   // Pick the dimension with the largest spread for balanced splits.
   const size_t dims = points_.cols();
   size_t best_dim = depth % dims;
@@ -92,12 +136,49 @@ ptrdiff_t KdTree::Build(size_t begin, size_t end, size_t depth) {
                      return points_(a, best_dim) < points_(b, best_dim);
                    });
 
+  Node node;
   node.split_dim = best_dim;
   node.split_value = points_(order_[mid], best_dim);
-  nodes_.push_back(node);
+  return node;
+}
+
+ptrdiff_t KdTree::BuildInto(std::vector<Node>* arena, size_t begin,
+                            size_t end, size_t depth) {
+  if (end - begin <= kLeafSize) {
+    Node node;
+    node.is_leaf = true;
+    node.begin = begin;
+    node.end = end;
+    arena->push_back(node);
+    return static_cast<ptrdiff_t>(arena->size() - 1);
+  }
+
+  arena->push_back(SplitRange(begin, end, depth));
+  const ptrdiff_t index = static_cast<ptrdiff_t>(arena->size() - 1);
+  const size_t mid = begin + (end - begin) / 2;
+  const ptrdiff_t left = BuildInto(arena, begin, mid, depth + 1);
+  const ptrdiff_t right = BuildInto(arena, mid, end, depth + 1);
+  (*arena)[static_cast<size_t>(index)].left = left;
+  (*arena)[static_cast<size_t>(index)].right = right;
+  return index;
+}
+
+ptrdiff_t KdTree::ExpandTop(size_t begin, size_t end, size_t depth,
+                            std::vector<PendingSubtree>* pending) {
+  if (end - begin <= kLeafSize) {
+    return BuildInto(&nodes_, begin, end, depth);
+  }
+  if (depth >= kParallelStopDepth) {
+    pending->push_back(PendingSubtree{begin, end, depth});
+    return -2 - static_cast<ptrdiff_t>(pending->size() - 1);
+  }
+  // Split exactly as BuildInto would, deferring the children to the
+  // parallel phase.
+  nodes_.push_back(SplitRange(begin, end, depth));
   const ptrdiff_t index = static_cast<ptrdiff_t>(nodes_.size() - 1);
-  const ptrdiff_t left = Build(begin, mid, depth + 1);
-  const ptrdiff_t right = Build(mid, end, depth + 1);
+  const size_t mid = begin + (end - begin) / 2;
+  const ptrdiff_t left = ExpandTop(begin, mid, depth + 1, pending);
+  const ptrdiff_t right = ExpandTop(mid, end, depth + 1, pending);
   nodes_[static_cast<size_t>(index)].left = left;
   nodes_[static_cast<size_t>(index)].right = right;
   return index;
@@ -118,11 +199,12 @@ void KdTree::Search(ptrdiff_t node_index, std::span<const double> query,
         dist_sq += diff * diff;
       }
       const double dist = std::sqrt(dist_sq);
+      const Neighbour candidate{row, dist};
       if (heap->size() < k) {
-        HeapPush(heap, Neighbour{row, dist});
-      } else if (dist < heap->front().distance) {
+        HeapPush(heap, candidate);
+      } else if (NeighbourBefore(candidate, heap->front())) {
         HeapPopWorst(heap);
-        HeapPush(heap, Neighbour{row, dist});
+        HeapPush(heap, candidate);
       }
     }
     return;
@@ -132,9 +214,10 @@ void KdTree::Search(ptrdiff_t node_index, std::span<const double> query,
   const ptrdiff_t near = delta <= 0.0 ? node.left : node.right;
   const ptrdiff_t far = delta <= 0.0 ? node.right : node.left;
   Search(near, query, k, skip_index, heap);
-  // Prune the far side when the splitting plane is beyond the worst kept
-  // candidate.
-  if (heap->size() < k || std::fabs(delta) < heap->front().distance) {
+  // Visit the far side unless the splitting plane is strictly beyond the
+  // worst kept candidate: an equidistant point may still win its index
+  // tie-break, so <= rather than <.
+  if (heap->size() < k || std::fabs(delta) <= heap->front().distance) {
     Search(far, query, k, skip_index, heap);
   }
 }
@@ -142,12 +225,13 @@ void KdTree::Search(ptrdiff_t node_index, std::span<const double> query,
 std::vector<Neighbour> KdTree::Query(std::span<const double> query, size_t k,
                                      ptrdiff_t skip_index) const {
   TRANSER_CHECK_EQ(query.size(), points_.cols());
-  std::vector<Neighbour> heap;
-  if (root_ < 0 || k == 0) return heap;
+  if (root_ < 0 || k == 0) return {};
+  std::vector<Neighbour>& heap = tls_query_heap;
+  heap.clear();
   heap.reserve(k + 1);
   Search(root_, query, k, skip_index, &heap);
   std::sort_heap(heap.begin(), heap.end(), HeapLess);
-  return heap;
+  return std::vector<Neighbour>(heap.begin(), heap.end());
 }
 
 Result<std::vector<Neighbour>> KdTree::Query(std::span<const double> query,
@@ -156,6 +240,26 @@ Result<std::vector<Neighbour>> KdTree::Query(std::span<const double> query,
                                              const std::string& scope) const {
   TRANSER_RETURN_IF_ERROR(context.Check(scope));
   return Query(query, k, skip_index);
+}
+
+Result<std::vector<std::vector<Neighbour>>> KdTree::QueryBatch(
+    const Matrix& queries, size_t k, const ExecutionContext& context,
+    const std::string& scope, const ParallelOptions& options) const {
+  std::vector<std::vector<Neighbour>> results(queries.rows());
+  ParallelOptions chunk_options = options;
+  chunk_options.min_items_per_chunk =
+      std::max<size_t>(chunk_options.min_items_per_chunk, 16);
+  TRANSER_RETURN_IF_ERROR(ParallelFor(
+      context, scope, queries.rows(),
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = Query(
+              std::span<const double>(queries.Row(i), queries.cols()), k);
+        }
+        return Status::OK();
+      },
+      chunk_options));
+  return results;
 }
 
 }  // namespace transer

@@ -8,16 +8,27 @@
 
 #include "linalg/matrix.h"
 #include "util/execution_context.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace transer {
 
 /// \brief One k-NN answer: the row index of a stored point and its
 /// Euclidean distance to the query.
+///
+/// Neighbour lists are ordered by (distance, index) — the index breaks
+/// distance ties — so every top-k answer is uniquely defined and both
+/// backends return bit-identical lists at any thread count.
 struct Neighbour {
   size_t index = 0;
   double distance = 0.0;
 };
+
+/// The canonical (distance, index) ordering of neighbour lists.
+inline bool NeighbourBefore(const Neighbour& a, const Neighbour& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
 
 /// \brief KD-tree over the rows of a feature matrix [Bentley 1975] — the
 /// nearest-neighbour index the paper assumes for the SEL phase complexity
@@ -25,8 +36,11 @@ struct Neighbour {
 /// branch-and-bound with a bounded max-heap of candidates.
 class KdTree {
  public:
-  /// Builds the tree over all rows of `points` (copied).
-  explicit KdTree(const Matrix& points);
+  /// Builds the tree over all rows of `points` (copied). With
+  /// `num_threads` != 1 the lower subtrees build in parallel; the
+  /// resulting tree is identical to the serial build (the split frontier
+  /// is a fixed depth, never a function of the thread count).
+  explicit KdTree(const Matrix& points, int num_threads = 1);
 
   /// Budgeted build: reserves the tree's storage (point copy, order
   /// permutation, nodes) against `context`'s memory budget — released
@@ -36,7 +50,8 @@ class KdTree {
   static Result<KdTree> Create(const Matrix& points,
                                const ExecutionContext& context,
                                const std::string& scope = "kd_tree",
-                               RunDiagnostics* diagnostics = nullptr);
+                               RunDiagnostics* diagnostics = nullptr,
+                               int num_threads = 1);
 
   /// Bytes the tree over `points` keeps resident (used for budgeting).
   static size_t StorageBytes(const Matrix& points);
@@ -56,6 +71,14 @@ class KdTree {
                                        const std::string& scope = "kd_tree")
       const;
 
+  /// Answers one Query per row of `queries` over the parallel runtime.
+  /// Results land in row order, bit-identical at any thread count;
+  /// workers poll `context` per chunk.
+  Result<std::vector<std::vector<Neighbour>>> QueryBatch(
+      const Matrix& queries, size_t k, const ExecutionContext& context,
+      const std::string& scope = "kd_tree",
+      const ParallelOptions& options = {}) const;
+
   size_t size() const { return points_.rows(); }
   size_t dimensions() const { return points_.cols(); }
 
@@ -70,14 +93,39 @@ class KdTree {
     bool is_leaf = false;
   };
 
-  /// Builds the subtree over order_[begin, end); returns its node index.
-  ptrdiff_t Build(size_t begin, size_t end, size_t depth);
+  /// Splits order_[begin, end): picks the widest-spread dimension,
+  /// nth_elements the range around its median, and returns the internal
+  /// node (children unset). Deterministic per range.
+  Node SplitRange(size_t begin, size_t end, size_t depth);
+
+  /// Builds the subtree over order_[begin, end) into `arena` (child
+  /// indices local to the arena); returns its arena node index.
+  ptrdiff_t BuildInto(std::vector<Node>* arena, size_t begin, size_t end,
+                      size_t depth);
+
+  /// A subtree deferred to the parallel phase of the build.
+  struct PendingSubtree {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t depth = 0;
+  };
+
+  /// Serial top expansion: splits order_ down to kParallelStopDepth,
+  /// registering deeper subtrees in `pending` (child slots encode the
+  /// pending index as -2 - i until the splice fixes them up).
+  ptrdiff_t ExpandTop(size_t begin, size_t end, size_t depth,
+                      std::vector<PendingSubtree>* pending);
 
   /// Recursive best-first search helper.
   void Search(ptrdiff_t node_index, std::span<const double> query, size_t k,
               ptrdiff_t skip_index, std::vector<Neighbour>* heap) const;
 
   static constexpr size_t kLeafSize = 16;
+  /// Depth of the serial/parallel frontier: a constant (never derived
+  /// from the thread count), so the split ranges — and therefore the
+  /// final order_ permutation and tree geometry — match the serial
+  /// build exactly. 2^6 = 64 subtrees is ample lane fan-out.
+  static constexpr size_t kParallelStopDepth = 6;
 
   Matrix points_;
   std::vector<size_t> order_;  ///< permutation of row indices

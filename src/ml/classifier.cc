@@ -4,23 +4,38 @@
 #include "ml/linear_svm.h"
 #include "ml/logistic_regression.h"
 #include "ml/random_forest.h"
+#include "util/logging.h"
+#include "util/parallel.h"
 
 namespace transer {
 
-std::vector<double> Classifier::PredictProbaAll(const Matrix& x) const {
+std::vector<double> Classifier::PredictProbaAll(const Matrix& x,
+                                                int num_threads) const {
+  // Trained predictors are immutable, so rows score independently into
+  // disjoint slots: identical output at any thread count.
   std::vector<double> out(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) {
-    out[i] = PredictProba(std::span<const double>(x.Row(i), x.cols()));
-  }
+  ParallelOptions options;
+  options.num_threads = num_threads;
+  options.min_items_per_chunk = 64;
+  const Status status = ParallelFor(
+      ExecutionContext::Unlimited(), "predict", x.rows(),
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          out[i] = PredictProba(std::span<const double>(x.Row(i), x.cols()));
+        }
+        return Status::OK();
+      },
+      options);
+  TRANSER_CHECK(status.ok());
   return out;
 }
 
-std::vector<int> Classifier::PredictAll(const Matrix& x) const {
+std::vector<int> Classifier::PredictAll(const Matrix& x,
+                                        int num_threads) const {
+  const std::vector<double> proba = PredictProbaAll(x, num_threads);
   std::vector<int> out(x.rows());
   for (size_t i = 0; i < x.rows(); ++i) {
-    out[i] =
-        PredictProba(std::span<const double>(x.Row(i), x.cols())) >= 0.5 ? 1
-                                                                         : 0;
+    out[i] = proba[i] >= 0.5 ? 1 : 0;
   }
   return out;
 }

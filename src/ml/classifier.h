@@ -39,11 +39,14 @@ class Classifier {
   /// Fit with uniform weights.
   void Fit(const Matrix& x, const std::vector<int>& y) { Fit(x, y, {}); }
 
-  /// Match probability per row of `x`.
-  std::vector<double> PredictProbaAll(const Matrix& x) const;
+  /// Match probability per row of `x`, scored over the parallel runtime
+  /// (`num_threads` lanes, 0 = process default; output is identical at
+  /// any parallelism since trained predictors are immutable).
+  std::vector<double> PredictProbaAll(const Matrix& x,
+                                      int num_threads = 0) const;
 
   /// Hard labels at the 0.5 threshold.
-  std::vector<int> PredictAll(const Matrix& x) const;
+  std::vector<int> PredictAll(const Matrix& x, int num_threads = 0) const;
 
   /// Hard label for one instance.
   int Predict(std::span<const double> features) const {

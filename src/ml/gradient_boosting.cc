@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace transer {
 
@@ -33,7 +34,7 @@ ptrdiff_t RegressionTree::Grow(const Matrix& x,
                                const std::vector<double>& weights,
                                std::vector<size_t>* indices, size_t begin,
                                size_t end, int depth, int max_depth,
-                               size_t min_samples_leaf) {
+                               size_t min_samples_leaf, int num_threads) {
   Node node;
   node.value = WeightedMean(residuals, weights, *indices, begin, end);
 
@@ -43,47 +44,85 @@ ptrdiff_t RegressionTree::Grow(const Matrix& x,
   double best_threshold = 0.0;
   double best_gain = 1e-12;
   if (depth < max_depth && end - begin >= 2 * min_samples_leaf) {
-    std::vector<size_t> sorted(indices->begin() + static_cast<ptrdiff_t>(begin),
-                               indices->begin() + static_cast<ptrdiff_t>(end));
+    // Every feature scores from this pristine copy of the node's row
+    // order, so its result is independent of which other features ran
+    // (or in what order) — the basis of the parallel search's
+    // determinism.
+    const std::vector<size_t> base(
+        indices->begin() + static_cast<ptrdiff_t>(begin),
+        indices->begin() + static_cast<ptrdiff_t>(end));
     double total_sw = 0.0, total_swr = 0.0;
-    for (size_t row : sorted) {
+    for (size_t row : base) {
       total_sw += weights[row];
       total_swr += weights[row] * residuals[row];
     }
-    for (size_t feature = 0; feature < x.cols(); ++feature) {
-      std::sort(sorted.begin(), sorted.end(),
-                [&x, feature](size_t a, size_t b) {
-                  return x(a, feature) < x(b, feature);
-                });
-      double left_sw = 0.0, left_swr = 0.0;
-      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
-        const size_t row = sorted[i];
-        left_sw += weights[row];
-        left_swr += weights[row] * residuals[row];
-        if (i + 1 < min_samples_leaf || sorted.size() - i - 1 < min_samples_leaf) {
-          continue;
-        }
-        const double value = x(row, feature);
-        const double next = x(sorted[i + 1], feature);
-        if (next <= value) continue;
-        const double right_sw = total_sw - left_sw;
-        const double right_swr = total_swr - left_swr;
-        if (left_sw <= 0.0 || right_sw <= 0.0) continue;
-        // Variance-reduction gain: sum of (weighted mean)^2 * weight.
-        const double gain = left_swr * left_swr / left_sw +
-                            right_swr * right_swr / right_sw -
-                            total_swr * total_swr / total_sw;
-        if (gain > best_gain) {
-          const double threshold = value + 0.5 * (next - value);
-          if (!(threshold < next)) continue;
-          best_gain = gain;
-          best_feature = feature;
-          best_threshold = threshold;
-          found = true;
-        }
-      }
-    }
+
+    struct BestSplit {
+      bool found = false;
+      double gain = 1e-12;
+      size_t feature = 0;
+      double threshold = 0.0;
+    };
+    ParallelOptions par;
+    par.num_threads = num_threads;
+    auto best = ParallelReduce<BestSplit>(
+        ExecutionContext::Unlimited(), "gbdt_split", x.cols(), BestSplit{},
+        [&](size_t f_begin, size_t f_end, size_t /*chunk*/,
+            BestSplit* acc) -> Status {
+          std::vector<size_t> sorted;
+          for (size_t feature = f_begin; feature < f_end; ++feature) {
+            sorted = base;
+            std::sort(sorted.begin(), sorted.end(),
+                      [&x, feature](size_t a, size_t b) {
+                        return x(a, feature) < x(b, feature);
+                      });
+            double left_sw = 0.0, left_swr = 0.0;
+            for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+              const size_t row = sorted[i];
+              left_sw += weights[row];
+              left_swr += weights[row] * residuals[row];
+              if (i + 1 < min_samples_leaf ||
+                  sorted.size() - i - 1 < min_samples_leaf) {
+                continue;
+              }
+              const double value = x(row, feature);
+              const double next = x(sorted[i + 1], feature);
+              if (next <= value) continue;
+              const double right_sw = total_sw - left_sw;
+              const double right_swr = total_swr - left_swr;
+              if (left_sw <= 0.0 || right_sw <= 0.0) continue;
+              // Variance-reduction gain: sum of (weighted mean)^2 * weight.
+              const double gain = left_swr * left_swr / left_sw +
+                                  right_swr * right_swr / right_sw -
+                                  total_swr * total_swr / total_sw;
+              // Strict >: within the ascending feature scan the lowest
+              // feature index wins gain ties, exactly as the serial
+              // loop resolved them.
+              if (gain > acc->gain) {
+                const double threshold = value + 0.5 * (next - value);
+                if (!(threshold < next)) continue;
+                acc->gain = gain;
+                acc->feature = feature;
+                acc->threshold = threshold;
+                acc->found = true;
+              }
+            }
+          }
+          return Status::OK();
+        },
+        [](BestSplit* into, BestSplit* part) {
+          // Chunks fold in ascending feature order; strict > preserves
+          // the lowest-index tie-break across chunk boundaries.
+          if (part->found && part->gain > into->gain) *into = *part;
+        },
+        par);
+    TRANSER_CHECK(best.ok());
+    found = best.value().found;
+    best_feature = best.value().feature;
+    best_threshold = best.value().threshold;
+    best_gain = best.value().gain;
   }
+  (void)best_gain;
 
   if (!found) {
     nodes.push_back(node);
@@ -105,9 +144,11 @@ ptrdiff_t RegressionTree::Grow(const Matrix& x,
   nodes.push_back(node);
   const ptrdiff_t index = static_cast<ptrdiff_t>(nodes.size() - 1);
   const ptrdiff_t left = Grow(x, residuals, weights, indices, begin, mid,
-                              depth + 1, max_depth, min_samples_leaf);
+                              depth + 1, max_depth, min_samples_leaf,
+                              num_threads);
   const ptrdiff_t right = Grow(x, residuals, weights, indices, mid, end,
-                               depth + 1, max_depth, min_samples_leaf);
+                               depth + 1, max_depth, min_samples_leaf,
+                               num_threads);
   nodes[static_cast<size_t>(index)].left = left;
   nodes[static_cast<size_t>(index)].right = right;
   return index;
@@ -116,14 +157,14 @@ ptrdiff_t RegressionTree::Grow(const Matrix& x,
 void RegressionTree::Fit(const Matrix& x,
                          const std::vector<double>& residuals,
                          const std::vector<double>& weights, int max_depth,
-                         size_t min_samples_leaf) {
+                         size_t min_samples_leaf, int num_threads) {
   nodes.clear();
   root = -1;
   if (x.rows() == 0) return;
   std::vector<size_t> indices(x.rows());
   for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   root = Grow(x, residuals, weights, &indices, 0, indices.size(), 0,
-              max_depth, min_samples_leaf);
+              max_depth, min_samples_leaf, num_threads);
 }
 
 double RegressionTree::Predict(std::span<const double> features) const {
@@ -181,8 +222,8 @@ void GradientBoosting::Fit(const Matrix& x, const std::vector<int>& y,
       residuals[i] = static_cast<double>(y[i]) - Sigmoid(logits[i]);
     }
     internal_gbdt::RegressionTree tree;
-    tree.Fit(x, residuals, w, options_.max_depth,
-             options_.min_samples_leaf);
+    tree.Fit(x, residuals, w, options_.max_depth, options_.min_samples_leaf,
+             options_.num_threads);
     double max_abs_update = 0.0;
     for (size_t i = 0; i < n; ++i) {
       const double update =

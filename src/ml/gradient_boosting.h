@@ -15,6 +15,11 @@ struct GradientBoostingOptions {
   double learning_rate = 0.2;
   int max_depth = 3;
   size_t min_samples_leaf = 4;
+  /// Worker lanes for the per-node split search (0 = process default).
+  /// Each feature scores from a pristine copy of the node's row order,
+  /// and the ordered reduce keeps the lowest-index feature on gain
+  /// ties, so the fitted trees are bit-identical at any thread count.
+  int num_threads = 0;
 };
 
 namespace internal_gbdt {
@@ -36,14 +41,15 @@ struct RegressionTree {
 
   void Fit(const Matrix& x, const std::vector<double>& residuals,
            const std::vector<double>& weights, int max_depth,
-           size_t min_samples_leaf);
+           size_t min_samples_leaf, int num_threads = 1);
   double Predict(std::span<const double> features) const;
 
  private:
   ptrdiff_t Grow(const Matrix& x, const std::vector<double>& residuals,
                  const std::vector<double>& weights,
                  std::vector<size_t>* indices, size_t begin, size_t end,
-                 int depth, int max_depth, size_t min_samples_leaf);
+                 int depth, int max_depth, size_t min_samples_leaf,
+                 int num_threads);
 };
 
 }  // namespace internal_gbdt

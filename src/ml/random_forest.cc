@@ -1,8 +1,10 @@
 #include "ml/random_forest.h"
 
 #include <cmath>
+#include <memory>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace transer {
@@ -22,23 +24,56 @@ void RandomForest::Fit(const Matrix& x, const std::vector<int>& y,
         std::max(1.0, std::floor(std::sqrt(static_cast<double>(x.cols())))));
   }
 
-  trees_.reserve(options_.num_trees);
+  // Bags and per-tree seeds are drawn up front from the single forest
+  // stream — exactly the draws (and order) the serial loop made — so
+  // every tree's training inputs are fixed before any tree fits and the
+  // forest is bit-identical at any thread count.
+  struct TreePlan {
+    std::vector<double> bag_weights;
+    uint64_t seed = 0;
+  };
+  std::vector<TreePlan> plans(options_.num_trees);
   for (size_t t = 0; t < options_.num_trees; ++t) {
-    if (FitInterrupted()) return;  // caller surfaces the status via Check
     // Bootstrap sample expressed through multiplicative sample weights so
     // user-provided weights compose with bagging.
-    std::vector<double> bag_weights(n, 0.0);
+    plans[t].bag_weights.assign(n, 0.0);
     for (size_t draw = 0; draw < n; ++draw) {
-      bag_weights[rng.NextUint64Below(n)] += 1.0;
+      plans[t].bag_weights[rng.NextUint64Below(n)] += 1.0;
     }
     if (!weights.empty()) {
-      for (size_t i = 0; i < n; ++i) bag_weights[i] *= weights[i];
+      for (size_t i = 0; i < n; ++i) plans[t].bag_weights[i] *= weights[i];
     }
-    tree_options.seed = rng.NextUint64();
-    DecisionTree tree(tree_options);
-    tree.set_execution_context(execution_context());
-    tree.Fit(x, y, bag_weights);
-    trees_.push_back(std::move(tree));
+    plans[t].seed = rng.NextUint64();
+  }
+
+  std::vector<std::unique_ptr<DecisionTree>> slots(options_.num_trees);
+  ParallelOptions par;
+  par.num_threads = options_.num_threads;
+  const Status fitted = ParallelFor(
+      ExecutionContext::Unlimited(), "random_forest", options_.num_trees,
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t t = begin; t < end; ++t) {
+          // Interruption is graceful, not an error: unfitted slots stay
+          // empty and the caller surfaces the status via Check.
+          if (FitInterrupted()) return Status::OK();
+          DecisionTreeOptions slot_options = tree_options;
+          slot_options.seed = plans[t].seed;
+          auto tree = std::make_unique<DecisionTree>(slot_options);
+          tree->set_execution_context(execution_context());
+          tree->Fit(x, y, plans[t].bag_weights);
+          slots[t] = std::move(tree);
+        }
+        return Status::OK();
+      },
+      par);
+  TRANSER_CHECK(fitted.ok());
+
+  // Keep the longest filled prefix, mirroring the serial loop's
+  // stop-at-interruption behaviour.
+  trees_.reserve(options_.num_trees);
+  for (auto& slot : slots) {
+    if (slot == nullptr) break;
+    trees_.push_back(std::move(*slot));
   }
 }
 

@@ -16,6 +16,10 @@ struct RandomForestOptions {
   size_t num_trees = 32;
   DecisionTreeOptions tree;  ///< tree.max_features 0 = sqrt(m) heuristic
   uint64_t seed = 4;
+  /// Worker lanes for the bagged tree fits (0 = process default). Bags
+  /// and per-tree seeds are drawn sequentially before any tree trains,
+  /// so the forest is bit-identical at any thread count.
+  int num_threads = 0;
 };
 
 /// \brief Bagged ensemble of CART trees with per-node random feature

@@ -20,6 +20,11 @@ struct TransferRunOptions {
   uint64_t seed = 0;
   double time_limit_seconds = 0.0;   ///< 0 = unlimited
   size_t memory_limit_bytes = 0;     ///< 0 = unlimited
+  /// Worker lanes for the parallel hot paths (comparison, kNN, ensemble
+  /// fitting). 0 = the process default (hardware width or the binary's
+  /// --threads flag). Results are bit-identical for every value — see
+  /// util/parallel.h.
+  int num_threads = 0;
   /// Optional sink for the graceful-degradation events of the run
   /// (threshold relaxations, fallbacks, skipped phases) and for the
   /// budget outcomes (TE / ME / cancellation). Not owned.

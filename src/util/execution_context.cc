@@ -108,16 +108,23 @@ void ExecutionContext::Release(size_t bytes) const {
 }
 
 void ExecutionContext::BeginStage(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(heartbeat_mutex_);
   stage_ = stage;
   last_emitted_fraction_ = 0.0;
   if (progress_) progress_(ProgressEvent{stage_, 0.0});
 }
 
 void ExecutionContext::ReportProgress(double fraction) const {
+  std::lock_guard<std::mutex> lock(heartbeat_mutex_);
   if (!progress_) return;
   if (fraction < last_emitted_fraction_ + 0.01 && fraction < 1.0) return;
   last_emitted_fraction_ = fraction;
   progress_(ProgressEvent{stage_, fraction});
+}
+
+std::string ExecutionContext::current_stage() const {
+  std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+  return stage_;
 }
 
 ScopedReservation::~ScopedReservation() { Release(); }

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "util/diagnostics.h"
@@ -57,8 +58,10 @@ using ProgressCallback = std::function<void(const ProgressEvent&)>;
 /// pays an atomic increment, not a syscall, per iteration.
 ///
 /// Deadline/cancellation/memory state is safe to poll from several
-/// threads; the heartbeat (`BeginStage` / `ReportProgress`) is not
-/// synchronised and is meant for a single driving thread.
+/// threads; the heartbeat (`BeginStage` / `ReportProgress`) is
+/// mutex-serialised so concurrent sweep groups sharing one context may
+/// emit progress, though a single driving thread remains the intended
+/// use (interleaved stages from parallel phases are hard to read).
 class ExecutionContext {
  public:
   /// Clock reads happen once per this many Expired() polls.
@@ -137,7 +140,8 @@ class ExecutionContext {
   /// emission, so per-iteration reporting stays cheap.
   void ReportProgress(double fraction) const;
 
-  const std::string& current_stage() const { return stage_; }
+  /// Name of the current stage (copied under the heartbeat lock).
+  std::string current_stage() const;
 
   // --- introspection ------------------------------------------------
 
@@ -159,6 +163,8 @@ class ExecutionContext {
   mutable std::atomic<bool> memory_recorded_{false};
   mutable std::atomic<bool> cancel_recorded_{false};
 
+  /// Guards the heartbeat state below (and the progress callback call).
+  mutable std::mutex heartbeat_mutex_;
   mutable std::string stage_;
   mutable double last_emitted_fraction_ = -1.0;
 };

@@ -1,0 +1,232 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace transer {
+
+namespace {
+
+/// Process-wide default parallelism; 0 means "hardware width, resolved
+/// lazily" so SetDefaultThreadCount(0) and the untouched initial state
+/// behave identically.
+std::atomic<int> g_default_threads{0};
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Depth of ParallelFor lanes on this thread; > 0 while executing a
+/// chunk body (on pool workers and the calling thread alike).
+thread_local int tls_region_depth = 0;
+
+class ScopedRegionMark {
+ public:
+  ScopedRegionMark() { ++tls_region_depth; }
+  ~ScopedRegionMark() { --tls_region_depth; }
+  ScopedRegionMark(const ScopedRegionMark&) = delete;
+  ScopedRegionMark& operator=(const ScopedRegionMark&) = delete;
+};
+
+}  // namespace
+
+int DefaultThreadCount() {
+  const int configured = g_default_threads.load(std::memory_order_relaxed);
+  return configured > 0 ? configured : HardwareThreads();
+}
+
+void SetDefaultThreadCount(int n) {
+  g_default_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+bool InParallelRegion() { return tls_region_depth > 0; }
+
+int EffectiveThreadCount(int requested) {
+  if (InParallelRegion()) return 1;
+  const int resolved = requested > 0 ? requested : DefaultThreadCount();
+  return std::max(1, std::min(resolved, ThreadPool::kMaxWorkers + 1));
+}
+
+ChunkPlan PlanChunks(size_t n, size_t min_items_per_chunk) {
+  ChunkPlan plan;
+  plan.items = n;
+  if (n == 0) return plan;
+  const size_t min_chunk = std::max<size_t>(1, min_items_per_chunk);
+  // ceil(n / kMaxChunksPerRegion), floored at the caller's grain. A pure
+  // function of (n, min_chunk): thread count never moves a boundary.
+  plan.chunk_size = std::max(min_chunk, (n + kMaxChunksPerRegion - 1) /
+                                            kMaxChunksPerRegion);
+  plan.num_chunks = (n + plan.chunk_size - 1) / plan.chunk_size;
+  return plan;
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+/// One Run() call: `lanes_wanted` workers may still join, `in_flight`
+/// lanes are currently inside `work`. All fields are guarded by the
+/// pool mutex; completion is announced on the pool-wide condition
+/// variable and waited on by the Run() caller.
+struct ThreadPool::Region {
+  std::function<void()> work;
+  int lanes_wanted = 0;
+  int in_flight = 0;
+};
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally: worker threads may outlive static destructors
+  // of translation units that still hold references.
+  static ThreadPool* const kPool = new ThreadPool();
+  return *kPool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::EnsureWorkers(int wanted) {
+  // Caller holds mutex_.
+  const int target = std::min(wanted, kMaxWorkers);
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+    if (shutting_down_) return;
+    std::shared_ptr<Region> region = queue_.front();
+    region->lanes_wanted -= 1;
+    region->in_flight += 1;
+    if (region->lanes_wanted == 0) queue_.pop_front();
+    lock.unlock();
+    {
+      ScopedRegionMark mark;
+      region->work();
+    }
+    lock.lock();
+    region->in_flight -= 1;
+    if (region->in_flight == 0) wake_.notify_all();
+  }
+}
+
+void ThreadPool::Run(int lanes, const std::function<void()>& work) {
+  if (lanes <= 1 || InParallelRegion()) {
+    ScopedRegionMark mark;
+    work();
+    return;
+  }
+  auto region = std::make_shared<Region>();
+  region->work = work;
+  region->lanes_wanted = lanes - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnsureWorkers(region->lanes_wanted);
+    queue_.push_back(region);
+  }
+  wake_.notify_all();
+
+  {
+    ScopedRegionMark mark;
+    work();  // the calling thread is always lane 0
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (region->lanes_wanted > 0) {
+    // The caller's lane drained the region alone (or nearly so) before
+    // every worker got to it; revoke the unclaimed lanes so Run never
+    // waits on workers that are busy in other regions.
+    region->lanes_wanted = 0;
+    auto it = std::find(queue_.begin(), queue_.end(), region);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+  wake_.wait(lock, [&region] { return region->in_flight == 0; });
+}
+
+// ---------------------------------------------------------------------
+// Parallel loops
+// ---------------------------------------------------------------------
+
+Status ParallelFor(const ExecutionContext& context, const std::string& scope,
+                   size_t n, const ParallelChunkBody& body,
+                   const ParallelOptions& options) {
+  if (n == 0) return Status::OK();
+  const ChunkPlan plan = PlanChunks(n, options.min_items_per_chunk);
+  int threads = EffectiveThreadCount(options.num_threads);
+  if (static_cast<size_t>(threads) > plan.num_chunks) {
+    threads = static_cast<int>(plan.num_chunks);
+  }
+
+  if (threads <= 1) {
+    for (size_t chunk = 0; chunk < plan.num_chunks; ++chunk) {
+      TRANSER_RETURN_IF_ERROR(context.Check(scope, options.diagnostics));
+      TRANSER_RETURN_IF_ERROR(body(plan.Begin(chunk), plan.End(chunk), chunk));
+    }
+    return Status::OK();
+  }
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<bool> stop{false};
+  std::mutex error_mutex;
+  Status first_error;  // OK until a chunk fails
+  const auto lane = [&] {
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= plan.num_chunks) return;
+      // Workers poll the shared deadline / cancellation token before
+      // each chunk (and may TryReserve against the memory budget from
+      // inside the body — all of that state is thread-safe). The
+      // diagnostics sink is not, so workers never pass it.
+      Status status = context.Check(scope);
+      if (status.ok()) {
+        status = body(plan.Begin(chunk), plan.End(chunk), chunk);
+      }
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> guard(error_mutex);
+        if (first_error.ok()) first_error = std::move(status);
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  ThreadPool::Global().Run(threads, lane);
+
+  if (!first_error.ok() && options.diagnostics != nullptr) {
+    // Record a budget/cancellation outcome once, from the calling
+    // thread. The context latches each outcome kind, so a TE that a
+    // worker already observed is recorded here exactly once.
+    (void)context.Check(scope, options.diagnostics);
+  }
+  return first_error;
+}
+
+Status ParallelForSeeded(const ExecutionContext& context,
+                         const std::string& scope, size_t n, uint64_t seed,
+                         const SeededParallelChunkBody& body,
+                         const ParallelOptions& options) {
+  return ParallelFor(
+      context, scope, n,
+      [&body, seed](size_t begin, size_t end, size_t chunk) -> Status {
+        // A pure function of (seed, chunk): every chunk's stream is
+        // independent of execution order and thread count.
+        Rng rng = Rng(seed).Fork(chunk);
+        return body(begin, end, chunk, rng);
+      },
+      options);
+}
+
+}  // namespace transer

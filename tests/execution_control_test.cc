@@ -3,6 +3,7 @@
 // across every registered TransferMethod, cooperative cancellation of
 // the TransER phases, and the blocking / kNN budget hooks.
 
+#include <atomic>
 #include <cctype>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include "knn/kd_tree.h"
 #include "ml/logistic_regression.h"
 #include "util/execution_context.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace transer {
@@ -399,6 +401,68 @@ TEST(KnnBudgetTest, QueryHonoursExpiredContext) {
       tree.value().Query(std::vector<double>{0.5, 0.5}, 3, -1, expired);
   ASSERT_FALSE(neighbours.ok());
   EXPECT_NE(neighbours.status().message().find("(TE)"), std::string::npos);
+}
+
+// ---------- execution control under the parallel runtime ----------
+
+// A worker lane trips the shared cancellation token mid-region: the
+// other lanes observe it at their next per-chunk poll, the region stops
+// early, and the outcome is recorded exactly once (from the calling
+// thread after the join — workers never touch diagnostics).
+TEST(ParallelExecutionControlTest, CancellationFromWorkerStopsRegion) {
+  CancellationToken token;
+  ExecutionContext context({}, &token);
+  RunDiagnostics diagnostics;
+  std::atomic<size_t> executed{0};
+  ParallelOptions options;
+  options.num_threads = 4;
+  options.diagnostics = &diagnostics;
+  const size_t n = 5000;
+  const ChunkPlan plan = PlanChunks(n);
+  ASSERT_GT(plan.num_chunks, 8u);
+  const Status status = ParallelFor(
+      context, "region", n,
+      [&](size_t /*begin*/, size_t /*end*/, size_t chunk) -> Status {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (chunk == 0) token.Cancel();
+        return Status::OK();
+      },
+      options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("run cancelled"), std::string::npos)
+      << status.ToString();
+  // Lanes stop claiming chunks once the token fires: at most the chunks
+  // already in flight complete, far short of the full plan.
+  EXPECT_LT(executed.load(), plan.num_chunks);
+  EXPECT_EQ(diagnostics.CountKind(DegradationKind::kRunCancelled), 1u);
+}
+
+// Concurrent lanes charging one shared memory budget: the reservation
+// that exceeds the cap fails with the paper's 'ME' status, which wins
+// the region as its first error and cancels the remaining chunks.
+TEST(ParallelExecutionControlTest, MemoryExhaustionUnderParallelism) {
+  ExecutionContext context({/*time=*/0.0, /*memory=*/1024});
+  std::atomic<size_t> executed{0};
+  ParallelOptions options;
+  options.num_threads = 4;
+  const size_t n = 5000;
+  const ChunkPlan plan = PlanChunks(n);
+  const Status status = ParallelFor(
+      context, "region", n,
+      [&](size_t /*begin*/, size_t /*end*/, size_t /*chunk*/) -> Status {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        // Each chunk charges 256 bytes and never releases: the fifth
+        // concurrent reservation breaches the 1 KiB cap.
+        return context.TryReserve("region", 256);
+      },
+      options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("(ME)"), std::string::npos)
+      << status.ToString();
+  EXPECT_LT(executed.load(), plan.num_chunks);
+  // The accounting itself stayed consistent under concurrency: only the
+  // successful reservations are held.
+  EXPECT_LE(context.reserved_bytes(), 1024u);
 }
 
 }  // namespace
