@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/build_info.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -18,7 +19,8 @@ namespace bench {
 /// Every flag the binary understands must be named in `allowed`; any
 /// other argument (a typo, a positional, a stray -x) exits with code 2
 /// instead of being silently ignored — a mistyped --time-limit must not
-/// quietly run unlimited.
+/// quietly run unlimited. `--version` is handled here so every bench
+/// binary reports its build identity uniformly.
 class Flags {
  public:
   Flags(int argc, char** argv,
@@ -26,6 +28,11 @@ class Flags {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
     for (const char* name : allowed) allowed_.emplace_back(name);
     for (const auto& arg : args_) {
+      if (arg == "--version") {
+        std::printf("%s\n",
+                    FormatVersion(argc > 0 ? argv[0] : "bench").c_str());
+        std::exit(0);
+      }
       if (!StartsWith(arg, "--")) {
         std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
         std::exit(2);

@@ -13,7 +13,11 @@
 //        re-running with the same flags skips completed cells and
 //        reproduces the identical table),
 //        --threads=N (worker lanes; default hardware width; the table
-//        is byte-identical for every value).
+//        is byte-identical for every value),
+//        --warm-start=<dir> (existing directory for per-cell model
+//        snapshots; re-running with the same flags warm-starts each
+//        TransER cell from its snapshot instead of retraining),
+//        --version (print build identity and exit).
 //
 // Also writes BENCH_table2.json: per-stage wall time and thread count.
 
@@ -40,7 +44,8 @@ std::string Cell(const MethodScenarioResult& result,
 int Main(int argc, char** argv) {
   const bench::Flags flags(argc, argv,
                            {"scale", "seed", "time-limit",
-                            "memory-limit-mb", "checkpoint", "threads"});
+                            "memory-limit-mb", "checkpoint", "threads",
+                            "warm-start"});
   const int threads = bench::ConfigureThreads(flags);
   bench::BenchReport bench_report("table2", threads);
   ScenarioScale scale;
@@ -80,6 +85,7 @@ int Main(int argc, char** argv) {
   SweepOptions sweep_options;
   sweep_options.checkpoint_path = checkpoint_path;
   sweep_options.base_options = run_options;
+  sweep_options.warm_start_dir = flags.GetString("warm-start", "");
   Stopwatch sweep_watch;
   auto sweep = RunCheckpointedSweep(methods, scenarios,
                                     DefaultClassifierSuite(), sweep_options);

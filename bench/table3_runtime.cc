@@ -9,7 +9,10 @@
 //        --checkpoint=<path.jsonl> (journal completed cells; a re-run
 //        resumes, reusing journaled runtimes for completed cells),
 //        --threads=N (worker lanes; default hardware width),
-//        --skip-speedup (omit the single-threaded reference run).
+//        --skip-speedup (omit the single-threaded reference run),
+//        --warm-start=<dir> (existing directory for per-cell model
+//        snapshots; re-running warm-starts instead of retraining),
+//        --version (print build identity and exit).
 //
 // Also writes BENCH_table3.json: per-stage wall time, thread count, and
 // the measured speedup of the bibliographic TransER pipeline at
@@ -32,7 +35,7 @@ int Main(int argc, char** argv) {
   const bench::Flags flags(argc, argv,
                            {"scale", "seed", "time-limit",
                             "memory-limit-mb", "checkpoint", "threads",
-                            "skip-speedup"});
+                            "skip-speedup", "warm-start"});
   const int threads = bench::ConfigureThreads(flags);
   bench::BenchReport bench_report("table3", threads);
   ScenarioScale scale;
@@ -65,6 +68,7 @@ int Main(int argc, char** argv) {
   SweepOptions sweep_options;
   sweep_options.checkpoint_path = flags.GetString("checkpoint", "");
   sweep_options.base_options = run_options;
+  sweep_options.warm_start_dir = flags.GetString("warm-start", "");
   Stopwatch sweep_watch;
   auto sweep = RunCheckpointedSweep(methods, scenarios,
                                     DefaultClassifierSuite(), sweep_options);

@@ -9,16 +9,28 @@
 //       [--on-error=strict|skip|repair]
 //       [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]
 //       [--threads=<N>]
+//       [--save-model=model.tera] [--load-model=model.tera]
+//       [--version]
 //
 // --threads sets the worker-lane count for the parallel hot paths
 // (pair comparison, kNN, ensemble training); 0 or absent means the
 // hardware width. Predictions are bit-identical for every value.
+//
+// --save-model snapshots the trained pipeline state (checksummed,
+// atomically written) after the GEN and TCL phases. --load-model
+// warm-starts from such a snapshot: with --source present, a compatible
+// snapshot skips the already-done phases (an incompatible or corrupt one
+// is rejected with a diagnostics event and the run retrains); without
+// --source the tool serves predictions straight from the snapshot's
+// classifier and never trains at all.
 //
 // Exit codes:
 //   0  success
 //   1  load or run failure (bad CSV file, internal error)
 //   2  invalid flags / hyper-parameters
 //   3  resource budget exhausted (--time-limit-s or --memory-limit-mb)
+//   4  unrecoverable model-artifact error (serving from a missing or
+//      corrupt snapshot, or --save-model could not write)
 //
 // CSV format: one column per feature plus a final "label" column
 // (1 = match, 0 = non-match, -1 = unlabelled), as written by
@@ -46,8 +58,10 @@
 #include "ml/knn_classifier.h"
 #include "ml/linear_svm.h"
 #include "ml/logistic_regression.h"
+#include "ml/model_store.h"
 #include "ml/naive_bayes.h"
 #include "ml/random_forest.h"
+#include "util/build_info.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/validation.h"
@@ -127,9 +141,10 @@ ClassifierFactory MakeFactory(const std::string& name) {
 
 Result<FeatureMatrix> LoadMatrix(const std::string& path,
                                  const char* which,
-                                 const FeatureMatrix::IngestOptions& ingest) {
+                                 const FeatureMatrix::IngestOptions& ingest,
+                                 RunDiagnostics* diagnostics) {
   FeatureMatrix::IngestReport report;
-  auto matrix = FeatureMatrix::FromCsvFile(path, ingest, &report);
+  auto matrix = FeatureMatrix::FromCsvFile(path, ingest, &report, diagnostics);
   if (!matrix.ok()) return matrix;
   if (report.rows_skipped > 0 || report.values_repaired > 0) {
     std::printf("%s ingest: %s\n", which, report.Summary().c_str());
@@ -149,6 +164,8 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "    [--on-error=strict|skip|repair]\n"
       "    [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]\n"
       "    [--threads=<N>]\n"
+      "    [--save-model=model.tera] [--load-model=model.tera]\n"
+      "    [--version]\n"
       "\n"
       "--threads sets the worker-lane count for the parallel hot paths;\n"
       "0 (the default) uses the hardware width. Predictions are\n"
@@ -158,12 +175,49 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "checks them cooperatively and stops with a budget error instead of\n"
       "running away. 0 (the default) means unlimited.\n"
       "\n"
+      "--save-model snapshots the trained pipeline after GEN and TCL;\n"
+      "--load-model warm-starts from a compatible snapshot (and, without\n"
+      "--source, serves predictions from it directly).\n"
+      "\n"
       "exit codes:\n"
       "  0  success\n"
       "  1  load or run failure (bad CSV file, internal error)\n"
       "  2  invalid flags / hyper-parameters\n"
-      "  3  resource budget exhausted (time or memory limit hit)\n",
+      "  3  resource budget exhausted (time or memory limit hit)\n"
+      "  4  unrecoverable model-artifact error\n",
       prog);
+}
+
+/// Prints the prediction summary, the optional quality-vs-labels line,
+/// and writes --out when given. Shared by the training and serving
+/// paths.
+int EmitPredictions(int argc, char** argv, const FeatureMatrix& target,
+                    const std::vector<int>& predicted) {
+  size_t predicted_matches = 0;
+  for (int label : predicted) predicted_matches += label == 1;
+  std::printf("predicted %zu matches / %zu pairs\n", predicted_matches,
+              predicted.size());
+
+  // If the target CSV carried labels, report quality against them.
+  if (target.CountUnlabeled() < target.size()) {
+    std::printf("quality vs target labels: %s\n",
+                EvaluateLinkage(target.labels(), predicted)
+                    .ToString()
+                    .c_str());
+  }
+
+  const std::string out_path = GetFlag(argc, argv, "out", "");
+  if (!out_path.empty()) {
+    const FeatureMatrix labelled = target.WithLabels(predicted);
+    const Status status = labelled.ToCsvFile(out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
 }
 
 bool HasFlag(int argc, char** argv, const char* name) {
@@ -179,10 +233,24 @@ int Main(int argc, char** argv) {
     PrintUsage(stdout, argv[0]);
     return 0;
   }
+  if (HasFlag(argc, argv, "version")) {
+    std::printf("%s\n", FormatVersion("transer_csv_tool").c_str());
+    return 0;
+  }
   const std::string source_path = GetFlag(argc, argv, "source", "");
   const std::string target_path = GetFlag(argc, argv, "target", "");
-  if (source_path.empty() || target_path.empty()) {
+  const std::string save_model = GetFlag(argc, argv, "save-model", "");
+  const std::string load_model = GetFlag(argc, argv, "load-model", "");
+  // Serving mode: a snapshot replaces the source domain entirely.
+  const bool serving = !load_model.empty() && source_path.empty();
+  if (target_path.empty() || (source_path.empty() && !serving)) {
     PrintUsage(stderr, argv[0]);
+    return 2;
+  }
+  if (!save_model.empty() && !load_model.empty() && save_model != load_model) {
+    std::fprintf(stderr,
+                 "--save-model and --load-model must name the same file "
+                 "when both are given\n");
     return 2;
   }
 
@@ -246,18 +314,53 @@ int Main(int argc, char** argv) {
   }
   ingest.policy = policy.value();
 
-  auto source = LoadMatrix(source_path, "source", ingest);
-  if (!source.ok()) {
-    std::fprintf(stderr, "cannot load source: %s\n",
-                 source.status().ToString().c_str());
-    return 1;
-  }
-  auto target = LoadMatrix(target_path, "target", ingest);
+  // Tolerant-ingestion events (rows dropped, values repaired) accumulate
+  // here and are merged into the run's diagnostics below so the final
+  // summary covers the whole pipeline, file loading included.
+  RunDiagnostics ingest_diag;
+  auto target = LoadMatrix(target_path, "target", ingest, &ingest_diag);
   if (!target.ok()) {
     std::fprintf(stderr, "cannot load target: %s\n",
                  target.status().ToString().c_str());
     return 1;
   }
+
+  if (serving) {
+    // No source domain: the snapshot must carry everything. Any load
+    // failure here is unrecoverable — there is nothing to retrain from.
+    auto snapshot = LoadTransERPipelineState(load_model);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "cannot load model %s: %s\n", load_model.c_str(),
+                   snapshot.status().ToString().c_str());
+      return 4;
+    }
+    TransERPipelineState state = std::move(snapshot).value();
+    if (state.feature_names != target.value().feature_names()) {
+      std::fprintf(stderr,
+                   "model %s was trained on a different feature schema "
+                   "than the target data\n",
+                   load_model.c_str());
+      return 4;
+    }
+    const bool has_v = state.classifier_v != nullptr;
+    const Classifier* model =
+        has_v ? state.classifier_v.get() : state.classifier_u.get();
+    std::printf("serving %s (%s) from %s; target: %zu\n",
+                has_v ? "C^V" : "C^U", state.classifier_name.c_str(),
+                load_model.c_str(), target.value().size());
+    return EmitPredictions(argc, argv, target.value(),
+                           model->PredictAll(target.value().ToMatrix()));
+  }
+
+  auto source = LoadMatrix(source_path, "source", ingest, &ingest_diag);
+  if (!source.ok()) {
+    std::fprintf(stderr, "cannot load source: %s\n",
+                 source.status().ToString().c_str());
+    return 1;
+  }
+
+  run_options.model_snapshot_path =
+      !load_model.empty() ? load_model : save_model;
 
   TransER transer(options);
   TransERReport report;
@@ -278,31 +381,27 @@ int Main(int argc, char** argv) {
               target.value().size());
   std::printf("SEL kept %zu; TCL trained on %zu balanced instances\n",
               report.selected_instances, report.balanced_instances);
-  size_t predicted_matches = 0;
-  for (int label : predicted.value()) predicted_matches += label == 1;
-  std::printf("predicted %zu matches / %zu pairs\n", predicted_matches,
-              predicted.value().size());
+  if (report.served_from_snapshot) {
+    std::printf("served predictions from snapshot %s\n", load_model.c_str());
+  } else if (report.warm_started) {
+    std::printf("warm-started after GEN from snapshot %s\n",
+                load_model.c_str());
+  }
+  report.diagnostics.Merge(ingest_diag);
   std::printf("diagnostics: %s\n", report.diagnostics.Summary().c_str());
 
-  // If the target CSV carried labels, report quality against them.
-  if (target.value().CountUnlabeled() < target.value().size()) {
-    std::printf("quality vs target labels: %s\n",
-                EvaluateLinkage(target.value().labels(), predicted.value())
-                    .ToString()
-                    .c_str());
-  }
+  const int emitted =
+      EmitPredictions(argc, argv, target.value(), predicted.value());
+  if (emitted != 0) return emitted;
 
-  const std::string out_path = GetFlag(argc, argv, "out", "");
-  if (!out_path.empty()) {
-    const FeatureMatrix labelled =
-        target.value().WithLabels(predicted.value());
-    const Status status = labelled.ToCsvFile(out_path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
-                   status.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", out_path.c_str());
+  // An explicitly requested snapshot that could not be written is an
+  // artifact error the caller must see (the predictions above are still
+  // valid — the next run just cannot warm-start).
+  if (!save_model.empty() &&
+      report.diagnostics.HasKind(DegradationKind::kModelSaveFailed)) {
+    std::fprintf(stderr, "model snapshot could not be written to %s\n",
+                 save_model.c_str());
+    return 4;
   }
   return 0;
 }

@@ -73,6 +73,17 @@ std::string SnapshotKey(const SweepCellKey& key) {
   return key.method + '\x1f' + key.scenario + '\x1f' + key.classifier;
 }
 
+/// Filesystem-safe rendering of a cell key for its model snapshot file.
+std::string SnapshotFileName(const SweepCellKey& key) {
+  std::string name = key.method + "_" + key.scenario + "_" + key.classifier;
+  for (char& c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!safe) c = '_';
+  }
+  return name + ".tera";
+}
+
 }  // namespace
 
 Result<std::vector<MethodScenarioResult>> RunCheckpointedSweep(
@@ -231,6 +242,10 @@ Result<std::vector<MethodScenarioResult>> RunCheckpointedSweep(
       TransferRunOptions run_options = options.base_options;
       run_options.seed = cell_seed;
       run_options.diagnostics = &group_run_diag[g];
+      if (!options.warm_start_dir.empty()) {
+        run_options.model_snapshot_path =
+            options.warm_start_dir + "/" + SnapshotFileName(key);
+      }
       Stopwatch cell_watch;
       auto predicted = method.Run(scenario.source, unlabeled_target,
                                   family.make, run_options);

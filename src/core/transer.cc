@@ -6,6 +6,7 @@
 #include "knn/kd_tree.h"
 #include "linalg/covariance.h"
 #include "linalg/vector_ops.h"
+#include "ml/model_store.h"
 #include "ml/sampling.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -37,6 +38,34 @@ Matrix NeighbourhoodCovariance(const Matrix& points,
   rows.reserve(neighbours.size());
   for (const auto& nb : neighbours) rows.push_back(nb.index);
   return SampleCovarianceOfRows(points, rows);
+}
+
+/// A snapshot may only replace training when it was taken by an
+/// equivalent run: same seed, same domain sizes, same feature schema.
+/// Anything else would silently change the experiment's results.
+Status SnapshotCompatibleWithRun(const TransERPipelineState& state,
+                                 const FeatureMatrix& source,
+                                 const FeatureMatrix& target, uint64_t seed) {
+  if (state.seed != seed) {
+    return Status::FailedPrecondition(
+        StrFormat("snapshot was taken under seed %llu, run uses %llu",
+                  static_cast<unsigned long long>(state.seed),
+                  static_cast<unsigned long long>(seed)));
+  }
+  if (state.source_rows != source.size() ||
+      state.target_rows != target.size()) {
+    return Status::FailedPrecondition(StrFormat(
+        "snapshot domains (%llu source / %llu target rows) differ from the "
+        "run's (%zu / %zu)",
+        static_cast<unsigned long long>(state.source_rows),
+        static_cast<unsigned long long>(state.target_rows), source.size(),
+        target.size()));
+  }
+  if (state.feature_names != target.feature_names()) {
+    return Status::FailedPrecondition(
+        "snapshot feature schema differs from the run's data");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -217,63 +246,161 @@ Result<std::vector<int>> TransER::RunWithReport(
            m.CountNonMatches() > 0;
   };
 
-  // --- Phase (i): instance selector (SEL), with relaxation ladder ---
-  context.BeginStage("sel");
-  FeatureMatrix transferred;  // X^U with labels Y^U
-  if (options_.use_sel) {
-    double t_c = options_.t_c;
-    double t_l = options_.t_l;
-    for (size_t step = 0;; ++step) {
-      auto selected = SelectInstancesWithThresholds(
-          source, target, context, budget_diag, t_c, t_l,
-          run_options.num_threads);
-      if (!selected.ok()) return selected.status();
-      transferred = source.Select(selected.value());
-      if (trainable(transferred)) break;
-      if (step >= options_.max_sel_relax_steps) {
-        // Degenerate selections cannot train a two-class model; fall
-        // back to the full source (naive transfer for this run).
-        diag.Add(DegradationKind::kSelFallbackNaive, "sel",
-                 StrFormat("SEL kept %zu usable instances after %zu "
-                           "relaxations; using the full source",
-                           transferred.size(), step),
-                 static_cast<double>(transferred.size()),
-                 static_cast<double>(source.size()));
-        transferred = source;
-        break;
-      }
-      const double next_t_c = t_c * options_.sel_relax_factor;
-      const double next_t_l = t_l * options_.sel_relax_factor;
-      diag.Add(DegradationKind::kSelThresholdRelaxed, "sel",
-               StrFormat("SEL kept %zu usable instances (< %zu); relaxing "
-                         "t_c/t_l",
-                         transferred.size(), min_selected),
-               t_c, next_t_c);
-      t_c = next_t_c;
-      t_l = next_t_l;
-    }
-  } else {
-    transferred = source;
-  }
-  local_report.selected_instances = transferred.size();
-
-  // --- Phase (ii): pseudo-label generator (GEN) ---
-  context.BeginStage("gen");
-  auto classifier_u = make_classifier();
-  classifier_u->set_execution_context(&context);
-  classifier_u->Fit(transferred.ToMatrix(),
-                    transfer_internal::RequireLabels(transferred));
-  // An interrupted Fit stops early with a partial model; surface the
-  // TE / cancellation status rather than predict from it.
-  TRANSER_RETURN_IF_ERROR(context.Check("transer", budget_diag));
-
   const Matrix x_target = target.ToMatrix();
-  const std::vector<double> proba = classifier_u->PredictProbaAll(x_target);
-  std::vector<int> pseudo_labels(proba.size());
-  std::vector<double> confidence(proba.size());
-  for (size_t i = 0; i < proba.size(); ++i) {
-    pseudo_labels[i] = proba[i] >= 0.5 ? kMatch : kNonMatch;
-    confidence[i] = proba[i] >= 0.5 ? proba[i] : 1.0 - proba[i];
+  const std::string& snapshot_path = run_options.model_snapshot_path;
+
+  // `snap` accumulates the run's durable state: the snapshot of record
+  // after GEN (selection, pseudo labels, C^U) and after TCL (plus C^V).
+  TransERPipelineState snap;
+  snap.feature_names = target.feature_names();
+  snap.seed = run_options.seed;
+  snap.source_rows = source.size();
+  snap.target_rows = target.size();
+  // Persists the current state atomically; a failed write degrades (the
+  // run's answer is unaffected) rather than failing the run.
+  auto save_snapshot = [&](const char* phase) {
+    if (snapshot_path.empty()) return;
+    snap.classifier_name =
+        snap.classifier_u != nullptr ? snap.classifier_u->name() : "";
+    const Status saved = SaveTransERPipelineState(snap, snapshot_path);
+    if (!saved.ok()) {
+      diag.Add(DegradationKind::kModelSaveFailed, phase,
+               StrFormat("snapshot save to %s failed: %s",
+                         snapshot_path.c_str(), saved.message().c_str()),
+               0.0, 0.0);
+    }
+  };
+
+  // --- Optional warm start from a previous run's snapshot ---
+  bool resume_after_gen = false;
+  if (!snapshot_path.empty()) {
+    auto loaded = LoadTransERPipelineState(snapshot_path);
+    if (!loaded.ok()) {
+      // A missing snapshot is the normal cold-start case; anything else
+      // is a rejected artifact the run recovers from by retraining.
+      if (loaded.status().code() != StatusCode::kNotFound) {
+        diag.Add(DegradationKind::kModelArtifactRejected, "warm_start",
+                 StrFormat("snapshot at %s rejected: %s",
+                           snapshot_path.c_str(),
+                           loaded.status().ToString().c_str()),
+                 0.0, 0.0);
+      }
+    } else {
+      const Status compatible = SnapshotCompatibleWithRun(
+          loaded.value(), source, target, run_options.seed);
+      if (!compatible.ok()) {
+        diag.Add(DegradationKind::kModelArtifactRejected, "warm_start",
+                 StrFormat("snapshot at %s is incompatible: %s",
+                           snapshot_path.c_str(),
+                           compatible.message().c_str()),
+                 0.0, 0.0);
+      } else {
+        snap = std::move(loaded).value();
+        local_report.selected_instances = snap.selected_indices.size();
+        local_report.warm_started = true;
+        if (snap.classifier_v != nullptr && options_.use_gen_tcl) {
+          // Fully trained snapshot: serve C^V's predictions directly.
+          size_t pseudo_matches = 0;
+          for (int label : snap.pseudo_labels) {
+            if (label == kMatch) ++pseudo_matches;
+          }
+          local_report.pseudo_matches = pseudo_matches;
+          local_report.tcl_trained = true;
+          local_report.served_from_snapshot = true;
+          diag.Add(DegradationKind::kModelWarmStarted, "warm_start",
+                   "serving predictions from the snapshot's C^V", 0.0, 0.0);
+          publish();
+          return snap.classifier_v->PredictAll(x_target);
+        }
+        diag.Add(DegradationKind::kModelWarmStarted, "warm_start",
+                 "resuming after GEN from the snapshot", 0.0, 0.0);
+        resume_after_gen = true;
+      }
+    }
+  }
+
+  std::vector<int> pseudo_labels;
+  std::vector<double> confidence;
+  if (resume_after_gen) {
+    pseudo_labels = snap.pseudo_labels;
+    confidence = snap.pseudo_confidences;
+  } else {
+    // --- Phase (i): instance selector (SEL), with relaxation ladder ---
+    context.BeginStage("sel");
+    FeatureMatrix transferred;  // X^U with labels Y^U
+    std::vector<size_t> kept_indices;
+    // Identity selection for the no-SEL and fallback exits.
+    auto all_source_rows = [&]() {
+      std::vector<size_t> all(source.size());
+      for (size_t s = 0; s < all.size(); ++s) all[s] = s;
+      return all;
+    };
+    if (options_.use_sel) {
+      double t_c = options_.t_c;
+      double t_l = options_.t_l;
+      for (size_t step = 0;; ++step) {
+        auto selected = SelectInstancesWithThresholds(
+            source, target, context, budget_diag, t_c, t_l,
+            run_options.num_threads);
+        if (!selected.ok()) return selected.status();
+        transferred = source.Select(selected.value());
+        if (trainable(transferred)) {
+          kept_indices = std::move(selected).value();
+          break;
+        }
+        if (step >= options_.max_sel_relax_steps) {
+          // Degenerate selections cannot train a two-class model; fall
+          // back to the full source (naive transfer for this run).
+          diag.Add(DegradationKind::kSelFallbackNaive, "sel",
+                   StrFormat("SEL kept %zu usable instances after %zu "
+                             "relaxations; using the full source",
+                             transferred.size(), step),
+                   static_cast<double>(transferred.size()),
+                   static_cast<double>(source.size()));
+          transferred = source;
+          kept_indices = all_source_rows();
+          break;
+        }
+        const double next_t_c = t_c * options_.sel_relax_factor;
+        const double next_t_l = t_l * options_.sel_relax_factor;
+        diag.Add(DegradationKind::kSelThresholdRelaxed, "sel",
+                 StrFormat("SEL kept %zu usable instances (< %zu); relaxing "
+                           "t_c/t_l",
+                           transferred.size(), min_selected),
+                 t_c, next_t_c);
+        t_c = next_t_c;
+        t_l = next_t_l;
+      }
+    } else {
+      transferred = source;
+      kept_indices = all_source_rows();
+    }
+    local_report.selected_instances = transferred.size();
+    snap.selected_indices.assign(kept_indices.begin(), kept_indices.end());
+
+    // --- Phase (ii): pseudo-label generator (GEN) ---
+    context.BeginStage("gen");
+    snap.classifier_u = make_classifier();
+    snap.classifier_u->set_execution_context(&context);
+    snap.classifier_u->Fit(transferred.ToMatrix(),
+                           transfer_internal::RequireLabels(transferred));
+    // An interrupted Fit stops early with a partial model; surface the
+    // TE / cancellation status rather than predict from it.
+    TRANSER_RETURN_IF_ERROR(context.Check("transer", budget_diag));
+
+    const std::vector<double> proba =
+        snap.classifier_u->PredictProbaAll(x_target);
+    pseudo_labels.resize(proba.size());
+    confidence.resize(proba.size());
+    for (size_t i = 0; i < proba.size(); ++i) {
+      pseudo_labels[i] = proba[i] >= 0.5 ? kMatch : kNonMatch;
+      confidence[i] = proba[i] >= 0.5 ? proba[i] : 1.0 - proba[i];
+    }
+    snap.pseudo_labels = pseudo_labels;
+    snap.pseudo_confidences = confidence;
+    // The GEN state is the expensive part of the run; snapshot it so a
+    // later run (or a crash recovery) can resume at TCL.
+    save_snapshot("gen");
   }
 
   if (!options_.use_gen_tcl) {
@@ -332,13 +459,15 @@ Result<std::vector<int>> TransER::RunWithReport(
     t_p = next_t_p;
   }
 
-  auto classifier_v = make_classifier();
-  classifier_v->set_execution_context(&context);
-  classifier_v->Fit(x_vb.ToMatrix(), x_vb.labels());
+  snap.classifier_v = make_classifier();
+  snap.classifier_v->set_execution_context(&context);
+  snap.classifier_v->Fit(x_vb.ToMatrix(), x_vb.labels());
   TRANSER_RETURN_IF_ERROR(context.Check("transer", budget_diag));
   local_report.tcl_trained = true;
+  // Snapshot of record now carries C^V: later runs serve directly.
+  save_snapshot("tcl");
   publish();
-  return classifier_v->PredictAll(x_target);
+  return snap.classifier_v->PredictAll(x_target);
 }
 
 Result<std::vector<int>> TransER::Run(

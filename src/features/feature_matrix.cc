@@ -111,7 +111,8 @@ std::string FeatureMatrix::IngestReport::Summary() const {
 
 Result<FeatureMatrix> FeatureMatrix::FromCsvFile(const std::string& path,
                                                  const IngestOptions& options,
-                                                 IngestReport* report) {
+                                                 IngestReport* report,
+                                                 RunDiagnostics* diagnostics) {
   const bool strict = options.policy == RepairPolicy::kStrict;
   const bool repair = options.policy == RepairPolicy::kClampValues;
   IngestReport local_report;
@@ -207,6 +208,23 @@ Result<FeatureMatrix> FeatureMatrix::FromCsvFile(const std::string& path,
     return Status::InvalidArgument(StrFormat(
         "%zu bad rows exceed the tolerance of %zu", local_report.rows_skipped,
         options.max_bad_rows));
+  }
+  if (diagnostics != nullptr) {
+    if (local_report.rows_skipped > 0) {
+      diagnostics->Add(DegradationKind::kRowsDropped, "ingest",
+                       StrFormat("%s: skipped %zu of %zu rows", path.c_str(),
+                                 local_report.rows_skipped,
+                                 local_report.rows_read),
+                       static_cast<double>(local_report.rows_read),
+                       static_cast<double>(local_report.rows_skipped));
+    }
+    if (local_report.values_repaired > 0) {
+      diagnostics->Add(DegradationKind::kValuesRepaired, "ingest",
+                       StrFormat("%s: repaired %zu values", path.c_str(),
+                                 local_report.values_repaired),
+                       static_cast<double>(local_report.rows_read),
+                       static_cast<double>(local_report.values_repaired));
+    }
   }
   if (report != nullptr) *report = std::move(local_report);
   return out;

@@ -126,10 +126,14 @@ class FeatureMatrix {
   };
 
   /// FromCsvFile with skip-and-report semantics; `report` (optional)
-  /// receives per-row errors and repair counts.
+  /// receives per-row errors and repair counts. `diagnostics` (optional)
+  /// receives structured kRowsDropped / kValuesRepaired events carrying
+  /// the affected-row counts so callers can audit degraded loads without
+  /// parsing the report text.
   static Result<FeatureMatrix> FromCsvFile(const std::string& path,
                                            const IngestOptions& options,
-                                           IngestReport* report = nullptr);
+                                           IngestReport* report = nullptr,
+                                           RunDiagnostics* diagnostics = nullptr);
 
   /// Scans for non-finite values, out-of-domain labels and constant
   /// columns, applying `options.policy`: kStrict returns an error on the

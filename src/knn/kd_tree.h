@@ -82,6 +82,10 @@ class KdTree {
   size_t size() const { return points_.rows(); }
   size_t dimensions() const { return points_.cols(); }
 
+  /// The stored point set (row-copied at build time). Exposed so model
+  /// serialisation can persist the training set and rebuild the tree.
+  const Matrix& points() const { return points_; }
+
  private:
   struct Node {
     size_t split_dim = 0;

@@ -4,10 +4,21 @@
 #include "ml/linear_svm.h"
 #include "ml/logistic_regression.h"
 #include "ml/random_forest.h"
+#include "util/artifact_io.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace transer {
+
+Status Classifier::SaveState(artifact::Encoder* /*out*/) const {
+  return Status::FailedPrecondition(name() +
+                                    " does not support model serialisation");
+}
+
+Status Classifier::LoadState(artifact::Decoder* /*in*/) {
+  return Status::FailedPrecondition(name() +
+                                    " does not support model serialisation");
+}
 
 std::vector<double> Classifier::PredictProbaAll(const Matrix& x,
                                                 int num_threads) const {

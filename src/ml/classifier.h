@@ -9,8 +9,14 @@
 
 #include "linalg/matrix.h"
 #include "util/execution_context.h"
+#include "util/status.h"
 
 namespace transer {
+
+namespace artifact {
+class Encoder;
+class Decoder;
+}  // namespace artifact
 
 /// \brief Binary probabilistic classifier interface.
 ///
@@ -33,6 +39,19 @@ class Classifier {
 
   /// Short identifier, e.g. "logistic_regression".
   virtual std::string name() const = 0;
+
+  /// Serialises hyper-parameters and trained state into `out` so the
+  /// model can be persisted through the artifact store (ml/model_store).
+  /// Every shipped classifier overrides this; the default refuses with
+  /// FailedPrecondition so a new family cannot silently save nothing.
+  virtual Status SaveState(artifact::Encoder* out) const;
+
+  /// Restores the state written by SaveState. The decoder is fully
+  /// bounds-checked and implementations validate structural invariants
+  /// (index ranges, matching vector sizes), so a corrupt or crafted
+  /// payload yields InvalidArgument — never a crash or a model that
+  /// silently mispredicts.
+  virtual Status LoadState(artifact::Decoder* in);
 
   // Convenience non-virtual API.
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/artifact_io.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace transer {
 
@@ -165,6 +167,109 @@ double DecisionTree::PredictProba(std::span<const double> features) const {
     current = features[node.feature] <= node.threshold ? node.left
                                                        : node.right;
   }
+}
+
+Status DecisionTree::SaveState(artifact::Encoder* out) const {
+  out->PutI64(options_.max_depth);
+  out->PutU64(options_.min_samples_split);
+  out->PutDouble(options_.min_impurity_decrease);
+  out->PutU64(options_.max_features);
+  out->PutU64(options_.seed);
+  out->PutU64(num_features_);
+  out->PutI64(root_);
+  out->PutU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    out->PutU8(node.is_leaf ? 1 : 0);
+    out->PutU64(node.feature);
+    out->PutDouble(node.threshold);
+    out->PutI64(node.left);
+    out->PutI64(node.right);
+    out->PutDouble(node.match_probability);
+  }
+  return Status::OK();
+}
+
+Status DecisionTree::LoadState(artifact::Decoder* in) {
+  DecisionTreeOptions options;
+  int64_t max_depth = 0;
+  uint64_t min_samples_split = 0;
+  uint64_t max_features = 0;
+  TRANSER_RETURN_IF_ERROR(in->GetI64(&max_depth));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&min_samples_split));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&options.min_impurity_decrease));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&max_features));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&options.seed));
+  if (max_depth < 0 || max_depth > INT32_MAX || min_samples_split == 0 ||
+      !std::isfinite(options.min_impurity_decrease)) {
+    return Status::InvalidArgument("decision tree options out of range");
+  }
+  options.max_depth = static_cast<int>(max_depth);
+  options.min_samples_split = static_cast<size_t>(min_samples_split);
+  options.max_features = static_cast<size_t>(max_features);
+
+  uint64_t num_features = 0;
+  int64_t root = 0;
+  uint64_t node_count = 0;
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&num_features));
+  TRANSER_RETURN_IF_ERROR(in->GetI64(&root));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&node_count));
+  // Smallest possible node encoding: 1 + 8 + 8 + 8 + 8 + 8 bytes.
+  if (node_count > in->remaining() / 41) {
+    return Status::InvalidArgument("decision tree node count exceeds payload");
+  }
+  std::vector<Node> nodes;
+  nodes.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    Node node;
+    uint8_t is_leaf = 0;
+    uint64_t feature = 0;
+    int64_t left = 0;
+    int64_t right = 0;
+    TRANSER_RETURN_IF_ERROR(in->GetU8(&is_leaf));
+    TRANSER_RETURN_IF_ERROR(in->GetU64(&feature));
+    TRANSER_RETURN_IF_ERROR(in->GetDouble(&node.threshold));
+    TRANSER_RETURN_IF_ERROR(in->GetI64(&left));
+    TRANSER_RETURN_IF_ERROR(in->GetI64(&right));
+    TRANSER_RETURN_IF_ERROR(in->GetDouble(&node.match_probability));
+    if (is_leaf > 1 ||
+        !(node.match_probability >= 0.0 && node.match_probability <= 1.0)) {
+      return Status::InvalidArgument("decision tree node is malformed");
+    }
+    node.is_leaf = is_leaf == 1;
+    node.feature = static_cast<size_t>(feature);
+    node.left = static_cast<ptrdiff_t>(left);
+    node.right = static_cast<ptrdiff_t>(right);
+    if (node.is_leaf) {
+      if (left != -1 || right != -1) {
+        return Status::InvalidArgument("decision tree leaf has children");
+      }
+    } else {
+      // Grow() always pushes a parent before its children, so child
+      // indices strictly exceed the parent's: checking that here makes
+      // every loaded tree provably acyclic (prediction terminates even
+      // on a crafted artifact whose CRCs were re-stamped).
+      if (node.feature >= num_features || !std::isfinite(node.threshold) ||
+          left <= static_cast<int64_t>(i) || right <= static_cast<int64_t>(i) ||
+          left >= static_cast<int64_t>(node_count) ||
+          right >= static_cast<int64_t>(node_count)) {
+        return Status::InvalidArgument(StrFormat(
+            "decision tree node %llu has invalid split structure",
+            static_cast<unsigned long long>(i)));
+      }
+    }
+    nodes.push_back(node);
+  }
+  if (root < -1 || root >= static_cast<int64_t>(node_count) ||
+      (root == -1 && node_count != 0)) {
+    return Status::InvalidArgument("decision tree root is out of range");
+  }
+
+  options_ = options;
+  num_features_ = static_cast<size_t>(num_features);
+  root_ = static_cast<ptrdiff_t>(root);
+  nodes_ = std::move(nodes);
+  rng_state_ = options_.seed;
+  return Status::OK();
 }
 
 size_t DecisionTree::Depth() const {

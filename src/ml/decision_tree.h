@@ -37,6 +37,9 @@ class DecisionTree : public Classifier {
 
   std::string name() const override { return "decision_tree"; }
 
+  Status SaveState(artifact::Encoder* out) const override;
+  Status LoadState(artifact::Decoder* in) override;
+
   /// Number of nodes in the fitted tree (0 before Fit).
   size_t node_count() const { return nodes_.size(); }
 

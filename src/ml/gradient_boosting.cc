@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/artifact_io.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/string_util.h"
 
 namespace transer {
 
@@ -235,6 +237,133 @@ void GradientBoosting::Fit(const Matrix& x, const std::vector<int>& y,
     trees_.push_back(std::move(tree));
     if (max_abs_update < 1e-7) break;  // converged: residuals exhausted
   }
+}
+
+namespace {
+
+void SaveRegressionTree(const internal_gbdt::RegressionTree& tree,
+                        artifact::Encoder* out) {
+  out->PutI64(tree.root);
+  out->PutU64(tree.nodes.size());
+  for (const auto& node : tree.nodes) {
+    out->PutU8(node.is_leaf ? 1 : 0);
+    out->PutU64(node.feature);
+    out->PutDouble(node.threshold);
+    out->PutI64(node.left);
+    out->PutI64(node.right);
+    out->PutDouble(node.value);
+  }
+}
+
+Status LoadRegressionTree(artifact::Decoder* in, size_t num_features,
+                          internal_gbdt::RegressionTree* tree) {
+  int64_t root = 0;
+  uint64_t node_count = 0;
+  TRANSER_RETURN_IF_ERROR(in->GetI64(&root));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&node_count));
+  if (node_count > in->remaining() / 41) {
+    return Status::InvalidArgument(
+        "regression tree node count exceeds payload");
+  }
+  std::vector<internal_gbdt::RegressionTree::Node> nodes;
+  nodes.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    internal_gbdt::RegressionTree::Node node;
+    uint8_t is_leaf = 0;
+    uint64_t feature = 0;
+    int64_t left = 0;
+    int64_t right = 0;
+    TRANSER_RETURN_IF_ERROR(in->GetU8(&is_leaf));
+    TRANSER_RETURN_IF_ERROR(in->GetU64(&feature));
+    TRANSER_RETURN_IF_ERROR(in->GetDouble(&node.threshold));
+    TRANSER_RETURN_IF_ERROR(in->GetI64(&left));
+    TRANSER_RETURN_IF_ERROR(in->GetI64(&right));
+    TRANSER_RETURN_IF_ERROR(in->GetDouble(&node.value));
+    if (is_leaf > 1 || !std::isfinite(node.value)) {
+      return Status::InvalidArgument("regression tree node is malformed");
+    }
+    node.is_leaf = is_leaf == 1;
+    node.feature = static_cast<size_t>(feature);
+    node.left = static_cast<ptrdiff_t>(left);
+    node.right = static_cast<ptrdiff_t>(right);
+    if (node.is_leaf) {
+      if (left != -1 || right != -1) {
+        return Status::InvalidArgument("regression tree leaf has children");
+      }
+    } else if (node.feature >= num_features ||
+               !std::isfinite(node.threshold) ||
+               left <= static_cast<int64_t>(i) ||
+               right <= static_cast<int64_t>(i) ||
+               left >= static_cast<int64_t>(node_count) ||
+               right >= static_cast<int64_t>(node_count)) {
+      // Parents precede children in Grow(), so child-index-exceeds-parent
+      // guarantees the loaded tree terminates every Predict walk.
+      return Status::InvalidArgument(StrFormat(
+          "regression tree node %llu has invalid split structure",
+          static_cast<unsigned long long>(i)));
+    }
+    nodes.push_back(node);
+  }
+  if (root < -1 || root >= static_cast<int64_t>(node_count) ||
+      (root == -1 && node_count != 0)) {
+    return Status::InvalidArgument("regression tree root is out of range");
+  }
+  tree->root = static_cast<ptrdiff_t>(root);
+  tree->nodes = std::move(nodes);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GradientBoosting::SaveState(artifact::Encoder* out) const {
+  out->PutU64(options_.num_rounds);
+  out->PutDouble(options_.learning_rate);
+  out->PutI64(options_.max_depth);
+  out->PutU64(options_.min_samples_leaf);
+  out->PutU64(num_features_);
+  out->PutDouble(base_logit_);
+  out->PutU64(trees_.size());
+  for (const auto& tree : trees_) SaveRegressionTree(tree, out);
+  return Status::OK();
+}
+
+Status GradientBoosting::LoadState(artifact::Decoder* in) {
+  GradientBoostingOptions options = options_;
+  uint64_t num_rounds = 0;
+  int64_t max_depth = 0;
+  uint64_t min_samples_leaf = 0;
+  uint64_t num_features = 0;
+  double base_logit = 0.0;
+  uint64_t tree_count = 0;
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&num_rounds));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&options.learning_rate));
+  TRANSER_RETURN_IF_ERROR(in->GetI64(&max_depth));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&min_samples_leaf));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&num_features));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&base_logit));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&tree_count));
+  if (num_rounds > 1u << 20 || max_depth < 0 || max_depth > INT32_MAX ||
+      min_samples_leaf == 0 || !std::isfinite(options.learning_rate) ||
+      !std::isfinite(base_logit) || tree_count > num_rounds ||
+      tree_count > in->remaining() / 17) {
+    return Status::InvalidArgument("gradient boosting state is implausible");
+  }
+  options.num_rounds = static_cast<size_t>(num_rounds);
+  options.max_depth = static_cast<int>(max_depth);
+  options.min_samples_leaf = static_cast<size_t>(min_samples_leaf);
+  std::vector<internal_gbdt::RegressionTree> trees;
+  trees.reserve(tree_count);
+  for (uint64_t t = 0; t < tree_count; ++t) {
+    internal_gbdt::RegressionTree tree;
+    TRANSER_RETURN_IF_ERROR(
+        LoadRegressionTree(in, static_cast<size_t>(num_features), &tree));
+    trees.push_back(std::move(tree));
+  }
+  options_ = options;
+  num_features_ = static_cast<size_t>(num_features);
+  base_logit_ = base_logit;
+  trees_ = std::move(trees);
+  return Status::OK();
 }
 
 double GradientBoosting::PredictProba(

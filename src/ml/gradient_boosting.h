@@ -72,6 +72,9 @@ class GradientBoosting : public Classifier {
 
   std::string name() const override { return "gradient_boosting"; }
 
+  Status SaveState(artifact::Encoder* out) const override;
+  Status LoadState(artifact::Decoder* in) override;
+
   size_t round_count() const { return trees_.size(); }
 
  private:

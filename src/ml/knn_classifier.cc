@@ -1,5 +1,10 @@
 #include "ml/knn_classifier.h"
 
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "util/artifact_io.h"
 #include "util/logging.h"
 
 namespace transer {
@@ -29,6 +34,83 @@ double KnnClassifier::PredictProba(std::span<const double> features) const {
     if (labels_[nb.index] == 1) match_w += w;
   }
   return total_w > 0.0 ? match_w / total_w : 0.5;
+}
+
+Status KnnClassifier::SaveState(artifact::Encoder* out) const {
+  out->PutU64(options_.k);
+  out->PutU8(options_.distance_weighted ? 1 : 0);
+  if (tree_ == nullptr) {
+    out->PutU64(0);
+    out->PutU64(0);
+    out->PutDoubleVec({});
+  } else {
+    const Matrix& points = tree_->points();
+    out->PutU64(points.rows());
+    out->PutU64(points.cols());
+    out->PutDoubleVec(points.data());
+  }
+  out->PutIntVec(labels_);
+  out->PutDoubleVec(weights_);
+  return Status::OK();
+}
+
+Status KnnClassifier::LoadState(artifact::Decoder* in) {
+  KnnClassifierOptions options;
+  uint64_t k = 0;
+  uint8_t distance_weighted = 0;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  std::vector<double> data;
+  std::vector<int> labels;
+  std::vector<double> weights;
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&k));
+  TRANSER_RETURN_IF_ERROR(in->GetU8(&distance_weighted));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&rows));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&cols));
+  TRANSER_RETURN_IF_ERROR(in->GetDoubleVec(&data));
+  TRANSER_RETURN_IF_ERROR(in->GetIntVec(&labels));
+  TRANSER_RETURN_IF_ERROR(in->GetDoubleVec(&weights));
+  if (k == 0 || k > (uint64_t{1} << 32) || distance_weighted > 1) {
+    return Status::InvalidArgument("knn options out of range");
+  }
+  // rows * cols must equal the stored cell count without overflowing.
+  if ((cols == 0) != (rows == 0) ||
+      (cols != 0 && rows > data.size() / cols) || rows * cols != data.size()) {
+    return Status::InvalidArgument("knn training matrix shape is malformed");
+  }
+  if (labels.size() != rows || (!weights.empty() && weights.size() != rows)) {
+    return Status::InvalidArgument("knn label/weight sizes disagree");
+  }
+  for (int label : labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("knn label is not 0/1");
+    }
+  }
+  for (double v : data) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("knn training point is not finite");
+    }
+  }
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument("knn sample weight is malformed");
+    }
+  }
+  options.k = static_cast<size_t>(k);
+  options.distance_weighted = distance_weighted == 1;
+  options_ = options;
+  if (rows == 0) {
+    tree_.reset();
+  } else {
+    // The serial KD-tree build is deterministic in the point order, so the
+    // rebuilt tree answers queries bit-identically to the saved one.
+    tree_ = std::make_unique<KdTree>(Matrix::FromRowMajor(
+        static_cast<size_t>(rows), static_cast<size_t>(cols),
+        std::move(data)));
+  }
+  labels_ = std::move(labels);
+  weights_ = std::move(weights);
+  return Status::OK();
 }
 
 }  // namespace transer

@@ -35,6 +35,11 @@ class KnnClassifier : public Classifier {
 
   std::string name() const override { return "knn"; }
 
+  /// Persists the training set (points, labels, weights); LoadState
+  /// rebuilds the KD-tree deterministically from the stored points.
+  Status SaveState(artifact::Encoder* out) const override;
+  Status LoadState(artifact::Decoder* in) override;
+
  private:
   KnnClassifierOptions options_;
   std::unique_ptr<KdTree> tree_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "util/artifact_io.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -122,6 +124,52 @@ void LinearSvm::FitPlatt(const Matrix& x, const std::vector<int>& y) {
 
 double LinearSvm::PredictProba(std::span<const double> features) const {
   return Sigmoid(platt_a_ * DecisionFunction(features) + platt_b_);
+}
+
+Status LinearSvm::SaveState(artifact::Encoder* out) const {
+  out->PutDouble(options_.lambda);
+  out->PutI64(options_.epochs);
+  out->PutU64(options_.seed);
+  out->PutDoubleVec(weights_);
+  out->PutDouble(bias_);
+  out->PutDouble(platt_a_);
+  out->PutDouble(platt_b_);
+  return Status::OK();
+}
+
+Status LinearSvm::LoadState(artifact::Decoder* in) {
+  LinearSvmOptions options;
+  int64_t epochs = 0;
+  std::vector<double> weights;
+  double bias = 0.0;
+  double platt_a = 0.0;
+  double platt_b = 0.0;
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&options.lambda));
+  TRANSER_RETURN_IF_ERROR(in->GetI64(&epochs));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&options.seed));
+  TRANSER_RETURN_IF_ERROR(in->GetDoubleVec(&weights));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&bias));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&platt_a));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&platt_b));
+  // Pegasos divides by lambda*t, so a refit of a loaded model must keep
+  // lambda strictly positive.
+  if (!(options.lambda > 0.0) || !std::isfinite(options.lambda) ||
+      epochs < 0 || epochs > INT32_MAX || !std::isfinite(bias) ||
+      !std::isfinite(platt_a) || !std::isfinite(platt_b)) {
+    return Status::InvalidArgument("linear svm state out of range");
+  }
+  for (double w : weights) {
+    if (!std::isfinite(w)) {
+      return Status::InvalidArgument("linear svm weight is not finite");
+    }
+  }
+  options.epochs = static_cast<int>(epochs);
+  options_ = options;
+  weights_ = std::move(weights);
+  bias_ = bias;
+  platt_a_ = platt_a;
+  platt_b_ = platt_b;
+  return Status::OK();
 }
 
 }  // namespace transer

@@ -32,6 +32,9 @@ class LinearSvm : public Classifier {
 
   std::string name() const override { return "linear_svm"; }
 
+  Status SaveState(artifact::Encoder* out) const override;
+  Status LoadState(artifact::Decoder* in) override;
+
   /// Raw (uncalibrated) margin w.x + b.
   double DecisionFunction(std::span<const double> features) const;
 

@@ -1,7 +1,9 @@
 #include "ml/logistic_regression.h"
 
 #include <cmath>
+#include <cstdint>
 
+#include "util/artifact_io.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -62,6 +64,44 @@ double LogisticRegression::PredictProba(
     z += weights_[c] * features[c];
   }
   return Sigmoid(z);
+}
+
+Status LogisticRegression::SaveState(artifact::Encoder* out) const {
+  out->PutDouble(options_.learning_rate);
+  out->PutDouble(options_.l2);
+  out->PutI64(options_.epochs);
+  out->PutU64(options_.seed);
+  out->PutDoubleVec(weights_);
+  out->PutDouble(bias_);
+  return Status::OK();
+}
+
+Status LogisticRegression::LoadState(artifact::Decoder* in) {
+  LogisticRegressionOptions options;
+  int64_t epochs = 0;
+  std::vector<double> weights;
+  double bias = 0.0;
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&options.learning_rate));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&options.l2));
+  TRANSER_RETURN_IF_ERROR(in->GetI64(&epochs));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&options.seed));
+  TRANSER_RETURN_IF_ERROR(in->GetDoubleVec(&weights));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&bias));
+  if (!std::isfinite(options.learning_rate) || !std::isfinite(options.l2) ||
+      epochs < 0 || epochs > INT32_MAX || !std::isfinite(bias)) {
+    return Status::InvalidArgument("logistic regression state out of range");
+  }
+  for (double w : weights) {
+    if (!std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "logistic regression weight is not finite");
+    }
+  }
+  options.epochs = static_cast<int>(epochs);
+  options_ = options;
+  weights_ = std::move(weights);
+  bias_ = bias;
+  return Status::OK();
 }
 
 }  // namespace transer

@@ -34,6 +34,9 @@ class LogisticRegression : public Classifier {
 
   std::string name() const override { return "logistic_regression"; }
 
+  Status SaveState(artifact::Encoder* out) const override;
+  Status LoadState(artifact::Decoder* in) override;
+
   const std::vector<double>& coefficients() const { return weights_; }
   double intercept() const { return bias_; }
 

@@ -64,6 +64,9 @@ class Mlp : public Classifier {
 
   std::string name() const override { return "mlp"; }
 
+  Status SaveState(artifact::Encoder* out) const override;
+  Status LoadState(artifact::Decoder* in) override;
+
  private:
   MlpOptions options_;
   std::vector<internal_mlp::DenseLayer> layers_;  ///< last layer is linear

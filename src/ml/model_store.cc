@@ -1,0 +1,308 @@
+#include "ml/model_store.h"
+
+#include <utility>
+
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/knn_classifier.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml/threshold_classifier.h"
+#include "util/artifact_io.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+namespace {
+
+constexpr char kMetaSection[] = "meta";
+constexpr char kModelSection[] = "model";
+constexpr char kModelUSection[] = "model_u";
+constexpr char kModelVSection[] = "model_v";
+constexpr char kSelSection[] = "sel";
+constexpr char kGenSection[] = "gen";
+
+/// The named section, or InvalidArgument naming what is missing (the CRC
+/// passed, so a missing section means a different writer, not a torn
+/// file).
+Result<const artifact::Section*> RequireSection(
+    const artifact::Artifact& art, const std::string& name) {
+  const artifact::Section* section = art.Find(name);
+  if (section == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("artifact is missing its '%s' section", name.c_str()));
+  }
+  return section;
+}
+
+Status CheckKind(const artifact::Artifact& art, const std::string& expected) {
+  if (art.header.kind != expected) {
+    return Status::FailedPrecondition(
+        StrFormat("artifact holds a '%s', expected a '%s'",
+                  art.header.kind.c_str(), expected.c_str()));
+  }
+  return Status::OK();
+}
+
+/// Rejects an artifact fingerprinted against a different feature schema.
+/// An empty `feature_names` skips the check (caller has no schema yet).
+Status CheckSchema(const artifact::Artifact& art,
+                   const std::vector<std::string>& feature_names) {
+  if (feature_names.empty()) return Status::OK();
+  const uint64_t expected = artifact::FingerprintFeatureSchema(feature_names);
+  if (art.header.schema_fingerprint != expected) {
+    return Status::FailedPrecondition(StrFormat(
+        "artifact was trained on a different feature schema "
+        "(fingerprint %016llx, current data %016llx)",
+        static_cast<unsigned long long>(art.header.schema_fingerprint),
+        static_cast<unsigned long long>(expected)));
+  }
+  return Status::OK();
+}
+
+/// Decodes a classifier payload into a freshly constructed instance of
+/// the declared family.
+Result<std::unique_ptr<Classifier>> DecodeClassifier(
+    const std::string& name, const artifact::Section& section) {
+  TRANSER_ASSIGN_OR_RETURN(std::unique_ptr<Classifier> classifier,
+                           MakeClassifierByName(name));
+  artifact::Decoder decoder(section.payload);
+  TRANSER_RETURN_IF_ERROR(classifier->LoadState(&decoder));
+  TRANSER_RETURN_IF_ERROR(decoder.ExpectEnd());
+  return classifier;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Classifier>> MakeClassifierByName(
+    const std::string& name) {
+  std::unique_ptr<Classifier> made;
+  if (name == "decision_tree") {
+    made = std::make_unique<DecisionTree>();
+  } else if (name == "random_forest") {
+    made = std::make_unique<RandomForest>();
+  } else if (name == "gradient_boosting") {
+    made = std::make_unique<GradientBoosting>();
+  } else if (name == "logistic_regression") {
+    made = std::make_unique<LogisticRegression>();
+  } else if (name == "linear_svm") {
+    made = std::make_unique<LinearSvm>();
+  } else if (name == "naive_bayes") {
+    made = std::make_unique<GaussianNaiveBayes>();
+  } else if (name == "knn") {
+    made = std::make_unique<KnnClassifier>();
+  } else if (name == "mlp") {
+    made = std::make_unique<Mlp>();
+  } else if (name == "threshold") {
+    made = std::make_unique<ThresholdClassifier>();
+  } else {
+    return Status::FailedPrecondition(StrFormat(
+        "unknown classifier family '%s' (artifact from a newer build?)",
+        name.c_str()));
+  }
+  return made;
+}
+
+Status SaveClassifierArtifact(const Classifier& classifier,
+                              const std::vector<std::string>& feature_names,
+                              const std::string& path) {
+  artifact::Encoder model;
+  TRANSER_RETURN_IF_ERROR(classifier.SaveState(&model));
+
+  artifact::Encoder meta;
+  meta.PutString(classifier.name());
+  meta.PutStringVec(feature_names);
+
+  artifact::Header header;
+  header.kind = kClassifierArtifactKind;
+  header.schema_fingerprint = artifact::FingerprintFeatureSchema(feature_names);
+  return artifact::WriteArtifact(
+      path, header,
+      {{kMetaSection, meta.TakeBytes()}, {kModelSection, model.TakeBytes()}});
+}
+
+Result<LoadedClassifier> LoadClassifierArtifact(
+    const std::string& path, const std::vector<std::string>& feature_names) {
+  TRANSER_ASSIGN_OR_RETURN(artifact::Artifact art,
+                           artifact::ReadArtifact(path));
+  TRANSER_RETURN_IF_ERROR(CheckKind(art, kClassifierArtifactKind));
+  TRANSER_RETURN_IF_ERROR(CheckSchema(art, feature_names));
+
+  TRANSER_ASSIGN_OR_RETURN(const artifact::Section* meta,
+                           RequireSection(art, kMetaSection));
+  LoadedClassifier loaded;
+  artifact::Decoder meta_decoder(meta->payload);
+  TRANSER_RETURN_IF_ERROR(meta_decoder.GetString(&loaded.name));
+  TRANSER_RETURN_IF_ERROR(meta_decoder.GetStringVec(&loaded.feature_names));
+  TRANSER_RETURN_IF_ERROR(meta_decoder.ExpectEnd());
+  // The stored names must hash to the header fingerprint; disagreement
+  // means the sections were recombined from different artifacts.
+  if (artifact::FingerprintFeatureSchema(loaded.feature_names) !=
+      art.header.schema_fingerprint) {
+    return Status::InvalidArgument(
+        "artifact feature names disagree with its schema fingerprint");
+  }
+
+  TRANSER_ASSIGN_OR_RETURN(const artifact::Section* model,
+                           RequireSection(art, kModelSection));
+  TRANSER_ASSIGN_OR_RETURN(loaded.classifier,
+                           DecodeClassifier(loaded.name, *model));
+  return loaded;
+}
+
+Status SaveScalerArtifact(const StandardScaler& scaler,
+                          const std::vector<std::string>& feature_names,
+                          const std::string& path) {
+  artifact::Encoder model;
+  TRANSER_RETURN_IF_ERROR(scaler.SaveState(&model));
+
+  artifact::Header header;
+  header.kind = kScalerArtifactKind;
+  header.schema_fingerprint = artifact::FingerprintFeatureSchema(feature_names);
+  return artifact::WriteArtifact(path, header,
+                                 {{kModelSection, model.TakeBytes()}});
+}
+
+Result<StandardScaler> LoadScalerArtifact(
+    const std::string& path, const std::vector<std::string>& feature_names) {
+  TRANSER_ASSIGN_OR_RETURN(artifact::Artifact art,
+                           artifact::ReadArtifact(path));
+  TRANSER_RETURN_IF_ERROR(CheckKind(art, kScalerArtifactKind));
+  TRANSER_RETURN_IF_ERROR(CheckSchema(art, feature_names));
+  TRANSER_ASSIGN_OR_RETURN(const artifact::Section* model,
+                           RequireSection(art, kModelSection));
+  StandardScaler scaler;
+  artifact::Decoder decoder(model->payload);
+  TRANSER_RETURN_IF_ERROR(scaler.LoadState(&decoder));
+  TRANSER_RETURN_IF_ERROR(decoder.ExpectEnd());
+  return scaler;
+}
+
+Status SaveTransERPipelineState(const TransERPipelineState& state,
+                                const std::string& path) {
+  if (state.classifier_u == nullptr) {
+    return Status::InvalidArgument(
+        "pipeline snapshot requires a trained C^U classifier");
+  }
+  if (state.pseudo_labels.size() != state.target_rows ||
+      state.pseudo_confidences.size() != state.target_rows) {
+    return Status::InvalidArgument(
+        "pipeline snapshot pseudo-label vectors disagree with target_rows");
+  }
+
+  artifact::Encoder meta;
+  meta.PutStringVec(state.feature_names);
+  meta.PutU64(state.seed);
+  meta.PutU64(state.source_rows);
+  meta.PutU64(state.target_rows);
+  meta.PutString(state.classifier_name);
+  meta.PutU8(state.classifier_v != nullptr ? 1 : 0);
+
+  artifact::Encoder sel;
+  sel.PutU64Vec(state.selected_indices);
+
+  artifact::Encoder gen;
+  gen.PutIntVec(state.pseudo_labels);
+  gen.PutDoubleVec(state.pseudo_confidences);
+
+  artifact::Encoder model_u;
+  TRANSER_RETURN_IF_ERROR(state.classifier_u->SaveState(&model_u));
+
+  std::vector<artifact::Section> sections;
+  sections.push_back({kMetaSection, meta.TakeBytes()});
+  sections.push_back({kSelSection, sel.TakeBytes()});
+  sections.push_back({kGenSection, gen.TakeBytes()});
+  sections.push_back({kModelUSection, model_u.TakeBytes()});
+  if (state.classifier_v != nullptr) {
+    artifact::Encoder model_v;
+    TRANSER_RETURN_IF_ERROR(state.classifier_v->SaveState(&model_v));
+    sections.push_back({kModelVSection, model_v.TakeBytes()});
+  }
+
+  artifact::Header header;
+  header.kind = kPipelineArtifactKind;
+  header.schema_fingerprint =
+      artifact::FingerprintFeatureSchema(state.feature_names);
+  return artifact::WriteArtifact(path, header, sections);
+}
+
+Result<TransERPipelineState> LoadTransERPipelineState(
+    const std::string& path) {
+  TRANSER_ASSIGN_OR_RETURN(artifact::Artifact art,
+                           artifact::ReadArtifact(path));
+  TRANSER_RETURN_IF_ERROR(CheckKind(art, kPipelineArtifactKind));
+
+  TransERPipelineState state;
+  TRANSER_ASSIGN_OR_RETURN(const artifact::Section* meta,
+                           RequireSection(art, kMetaSection));
+  artifact::Decoder meta_decoder(meta->payload);
+  uint8_t has_v = 0;
+  TRANSER_RETURN_IF_ERROR(meta_decoder.GetStringVec(&state.feature_names));
+  TRANSER_RETURN_IF_ERROR(meta_decoder.GetU64(&state.seed));
+  TRANSER_RETURN_IF_ERROR(meta_decoder.GetU64(&state.source_rows));
+  TRANSER_RETURN_IF_ERROR(meta_decoder.GetU64(&state.target_rows));
+  TRANSER_RETURN_IF_ERROR(meta_decoder.GetString(&state.classifier_name));
+  TRANSER_RETURN_IF_ERROR(meta_decoder.GetU8(&has_v));
+  TRANSER_RETURN_IF_ERROR(meta_decoder.ExpectEnd());
+  if (has_v > 1) {
+    return Status::InvalidArgument("pipeline snapshot C^V flag is malformed");
+  }
+  if (artifact::FingerprintFeatureSchema(state.feature_names) !=
+      art.header.schema_fingerprint) {
+    return Status::InvalidArgument(
+        "pipeline snapshot feature names disagree with its fingerprint");
+  }
+
+  TRANSER_ASSIGN_OR_RETURN(const artifact::Section* sel,
+                           RequireSection(art, kSelSection));
+  artifact::Decoder sel_decoder(sel->payload);
+  TRANSER_RETURN_IF_ERROR(sel_decoder.GetU64Vec(&state.selected_indices));
+  TRANSER_RETURN_IF_ERROR(sel_decoder.ExpectEnd());
+  for (uint64_t index : state.selected_indices) {
+    if (index >= state.source_rows) {
+      return Status::InvalidArgument(
+          "pipeline snapshot selected index exceeds the source size");
+    }
+  }
+
+  TRANSER_ASSIGN_OR_RETURN(const artifact::Section* gen,
+                           RequireSection(art, kGenSection));
+  artifact::Decoder gen_decoder(gen->payload);
+  TRANSER_RETURN_IF_ERROR(gen_decoder.GetIntVec(&state.pseudo_labels));
+  TRANSER_RETURN_IF_ERROR(gen_decoder.GetDoubleVec(&state.pseudo_confidences));
+  TRANSER_RETURN_IF_ERROR(gen_decoder.ExpectEnd());
+  if (state.pseudo_labels.size() != state.target_rows ||
+      state.pseudo_confidences.size() != state.target_rows) {
+    return Status::InvalidArgument(
+        "pipeline snapshot pseudo-label vectors disagree with target_rows");
+  }
+  for (int label : state.pseudo_labels) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument(
+          "pipeline snapshot pseudo-label is not 0/1");
+    }
+  }
+  for (double confidence : state.pseudo_confidences) {
+    if (!(confidence >= 0.0 && confidence <= 1.0)) {
+      return Status::InvalidArgument(
+          "pipeline snapshot confidence is outside [0, 1]");
+    }
+  }
+
+  TRANSER_ASSIGN_OR_RETURN(const artifact::Section* model_u,
+                           RequireSection(art, kModelUSection));
+  TRANSER_ASSIGN_OR_RETURN(
+      state.classifier_u, DecodeClassifier(state.classifier_name, *model_u));
+  if (has_v == 1) {
+    TRANSER_ASSIGN_OR_RETURN(const artifact::Section* model_v,
+                             RequireSection(art, kModelVSection));
+    TRANSER_ASSIGN_OR_RETURN(
+        state.classifier_v, DecodeClassifier(state.classifier_name, *model_v));
+  }
+  return state;
+}
+
+}  // namespace transer

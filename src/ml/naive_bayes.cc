@@ -1,7 +1,9 @@
 #include "ml/naive_bayes.h"
 
 #include <cmath>
+#include <cstdint>
 
+#include "util/artifact_io.h"
 #include "util/logging.h"
 
 namespace transer {
@@ -73,6 +75,70 @@ double GaussianNaiveBayes::PredictProba(
   const double p1 = std::exp(log_like[1] - hi);
   const double p0 = std::exp(log_like[0] - hi);
   return p1 / (p0 + p1);
+}
+
+Status GaussianNaiveBayes::SaveState(artifact::Encoder* out) const {
+  out->PutDouble(options_.variance_floor);
+  out->PutDouble(log_prior_nonmatch_);
+  out->PutDouble(log_prior_match_);
+  for (int c = 0; c < 2; ++c) {
+    out->PutU8(has_class_[c] ? 1 : 0);
+    out->PutDoubleVec(mean_[c]);
+    out->PutDoubleVec(variance_[c]);
+  }
+  return Status::OK();
+}
+
+Status GaussianNaiveBayes::LoadState(artifact::Decoder* in) {
+  NaiveBayesOptions options;
+  double log_prior_nonmatch = 0.0;
+  double log_prior_match = 0.0;
+  bool has_class[2] = {false, false};
+  std::vector<double> mean[2];
+  std::vector<double> variance[2];
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&options.variance_floor));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&log_prior_nonmatch));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&log_prior_match));
+  for (int c = 0; c < 2; ++c) {
+    uint8_t has = 0;
+    TRANSER_RETURN_IF_ERROR(in->GetU8(&has));
+    TRANSER_RETURN_IF_ERROR(in->GetDoubleVec(&mean[c]));
+    TRANSER_RETURN_IF_ERROR(in->GetDoubleVec(&variance[c]));
+    if (has > 1) {
+      return Status::InvalidArgument("naive bayes class flag is malformed");
+    }
+    has_class[c] = has == 1;
+  }
+  if (!(options.variance_floor > 0.0) ||
+      !std::isfinite(options.variance_floor) ||
+      !std::isfinite(log_prior_nonmatch) || !std::isfinite(log_prior_match)) {
+    return Status::InvalidArgument("naive bayes state out of range");
+  }
+  if (mean[0].size() != mean[1].size() ||
+      variance[0].size() != variance[1].size() ||
+      mean[0].size() != variance[0].size()) {
+    return Status::InvalidArgument("naive bayes moment sizes disagree");
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (!has_class[c]) continue;
+    for (size_t f = 0; f < mean[c].size(); ++f) {
+      // PredictProba divides by the variance and takes its log: a fitted
+      // class always has variance >= the (positive) floor.
+      if (!std::isfinite(mean[c][f]) || !(variance[c][f] > 0.0) ||
+          !std::isfinite(variance[c][f])) {
+        return Status::InvalidArgument("naive bayes moments are malformed");
+      }
+    }
+  }
+  options_ = options;
+  log_prior_nonmatch_ = log_prior_nonmatch;
+  log_prior_match_ = log_prior_match;
+  for (int c = 0; c < 2; ++c) {
+    has_class_[c] = has_class[c];
+    mean_[c] = std::move(mean[c]);
+    variance_[c] = std::move(variance[c]);
+  }
+  return Status::OK();
 }
 
 }  // namespace transer

@@ -29,6 +29,9 @@ class GaussianNaiveBayes : public Classifier {
 
   std::string name() const override { return "naive_bayes"; }
 
+  Status SaveState(artifact::Encoder* out) const override;
+  Status LoadState(artifact::Decoder* in) override;
+
  private:
   NaiveBayesOptions options_;
   double log_prior_match_ = 0.0;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "util/artifact_io.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -75,6 +76,41 @@ void RandomForest::Fit(const Matrix& x, const std::vector<int>& y,
     if (slot == nullptr) break;
     trees_.push_back(std::move(*slot));
   }
+}
+
+Status RandomForest::SaveState(artifact::Encoder* out) const {
+  out->PutU64(options_.num_trees);
+  out->PutU64(options_.seed);
+  out->PutU64(trees_.size());
+  for (const DecisionTree& tree : trees_) {
+    TRANSER_RETURN_IF_ERROR(tree.SaveState(out));
+  }
+  return Status::OK();
+}
+
+Status RandomForest::LoadState(artifact::Decoder* in) {
+  RandomForestOptions options = options_;
+  uint64_t num_trees = 0;
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&num_trees));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&options.seed));
+  uint64_t tree_count = 0;
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&tree_count));
+  // Each serialised tree costs at least its fixed fields (~60 bytes).
+  if (num_trees > 1u << 20 || tree_count > num_trees ||
+      tree_count > in->remaining() / 56) {
+    return Status::InvalidArgument("random forest tree count is implausible");
+  }
+  options.num_trees = static_cast<size_t>(num_trees);
+  std::vector<DecisionTree> trees;
+  trees.reserve(tree_count);
+  for (uint64_t t = 0; t < tree_count; ++t) {
+    DecisionTree tree;
+    TRANSER_RETURN_IF_ERROR(tree.LoadState(in));
+    trees.push_back(std::move(tree));
+  }
+  options_ = options;
+  trees_ = std::move(trees);
+  return Status::OK();
 }
 
 double RandomForest::PredictProba(std::span<const double> features) const {

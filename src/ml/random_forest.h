@@ -37,6 +37,9 @@ class RandomForest : public Classifier {
 
   std::string name() const override { return "random_forest"; }
 
+  Status SaveState(artifact::Encoder* out) const override;
+  Status LoadState(artifact::Decoder* in) override;
+
   size_t tree_count() const { return trees_.size(); }
 
  private:

@@ -1,7 +1,9 @@
 #include "ml/scaler.h"
 
 #include <cmath>
+#include <utility>
 
+#include "util/artifact_io.h"
 #include "util/logging.h"
 
 namespace transer {
@@ -53,6 +55,33 @@ void StandardScaler::TransformInPlace(std::vector<double>* v) const {
   for (size_t c = 0; c < v->size(); ++c) {
     (*v)[c] = ((*v)[c] - means_[c]) / stddevs_[c];
   }
+}
+
+Status StandardScaler::SaveState(artifact::Encoder* out) const {
+  out->PutDoubleVec(means_);
+  out->PutDoubleVec(stddevs_);
+  return Status::OK();
+}
+
+Status StandardScaler::LoadState(artifact::Decoder* in) {
+  std::vector<double> means;
+  std::vector<double> stddevs;
+  TRANSER_RETURN_IF_ERROR(in->GetDoubleVec(&means));
+  TRANSER_RETURN_IF_ERROR(in->GetDoubleVec(&stddevs));
+  if (means.size() != stddevs.size()) {
+    return Status::InvalidArgument("scaler moment sizes disagree");
+  }
+  for (size_t c = 0; c < means.size(); ++c) {
+    // Transform divides by the stored stddev; Fit floors it at a small
+    // positive constant, so zero or negative values mark corruption.
+    if (!std::isfinite(means[c]) || !std::isfinite(stddevs[c]) ||
+        !(stddevs[c] > 0.0)) {
+      return Status::InvalidArgument("scaler moments are malformed");
+    }
+  }
+  means_ = std::move(means);
+  stddevs_ = std::move(stddevs);
+  return Status::OK();
 }
 
 }  // namespace transer

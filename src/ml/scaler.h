@@ -4,8 +4,14 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/status.h"
 
 namespace transer {
+
+namespace artifact {
+class Encoder;
+class Decoder;
+}  // namespace artifact
 
 /// \brief Per-feature standardisation (zero mean, unit variance), fit on
 /// training data and applied to train and test alike. Needed by the
@@ -26,6 +32,12 @@ class StandardScaler {
 
   const std::vector<double>& means() const { return means_; }
   const std::vector<double>& stddevs() const { return stddevs_; }
+
+  /// Serialises the fitted moments into an artifact payload.
+  Status SaveState(artifact::Encoder* out) const;
+  /// Restores the moments, validating finiteness and strictly positive
+  /// standard deviations before committing any state.
+  Status LoadState(artifact::Decoder* in);
 
  private:
   std::vector<double> means_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
+#include "util/artifact_io.h"
 #include "util/logging.h"
 
 namespace transer {
@@ -80,6 +82,32 @@ double ThresholdClassifier::PredictProba(
   if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
   const double e = std::exp(z);
   return e / (1.0 + e);
+}
+
+Status ThresholdClassifier::SaveState(artifact::Encoder* out) const {
+  out->PutDouble(options_.threshold);
+  out->PutU8(options_.tune ? 1 : 0);
+  out->PutDouble(options_.sharpness);
+  out->PutDouble(threshold_);
+  return Status::OK();
+}
+
+Status ThresholdClassifier::LoadState(artifact::Decoder* in) {
+  ThresholdClassifierOptions options;
+  uint8_t tune = 0;
+  double threshold = 0.0;
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&options.threshold));
+  TRANSER_RETURN_IF_ERROR(in->GetU8(&tune));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&options.sharpness));
+  TRANSER_RETURN_IF_ERROR(in->GetDouble(&threshold));
+  if (tune > 1 || !std::isfinite(options.threshold) ||
+      !std::isfinite(options.sharpness) || !std::isfinite(threshold)) {
+    return Status::InvalidArgument("threshold classifier state out of range");
+  }
+  options.tune = tune == 1;
+  options_ = options;
+  threshold_ = threshold;
+  return Status::OK();
 }
 
 }  // namespace transer

@@ -37,6 +37,9 @@ class ThresholdClassifier : public Classifier {
 
   std::string name() const override { return "threshold"; }
 
+  Status SaveState(artifact::Encoder* out) const override;
+  Status LoadState(artifact::Decoder* in) override;
+
   double threshold() const { return threshold_; }
 
  private:

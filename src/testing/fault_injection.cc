@@ -1,6 +1,7 @@
 #include "testing/fault_injection.h"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 
@@ -159,6 +160,63 @@ std::string CorruptCsvText(const std::string& text,
     if (i + 1 < lines.size()) out << '\n';
   }
   return out.str();
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot size " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  const size_t read =
+      size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) return Status::IoError("short read on " + path);
+  return Status::OK();
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  if (std::fclose(f) != 0 || written != bytes.size()) {
+    return Status::IoError("short write on " + path);
+  }
+  return Status::OK();
+}
+
+Status FlipFileByte(const std::string& path, size_t offset, uint8_t mask) {
+  if (mask == 0) {
+    return Status::InvalidArgument("mask 0 would not corrupt anything");
+  }
+  std::vector<uint8_t> bytes;
+  TRANSER_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  if (offset >= bytes.size()) {
+    return Status::InvalidArgument(
+        StrFormat("offset %zu past end of %zu-byte file", offset,
+                  bytes.size()));
+  }
+  bytes[offset] ^= mask;
+  return WriteFileBytes(path, bytes);
+}
+
+Status TruncateFile(const std::string& path, size_t keep_bytes) {
+  std::vector<uint8_t> bytes;
+  TRANSER_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  if (keep_bytes > bytes.size()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot truncate %zu-byte file to %zu bytes", bytes.size(),
+                  keep_bytes));
+  }
+  bytes.resize(keep_bytes);
+  return WriteFileBytes(path, bytes);
 }
 
 }  // namespace fault

@@ -1,10 +1,12 @@
 #ifndef TRANSER_TESTING_FAULT_INJECTION_H_
 #define TRANSER_TESTING_FAULT_INJECTION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "features/feature_matrix.h"
+#include "util/status.h"
 
 namespace transer {
 namespace fault {
@@ -67,6 +69,29 @@ FeatureMatrix InjectMatrixFault(const FeatureMatrix& matrix, FaultKind kind,
 /// by the seeded Rng. The header line is left intact.
 std::string CorruptCsvText(const std::string& text,
                            const FaultOptions& options);
+
+// --- On-disk corruption helpers for artifact/checkpoint robustness ---
+// These act on binary files byte-for-byte, modelling the torn writes and
+// bit rot a loader must reject cleanly.
+
+/// Reads the whole file into `out`. NotFound / IoError on failure.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+/// Writes `bytes` to `path`, replacing any existing content (plain
+/// overwrite — deliberately NOT atomic, this is the fault injector).
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes);
+
+/// XORs the byte at `offset` with `mask` (default: flip every bit).
+/// InvalidArgument when `offset` is past the end, or when `mask` is 0
+/// (a no-op "corruption" would silently weaken a test).
+Status FlipFileByte(const std::string& path, size_t offset,
+                    uint8_t mask = 0xFF);
+
+/// Truncates the file to its first `keep_bytes` bytes — the torn tail a
+/// crash mid-write leaves behind. InvalidArgument when `keep_bytes`
+/// exceeds the current size (truncation must shrink, not extend).
+Status TruncateFile(const std::string& path, size_t keep_bytes);
 
 }  // namespace fault
 }  // namespace transer

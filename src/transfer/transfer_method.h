@@ -34,6 +34,15 @@ struct TransferRunOptions {
   /// above, which remain as a convenience for callers that do not manage
   /// a context of their own. Not owned.
   const ExecutionContext* context = nullptr;
+  /// When non-empty, methods that support model snapshots (currently
+  /// TransER) persist their trained state to this path after each phase
+  /// and warm-start from a compatible snapshot found there: a snapshot
+  /// with the final classifier serves predictions directly, one with
+  /// only the pseudo-label state resumes at TCL. Incompatible or corrupt
+  /// snapshots are rejected with a kModelArtifactRejected event and the
+  /// run retrains from scratch; a failed save records kModelSaveFailed
+  /// and never fails the run.
+  std::string model_snapshot_path;
 };
 
 /// Resolves the effective execution context of a run: the caller's

@@ -1,0 +1,30 @@
+#include "util/build_info.h"
+
+// The three identity macros are injected for this translation unit only
+// (see src/CMakeLists.txt); the fallbacks keep non-CMake builds
+// compiling.
+#ifndef TRANSER_BUILD_GIT_HASH
+#define TRANSER_BUILD_GIT_HASH "unknown"
+#endif
+#ifndef TRANSER_BUILD_TYPE
+#define TRANSER_BUILD_TYPE "unspecified"
+#endif
+#ifndef TRANSER_BUILD_SANITIZE
+#define TRANSER_BUILD_SANITIZE "OFF"
+#endif
+
+namespace transer {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {TRANSER_BUILD_GIT_HASH, TRANSER_BUILD_TYPE,
+                                 TRANSER_BUILD_SANITIZE};
+  return info;
+}
+
+std::string FormatVersion(const std::string& tool_name) {
+  const BuildInfo& info = GetBuildInfo();
+  return tool_name + " " + info.git_hash + " (" + info.build_type +
+         ", sanitizer: " + info.sanitizer + ")";
+}
+
+}  // namespace transer

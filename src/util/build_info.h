@@ -1,0 +1,27 @@
+#ifndef TRANSER_UTIL_BUILD_INFO_H_
+#define TRANSER_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+namespace transer {
+
+/// \brief Build identity stamped at configure time, surfaced by the
+/// `--version` flag of the command-line tools and benches so results can
+/// always be traced back to the exact code and build mode that produced
+/// them.
+struct BuildInfo {
+  std::string git_hash;    ///< abbreviated commit, "unknown" outside git
+  std::string build_type;  ///< CMAKE_BUILD_TYPE at configure time
+  std::string sanitizer;   ///< TRANSER_SANITIZE value ("OFF" when none)
+};
+
+/// The identity of this binary.
+const BuildInfo& GetBuildInfo();
+
+/// One-line `--version` rendering:
+///   "<tool> <hash> (<build type>, sanitizer: <mode>)"
+std::string FormatVersion(const std::string& tool_name);
+
+}  // namespace transer
+
+#endif  // TRANSER_UTIL_BUILD_INFO_H_

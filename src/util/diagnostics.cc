@@ -30,6 +30,12 @@ const char* DegradationKindName(DegradationKind kind) {
       return "checkpoint_tail_dropped";
     case DegradationKind::kCheckpointCellRetried:
       return "checkpoint_cell_retried";
+    case DegradationKind::kModelWarmStarted:
+      return "model_warm_started";
+    case DegradationKind::kModelArtifactRejected:
+      return "model_artifact_rejected";
+    case DegradationKind::kModelSaveFailed:
+      return "model_save_failed";
   }
   return "unknown";
 }

@@ -23,6 +23,9 @@ enum class DegradationKind {
   kRunCancelled,          ///< cancellation token fired mid-run
   kCheckpointTailDropped, ///< corrupt trailing journal line(s) truncated
   kCheckpointCellRetried, ///< transiently failed sweep cell re-run on resume
+  kModelWarmStarted,      ///< phases skipped by restoring a model snapshot
+  kModelArtifactRejected, ///< saved model unusable (corrupt/incompatible)
+  kModelSaveFailed,       ///< snapshot write failed; run continued unsaved
 };
 
 /// Short identifier, e.g. "sel_threshold_relaxed".

@@ -14,6 +14,7 @@
 #include "core/experiment.h"
 #include "core/sweep_checkpoint.h"
 #include "data/feature_space_generator.h"
+#include "testing/fault_injection.h"
 #include "transfer/naive_transfer.h"
 #include "util/execution_context.h"
 
@@ -319,6 +320,45 @@ TEST(CheckpointedSweepTest, TransientFailureGetsOneRetry) {
       journal.value().Find({"naive", "A -> B", suite[1].name});
   ASSERT_NE(cell, nullptr);
   EXPECT_TRUE(cell->failure.empty());
+}
+
+TEST(CheckpointedSweepTest, TornTailFromKilledWriterResumesUnderParallelRunner) {
+  const std::string path = TempJournalPath("torn_writer");
+  std::vector<TransferScenario> scenarios;
+  scenarios.push_back(MakeScenario("A -> B", 300, 27));
+  scenarios.push_back(MakeScenario("C -> D", 300, 28));
+  const auto suite = DefaultClassifierSuite();
+
+  SweepOptions base;
+  base.base_options.seed = 33;
+  base.base_options.num_threads = 4;
+
+  // Reference: uninterrupted, unjournaled, on the parallel runner.
+  auto reference = RunCheckpointedSweep(NaiveOnly(), scenarios, suite, base);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // A full journaled sweep, then the journal writer is "killed" mid-way
+  // through appending its last record: the file ends in a torn line.
+  SweepOptions journaled = base;
+  journaled.checkpoint_path = path;
+  ASSERT_TRUE(
+      RunCheckpointedSweep(NaiveOnly(), scenarios, suite, journaled).ok());
+  std::vector<uint8_t> journal_bytes;
+  ASSERT_TRUE(fault::ReadFileBytes(path, &journal_bytes).ok());
+  ASSERT_GT(journal_bytes.size(), 10u);
+  ASSERT_TRUE(fault::TruncateFile(path, journal_bytes.size() - 10).ok());
+
+  // Resume under the parallel (scenario, method) runner: the torn tail
+  // is dropped with a diagnostic, the lost cell re-runs under its
+  // recorded seed, and the aggregate stays bit-identical.
+  RunDiagnostics diagnostics;
+  SweepOptions resumed = base;
+  resumed.checkpoint_path = path;
+  resumed.diagnostics = &diagnostics;
+  auto resume = RunCheckpointedSweep(NaiveOnly(), scenarios, suite, resumed);
+  ASSERT_TRUE(resume.ok()) << resume.status().ToString();
+  EXPECT_TRUE(diagnostics.HasKind(DegradationKind::kCheckpointTailDropped));
+  ExpectSameResults(resume.value(), reference.value());
 }
 
 TEST(CheckpointedSweepTest, SeedMismatchIsRejected) {
