@@ -1,0 +1,138 @@
+#ifndef TRANSER_BENCH_KERNEL_PROBE_H_
+#define TRANSER_BENCH_KERNEL_PROBE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "knn/brute_force.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "util/execution_context.h"
+#include "util/parallel.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace transer {
+namespace bench {
+
+/// Keeps `value` observable so the measured expression is not folded
+/// away. Same contract as google-benchmark's helper, local so the bench
+/// binaries carry no external dependency.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// Forces pending writes to be considered visible before the timer
+/// stops.
+inline void ClobberMemory() { asm volatile("" ::: "memory"); }
+
+/// \brief Times `fn` and returns nanoseconds per operation, where one
+/// call to `fn` performs `ops_per_call` operations. Repetitions are
+/// calibrated until a sample runs at least `min_seconds`, then the best
+/// of `samples` samples is taken — minimum, not mean, because
+/// scheduling noise only ever adds time.
+template <typename F>
+inline double MeasureNsPerOp(F&& fn, double ops_per_call,
+                             double min_seconds, int samples = 3) {
+  fn();  // warm caches and thread pools outside the timed region
+  size_t reps = 1;
+  for (;;) {
+    Stopwatch watch;
+    for (size_t i = 0; i < reps; ++i) fn();
+    ClobberMemory();
+    const double seconds = watch.ElapsedSeconds();
+    if (seconds >= min_seconds) {
+      double best = seconds;
+      for (int sample = 0; sample + 1 < samples; ++sample) {
+        Stopwatch again;
+        for (size_t i = 0; i < reps; ++i) fn();
+        ClobberMemory();
+        best = std::min(best, again.ElapsedSeconds());
+      }
+      return best * 1e9 / (static_cast<double>(reps) * ops_per_call);
+    }
+    // Aim 25% past the floor; growth is clamped to 16x so one noisy
+    // fast sample cannot balloon the next round.
+    const double target = min_seconds * 1.25;
+    const size_t next =
+        seconds > 0.0
+            ? static_cast<size_t>(static_cast<double>(reps) * target /
+                                  seconds) +
+                  1
+            : reps * 16;
+    reps = std::clamp(next, reps + 1, reps * 16);
+  }
+}
+
+/// \brief Thread-aware kernel measurements shared by micro_primitives
+/// and the Table 3 sidecar: the dot kernel and the tiled batch k-NN at
+/// one thread and at `threads`.
+struct KernelProbeResult {
+  double dot_ns_per_op = 0.0;
+  double knn_batch_ns_per_query_1t = 0.0;
+  double knn_batch_ns_per_query_nt = 0.0;
+  double knn_batch_speedup_vs_1_thread = 1.0;
+};
+
+/// Runs the probe on synthetic data (fixed seed; the workload is the
+/// measurement, not the values). `threads` is the resolved --threads
+/// value; when it is 1 the n-thread numbers simply repeat the 1-thread
+/// measurement.
+inline KernelProbeResult ProbeKernelPerf(int threads, double min_seconds) {
+  KernelProbeResult result;
+
+  Rng rng(12021);
+  std::vector<double> a(64), b(64);
+  for (double& x : a) x = rng.NextDouble() - 0.5;
+  for (double& x : b) x = rng.NextDouble() - 0.5;
+  result.dot_ns_per_op = MeasureNsPerOp(
+      [&] { DoNotOptimize(kernels::Dot(a, b)); }, 1.0, min_seconds);
+
+  const size_t points_n = 2000;
+  const size_t queries_n = 256;
+  const size_t dims = 12;
+  const size_t k = 10;
+  Matrix points(points_n, dims);
+  Matrix queries(queries_n, dims);
+  for (size_t i = 0; i < points_n; ++i) {
+    for (size_t d = 0; d < dims; ++d) points(i, d) = rng.NextDouble();
+  }
+  for (size_t i = 0; i < queries_n; ++i) {
+    for (size_t d = 0; d < dims; ++d) queries(i, d) = rng.NextDouble();
+  }
+  const BruteForceKnn index(points);
+  const ExecutionContext& context = ExecutionContext::Unlimited();
+  ParallelOptions serial;
+  serial.num_threads = 1;
+  result.knn_batch_ns_per_query_1t = MeasureNsPerOp(
+      [&] {
+        DoNotOptimize(
+            index.QueryBatch(queries, k, context, "probe", serial));
+      },
+      static_cast<double>(queries_n), min_seconds);
+  if (threads > 1) {
+    ParallelOptions wide;
+    wide.num_threads = threads;
+    result.knn_batch_ns_per_query_nt = MeasureNsPerOp(
+        [&] {
+          DoNotOptimize(
+              index.QueryBatch(queries, k, context, "probe", wide));
+        },
+        static_cast<double>(queries_n), min_seconds);
+  } else {
+    result.knn_batch_ns_per_query_nt = result.knn_batch_ns_per_query_1t;
+  }
+  result.knn_batch_speedup_vs_1_thread =
+      result.knn_batch_ns_per_query_nt > 0.0
+          ? result.knn_batch_ns_per_query_1t /
+                result.knn_batch_ns_per_query_nt
+          : 1.0;
+  return result;
+}
+
+}  // namespace bench
+}  // namespace transer
+
+#endif  // TRANSER_BENCH_KERNEL_PROBE_H_

@@ -1,149 +1,347 @@
-// google-benchmark micro benchmarks of the performance-critical
-// primitives: similarity functions, KD-tree queries, classifier training
-// and TransER's SEL phase.
+// Perf-regression harness for the performance-critical primitives: the
+// vectorized kernel layer, tiled batch k-NN, bounded-heap queries and
+// the string similarity functions. Each primitive is timed next to the
+// scalar implementation it replaced, so the sidecar records both the
+// absolute cost and the speedup the kernel layer buys.
+//
+// Flags: --quick (shorter samples, fewer repeats; for CI smoke —
+//        workload sizes never change, so quick sidecars stay
+//        comparable to the committed full-run baseline),
+//        --threads=N (worker lanes for the N-thread batch k-NN row;
+//        default hardware width), --out=<path> (sidecar path; default
+//        BENCH_kernels.json), --dims=N / --pair-dims=N (vector widths
+//        for the elementwise and pairwise sections; defaults 128 / 16 —
+//        entry names carry the width, so diffing against the committed
+//        baseline requires the default), --version.
+//
+// The widths deliberately arrive through flags: as compile-time
+// constants the "scalar baseline" loops would be fully unrolled at
+// their literal trip counts — a luxury the real pre-kernel code, which
+// always received runtime dims, never had.
+//
+// The sidecar is schema-versioned (transer.kernel_perf v1) and diffed
+// against bench/baselines/BENCH_kernels.json by perf_compare. The
+// binary runs kernels::SelfCheck() before timing anything and exits 1
+// if the vectorized kernels are not bit-identical to their scalar
+// references — a fast harness measuring wrong numbers is worthless.
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <span>
 #include <string>
+#include <vector>
 
-#include "core/transer.h"
-#include "data/feature_space_generator.h"
+#include "bench/bench_util.h"
+#include "bench/kernel_probe.h"
+#include "bench/perf_sidecar.h"
+#include "knn/brute_force.h"
 #include "knn/kd_tree.h"
-#include "ml/logistic_regression.h"
-#include "ml/random_forest.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "text/edit_distance.h"
 #include "text/jaro_winkler.h"
 #include "text/set_similarity.h"
+#include "util/execution_context.h"
 #include "util/parallel.h"
 #include "util/random.h"
-#include "util/string_util.h"
+#include "util/status.h"
 
 namespace transer {
 namespace {
 
-void BM_JaroWinkler(benchmark::State& state) {
-  const std::string a = "margaret thompson";
-  const std::string b = "margret thomson";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(JaroWinklerSimilarity(a, b));
+// ---------------------------------------------------------------------
+// Scalar baselines: the implementations these primitives had before the
+// kernel layer, reproduced here so every speedup in the sidecar is
+// measured against real prior code, not a strawman.
+
+double ScalarDot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double ScalarSquaredL2(std::span<const double> a,
+                       std::span<const double> b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void ScalarAxpy(double alpha, std::span<const double> x,
+                std::span<double> y) {
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+// The pre-kernel BruteForceKnn::Query: materialize all n distances,
+// sort, take k.
+std::vector<Neighbour> SortAllQuery(const Matrix& points,
+                                    std::span<const double> query,
+                                    size_t k) {
+  std::vector<Neighbour> all;
+  all.reserve(points.rows());
+  for (size_t row = 0; row < points.rows(); ++row) {
+    const std::span<const double> p(points.Row(row), points.cols());
+    all.push_back(Neighbour{row, std::sqrt(ScalarSquaredL2(query, p))});
+  }
+  std::sort(all.begin(), all.end(), NeighbourBefore);
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+// The pre-kernel QueryBatch body: one row-at-a-time scan per query.
+void RowScanBatch(const Matrix& points, const Matrix& queries, size_t k,
+                  std::vector<std::vector<Neighbour>>* out) {
+  out->resize(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const std::span<const double> query(queries.Row(q), queries.cols());
+    (*out)[q] = SortAllQuery(points, query, k);
   }
 }
-BENCHMARK(BM_JaroWinkler);
 
-void BM_QGramJaccard(benchmark::State& state) {
-  const std::string a = "efficient entity resolution methods";
-  const std::string b = "eficient entity resolution method";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(QGramJaccardSimilarity(a, b));
+// Full-table Levenshtein (the pre-banded implementation).
+size_t NaiveLevenshtein(std::string_view a, std::string_view b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
   }
+  return prev[b.size()];
 }
-BENCHMARK(BM_QGramJaccard);
 
-Matrix RandomPoints(size_t n, size_t dims, uint64_t seed) {
-  Rng rng(seed);
-  Matrix points(n, dims);
+// ---------------------------------------------------------------------
+
+Matrix RandomMatrix(size_t n, size_t dims, Rng* rng) {
+  Matrix m(n, dims);
   for (size_t i = 0; i < n; ++i) {
-    for (size_t d = 0; d < dims; ++d) points(i, d) = rng.NextDouble();
+    for (size_t d = 0; d < dims; ++d) m(i, d) = rng->NextDouble();
   }
-  return points;
+  return m;
 }
 
-void BM_KdTreeBuild(benchmark::State& state) {
-  const Matrix points =
-      RandomPoints(static_cast<size_t>(state.range(0)), 8, 1);
-  for (auto _ : state) {
-    KdTree tree(points);
-    benchmark::DoNotOptimize(tree.size());
+/// Runs each primitive through MeasureNsPerOp, prints the human table
+/// and accumulates the machine-readable sidecar.
+class Harness {
+ public:
+  Harness(int threads, double min_seconds, int samples)
+      : min_seconds_(min_seconds), samples_(samples) {
+    sidecar_.threads = threads;
+    std::printf("%-28s %8s %14s %14s\n", "primitive", "threads", "ns/op",
+                "Mops/s");
   }
-}
-BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000);
 
-void BM_KdTreeQuery(benchmark::State& state) {
-  const Matrix points =
-      RandomPoints(static_cast<size_t>(state.range(0)), 8, 2);
+  template <typename F>
+  double Run(const std::string& name, int threads, F&& fn,
+             double ops_per_call = 1.0) {
+    const double ns = bench::MeasureNsPerOp(
+        std::forward<F>(fn), ops_per_call, min_seconds_, samples_);
+    bench::PerfEntry entry;
+    entry.name = name;
+    entry.threads = threads;
+    entry.ns_per_op = ns;
+    entry.ops_per_sec = ns > 0.0 ? 1e9 / ns : 0.0;
+    sidecar_.entries.push_back(entry);
+    std::printf("%-28s %8d %14.2f %14.3f\n", name.c_str(), threads, ns,
+                entry.ops_per_sec / 1e6);
+    return ns;
+  }
+
+  void Extra(const std::string& key, double value) {
+    sidecar_.extras.emplace_back(key, value);
+    std::printf("  %-42s %.2fx\n", (key + ":").c_str(), value);
+  }
+
+  const bench::PerfSidecar& sidecar() const { return sidecar_; }
+
+ private:
+  double min_seconds_;
+  int samples_;
+  bench::PerfSidecar sidecar_;
+};
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv,
+                           {"quick", "threads", "out", "dims", "pair-dims"});
+  const int threads = bench::ConfigureThreads(flags);
+  const bool quick = flags.GetBool("quick", false);
+  const std::string out_path = flags.GetString("out", "BENCH_kernels.json");
+  const size_t elem_dims = static_cast<size_t>(flags.GetInt("dims", 128));
+  const size_t pd = static_cast<size_t>(flags.GetInt("pair-dims", 16));
+  const std::string ed = std::to_string(elem_dims);
+
+  const Status self_check = kernels::SelfCheck();
+  if (!self_check.ok()) {
+    std::fprintf(stderr, "kernel self-check failed: %s\n",
+                 self_check.ToString().c_str());
+    return 1;
+  }
+  std::printf("kernel self-check passed (vectorized == scalar reference)\n");
+
+  // Full mode takes five samples per primitive: the committed baseline
+  // must not record one lucky scheduler slice.
+  const double min_seconds = quick ? 0.05 : 0.25;
+  Harness harness(threads, min_seconds, quick ? 3 : 5);
+  Rng rng(4242);
+
+  // --- elementwise kernels at --dims (default 128) ---
+  std::vector<double> a(elem_dims), b(elem_dims), y(elem_dims);
+  for (double& x : a) x = rng.NextDouble() - 0.5;
+  for (double& x : b) x = rng.NextDouble() - 0.5;
+  for (double& x : y) x = rng.NextDouble() - 0.5;
+
+  const double dot_kernel = harness.Run("dot.kernel.d" + ed, 1, [&] {
+    bench::DoNotOptimize(kernels::Dot(a, b));
+  });
+  const double dot_scalar = harness.Run("dot.scalar.d" + ed, 1, [&] {
+    bench::DoNotOptimize(ScalarDot(a, b));
+  });
+  const double l2_kernel = harness.Run("squared_l2.kernel.d" + ed, 1, [&] {
+    bench::DoNotOptimize(kernels::SquaredL2(a, b));
+  });
+  const double l2_scalar = harness.Run("squared_l2.scalar.d" + ed, 1, [&] {
+    bench::DoNotOptimize(ScalarSquaredL2(a, b));
+  });
+  harness.Run("axpy.kernel.d" + ed, 1, [&] {
+    kernels::Axpy(1e-9, a, y);
+    bench::DoNotOptimize(y.data());
+  });
+  harness.Run("axpy.scalar.d" + ed, 1, [&] {
+    ScalarAxpy(1e-9, a, y);
+    bench::DoNotOptimize(y.data());
+  });
+  harness.Run("fma.kernel.d" + ed, 1, [&] {
+    kernels::Fma(a, b, y);
+    bench::DoNotOptimize(y.data());
+  });
+
+  // --- tiled pairwise distances straddling the internal 8x64 tiles ---
+  const size_t pa = 64, pb = 256;
+  const Matrix rows_a = RandomMatrix(pa, pd, &rng);
+  const Matrix rows_b = RandomMatrix(pb, pd, &rng);
+  std::vector<double> norms_a(pa), norms_b(pb);
+  kernels::SquaredNorms(rows_a.Row(0), pa, pd, norms_a.data());
+  kernels::SquaredNorms(rows_b.Row(0), pb, pd, norms_b.data());
+  std::vector<double> pairwise(pa * pb);
+  const double pair_tiled = harness.Run(
+      "pairwise_l2.tiled", 1,
+      [&] {
+        kernels::PairwiseSquaredL2(rows_a.Row(0), pa, norms_a.data(),
+                                   rows_b.Row(0), pb, norms_b.data(), pd,
+                                   pairwise.data());
+        bench::DoNotOptimize(pairwise.data());
+      },
+      static_cast<double>(pa * pb));
+  const double pair_scalar = harness.Run(
+      "pairwise_l2.scalar", 1,
+      [&] {
+        for (size_t i = 0; i < pa; ++i) {
+          const std::span<const double> row_a(rows_a.Row(i), pd);
+          for (size_t j = 0; j < pb; ++j) {
+            pairwise[i * pb + j] = ScalarSquaredL2(
+                row_a, std::span<const double>(rows_b.Row(j), pd));
+          }
+        }
+        bench::DoNotOptimize(pairwise.data());
+      },
+      static_cast<double>(pa * pb));
+
+  // --- k-NN: tiled batch vs the old row-at-a-time scan ---
+  const size_t points_n = 4000;
+  const size_t queries_n = 256;
+  const size_t dims = 12, k = 10;
+  const Matrix points = RandomMatrix(points_n, dims, &rng);
+  const Matrix queries = RandomMatrix(queries_n, dims, &rng);
+  const BruteForceKnn brute(points);
   const KdTree tree(points);
-  Rng rng(3);
-  std::vector<double> query(8);
-  for (auto _ : state) {
-    for (double& v : query) v = rng.NextDouble();
-    benchmark::DoNotOptimize(tree.Query(query, 7));
-  }
-}
-BENCHMARK(BM_KdTreeQuery)->Arg(1000)->Arg(10000);
+  const ExecutionContext& context = ExecutionContext::Unlimited();
+  ParallelOptions serial;
+  serial.num_threads = 1;
 
-FeatureMatrix BenchData(size_t n) {
-  FeatureSpaceGenerator generator({5, 40, 7});
-  FeatureDomainSpec spec;
-  spec.num_instances = n;
-  spec.seed = 8;
-  return generator.Generate(spec);
-}
+  const double batch_1t = harness.Run(
+      "knn_batch.tiled.t1", 1,
+      [&] {
+        bench::DoNotOptimize(
+            brute.QueryBatch(queries, k, context, "bench", serial));
+      },
+      static_cast<double>(queries_n));
+  std::vector<std::vector<Neighbour>> rowscan_out;
+  const double batch_rowscan = harness.Run(
+      "knn_batch.rowscan.t1", 1,
+      [&] {
+        RowScanBatch(points, queries, k, &rowscan_out);
+        bench::DoNotOptimize(rowscan_out.data());
+      },
+      static_cast<double>(queries_n));
+  // Always emitted (even at --threads=1) so the sidecar's entry set is
+  // machine-independent; perf_compare skips it when thread counts
+  // differ between baseline and candidate.
+  ParallelOptions wide;
+  wide.num_threads = threads;
+  const double batch_nt = harness.Run(
+      "knn_batch.tiled.tN", threads,
+      [&] {
+        bench::DoNotOptimize(
+            brute.QueryBatch(queries, k, context, "bench", wide));
+      },
+      static_cast<double>(queries_n));
 
-void BM_LogisticRegressionFit(benchmark::State& state) {
-  const FeatureMatrix data = BenchData(static_cast<size_t>(state.range(0)));
-  const Matrix x = data.ToMatrix();
-  for (auto _ : state) {
-    LogisticRegression lr;
-    lr.Fit(x, data.labels());
-    benchmark::DoNotOptimize(lr.intercept());
-  }
-}
-BENCHMARK(BM_LogisticRegressionFit)->Arg(1000);
+  const std::span<const double> probe(queries.Row(0), dims);
+  harness.Run("knn_query.heap", 1, [&] {
+    bench::DoNotOptimize(brute.Query(probe, k));
+  });
+  harness.Run("knn_query.sortall", 1, [&] {
+    bench::DoNotOptimize(SortAllQuery(points, probe, k));
+  });
+  harness.Run("kdtree.query", 1, [&] {
+    bench::DoNotOptimize(tree.Query(probe, k));
+  });
 
-void BM_RandomForestFit(benchmark::State& state) {
-  const FeatureMatrix data = BenchData(static_cast<size_t>(state.range(0)));
-  const Matrix x = data.ToMatrix();
-  for (auto _ : state) {
-    RandomForestOptions options;
-    options.num_trees = 16;
-    RandomForest forest(options);
-    forest.Fit(x, data.labels());
-    benchmark::DoNotOptimize(forest.tree_count());
-  }
-}
-BENCHMARK(BM_RandomForestFit)->Arg(1000);
+  // --- string similarity ---
+  const std::string jw_a = "margaret thompson";
+  const std::string jw_b = "margret thomson";
+  harness.Run("sim.jaro_winkler", 1, [&] {
+    bench::DoNotOptimize(JaroWinklerSimilarity(jw_a, jw_b));
+  });
+  const std::string lev_a = "international association of entity resolution";
+  const std::string lev_b = "internation asociation of entity resolutions";
+  const double lev_banded = harness.Run("sim.levenshtein.banded", 1, [&] {
+    bench::DoNotOptimize(LevenshteinDistance(lev_a, lev_b));
+  });
+  const double lev_naive = harness.Run("sim.levenshtein.naive", 1, [&] {
+    bench::DoNotOptimize(NaiveLevenshtein(lev_a, lev_b));
+  });
+  harness.Run("sim.levenshtein.bounded", 1, [&] {
+    bench::DoNotOptimize(LevenshteinDistanceBounded(lev_a, lev_b, 3));
+  });
+  const std::string qg_a = "efficient entity resolution methods";
+  const std::string qg_b = "eficient entity resolution method";
+  harness.Run("sim.qgram_jaccard", 1, [&] {
+    bench::DoNotOptimize(QGramJaccardSimilarity(qg_a, qg_b));
+  });
 
-void BM_TransERSelect(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  const FeatureMatrix source = BenchData(n);
-  const FeatureMatrix target = BenchData(n).WithoutLabels();
-  TransER transer;
-  for (auto _ : state) {
-    auto selected = transer.SelectInstances(source, target, {});
-    benchmark::DoNotOptimize(selected.value().size());
-  }
+  std::printf("\nspeedups (scalar baseline = pre-kernel implementation):\n");
+  harness.Extra("dot_speedup_vs_scalar", dot_scalar / dot_kernel);
+  harness.Extra("squared_l2_speedup_vs_scalar", l2_scalar / l2_kernel);
+  harness.Extra("pairwise_speedup_vs_scalar", pair_scalar / pair_tiled);
+  harness.Extra("knn_batch_speedup_tiled_vs_rowscan",
+                batch_rowscan / batch_1t);
+  harness.Extra("knn_batch_speedup_vs_1_thread", batch_1t / batch_nt);
+  harness.Extra("levenshtein_speedup_vs_naive", lev_naive / lev_banded);
+
+  if (!bench::WritePerfSidecar(out_path, harness.sidecar())) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
 }
-BENCHMARK(BM_TransERSelect)->Arg(1000)->Arg(4000);
 
 }  // namespace
 }  // namespace transer
 
-// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects
-// flags it does not know, so --threads is consumed here (installing the
-// process-wide lane default) before the remaining argv reaches
-// benchmark::Initialize.
-int main(int argc, char** argv) {
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--threads" || arg.rfind("--threads=", 0) == 0) {
-      int64_t threads = 0;
-      const size_t eq = arg.find('=');
-      if (eq == std::string::npos ||
-          !transer::ParseInt64(arg.substr(eq + 1), &threads) ||
-          threads < 0) {
-        std::fprintf(stderr, "bad value for --threads\n");
-        return 2;
-      }
-      transer::SetDefaultThreadCount(static_cast<int>(threads));
-      continue;
-    }
-    argv[kept++] = argv[i];
-  }
-  argc = kept;
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+int main(int argc, char** argv) { return transer::Main(argc, argv); }

@@ -1,0 +1,138 @@
+// Diffs two transer.kernel_perf sidecars (a committed baseline and a
+// fresh micro_primitives run) and fails on performance regressions.
+//
+// Flags: --baseline=<path> (required), --candidate=<path> (required),
+//        --threshold=<fraction> (default 0.15: fail when a primitive is
+//        more than 15% slower than the baseline),
+//        --report-only (print the comparison but never fail on
+//        regressions — CI smoke mode for machines whose absolute speed
+//        is unknown), --version.
+//
+// Exit codes: 0 = no regression (or --report-only), 1 = at least one
+// primitive regressed past the threshold, 2 = schema or I/O error.
+// Schema errors are hard failures even under --report-only: a sidecar
+// that cannot be trusted must never pass silently.
+//
+// Entries are matched by name. A baseline entry missing from the
+// candidate (or vice versa) is a schema-level failure — the harness
+// emits a fixed entry set, so a disappearing row means the two files
+// were produced by incompatible harness versions. Entries whose thread
+// counts differ (e.g. knn_batch.tiled.tN across machines of different
+// width) are reported but excluded from the regression verdict.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/perf_sidecar.h"
+
+namespace transer {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Flags flags(
+      argc, argv, {"baseline", "candidate", "threshold", "report-only"});
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const std::string candidate_path = flags.GetString("candidate", "");
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: perf_compare --baseline=<path> --candidate=<path>"
+                 " [--threshold=0.15] [--report-only]\n");
+    return 2;
+  }
+  const double threshold = flags.GetDouble("threshold", 0.15);
+  const bool report_only = flags.GetBool("report-only", false);
+
+  bench::PerfSidecar baseline;
+  bench::PerfSidecar candidate;
+  std::string error;
+  if (!bench::ReadPerfSidecar(baseline_path, &baseline, &error) ||
+      !bench::ReadPerfSidecar(candidate_path, &candidate, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  for (const bench::PerfSidecar* sidecar : {&baseline, &candidate}) {
+    if (sidecar->schema != bench::kPerfSchema ||
+        sidecar->version != bench::kPerfSchemaVersion) {
+      std::fprintf(stderr,
+                   "error: schema mismatch: expected %s v%d, got %s v%d\n",
+                   bench::kPerfSchema, bench::kPerfSchemaVersion,
+                   sidecar->schema.c_str(), sidecar->version);
+      return 2;
+    }
+  }
+
+  std::printf("perf_compare: %s vs %s (threshold %.0f%%%s)\n\n",
+              baseline_path.c_str(), candidate_path.c_str(),
+              threshold * 100.0, report_only ? ", report-only" : "");
+  std::printf("%-28s %12s %12s %9s  %s\n", "primitive", "base ns/op",
+              "cand ns/op", "delta", "verdict");
+
+  std::vector<std::string> regressions;
+  for (const bench::PerfEntry& base : baseline.entries) {
+    const bench::PerfEntry* cand = nullptr;
+    for (const bench::PerfEntry& entry : candidate.entries) {
+      if (entry.name == base.name) {
+        cand = &entry;
+        break;
+      }
+    }
+    if (cand == nullptr) {
+      std::fprintf(stderr,
+                   "error: entry '%s' present in baseline but missing from"
+                   " candidate\n",
+                   base.name.c_str());
+      return 2;
+    }
+    if (base.ns_per_op <= 0.0 || !std::isfinite(cand->ns_per_op)) {
+      std::fprintf(stderr, "error: entry '%s' has a non-positive or"
+                           " non-finite measurement\n",
+                   base.name.c_str());
+      return 2;
+    }
+    const double delta = cand->ns_per_op / base.ns_per_op - 1.0;
+    const bool comparable = base.threads == cand->threads;
+    const bool regressed = comparable && delta > threshold;
+    std::printf("%-28s %12.2f %12.2f %8.1f%%  %s\n", base.name.c_str(),
+                base.ns_per_op, cand->ns_per_op, delta * 100.0,
+                !comparable ? "skipped (thread counts differ)"
+                : regressed ? "REGRESSED"
+                            : "ok");
+    if (regressed) regressions.push_back(base.name);
+  }
+  for (const bench::PerfEntry& entry : candidate.entries) {
+    bool known = false;
+    for (const bench::PerfEntry& base : baseline.entries) {
+      known |= base.name == entry.name;
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "error: entry '%s' present in candidate but missing from"
+                   " baseline\n",
+                   entry.name.c_str());
+      return 2;
+    }
+  }
+
+  if (regressions.empty()) {
+    std::printf("\nno regressions past %.0f%%\n", threshold * 100.0);
+    return 0;
+  }
+  std::printf("\n%zu primitive(s) regressed past %.0f%%:\n",
+              regressions.size(), threshold * 100.0);
+  for (const std::string& name : regressions) {
+    std::printf("  %s\n", name.c_str());
+  }
+  if (report_only) {
+    std::printf("report-only mode: not failing\n");
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace transer
+
+int main(int argc, char** argv) { return transer::Main(argc, argv); }

@@ -14,13 +14,17 @@
 //        snapshots; re-running warm-starts instead of retraining),
 //        --version (print build identity and exit).
 //
-// Also writes BENCH_table3.json: per-stage wall time, thread count, and
-// the measured speedup of the bibliographic TransER pipeline at
-// --threads versus a single thread (speedup_vs_1_thread).
+// Also writes BENCH_table3.json: per-stage wall time, thread count, the
+// measured speedup of the bibliographic TransER pipeline at --threads
+// versus a single thread (speedup_vs_1_thread), and --threads-aware
+// kernel-layer stats (kernel_dot_ns_per_op, batch k-NN ns/query at 1
+// and --threads lanes) so per-stage primitive cost rides with the
+// end-to-end runtimes.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/kernel_probe.h"
 #include "core/experiment.h"
 #include "data/scenario.h"
 #include "eval/table_printer.h"
@@ -127,6 +131,24 @@ int Main(int argc, char** argv) {
                 biblio.name.c_str(), serial_seconds, parallel_seconds,
                 threads, speedup);
   }
+  // Kernel-layer stats at the same --threads value: the per-primitive
+  // cost underneath the end-to-end runtimes above.
+  Stopwatch probe_watch;
+  const bench::KernelProbeResult probe =
+      bench::ProbeKernelPerf(threads, /*min_seconds=*/0.05);
+  bench_report.AddStage("kernel_probe", probe_watch.ElapsedSeconds());
+  bench_report.AddExtra("kernel_dot_ns_per_op", probe.dot_ns_per_op);
+  bench_report.AddExtra("knn_batch_ns_per_query_1t",
+                        probe.knn_batch_ns_per_query_1t);
+  bench_report.AddExtra("knn_batch_ns_per_query_nt",
+                        probe.knn_batch_ns_per_query_nt);
+  bench_report.AddExtra("knn_batch_speedup_vs_1_thread",
+                        probe.knn_batch_speedup_vs_1_thread);
+  std::printf("\nkernel probe: dot %.1f ns/op, batch k-NN %.0f ns/query at "
+              "1 thread, %.0f ns/query at %d threads (%.2fx)\n",
+              probe.dot_ns_per_op, probe.knn_batch_ns_per_query_1t,
+              probe.knn_batch_ns_per_query_nt, threads,
+              probe.knn_batch_speedup_vs_1_thread);
   bench_report.Write();
   return 0;
 }

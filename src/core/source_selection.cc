@@ -3,27 +3,11 @@
 #include <algorithm>
 
 #include "knn/kd_tree.h"
+#include "knn/neighbourhood.h"
 #include "linalg/vector_ops.h"
 #include "util/random.h"
 
 namespace transer {
-
-namespace {
-
-std::vector<double> NeighbourhoodCentroid(
-    const Matrix& points, const std::vector<Neighbour>& neighbours) {
-  std::vector<double> centroid(points.cols(), 0.0);
-  if (neighbours.empty()) return centroid;
-  for (const auto& nb : neighbours) {
-    const double* row = points.Row(nb.index);
-    for (size_t c = 0; c < centroid.size(); ++c) centroid[c] += row[c];
-  }
-  const double inv = 1.0 / static_cast<double>(neighbours.size());
-  for (double& v : centroid) v *= inv;
-  return centroid;
-}
-
-}  // namespace
 
 Result<SourceScore> ScoreSourceDomain(const FeatureMatrix& source,
                                       const FeatureMatrix& target,
@@ -54,6 +38,7 @@ Result<SourceScore> ScoreSourceDomain(const FeatureMatrix& source,
 
   size_t transferable = 0;
   double structural_total = 0.0;
+  std::vector<double> centroid_s, centroid_t;
   for (size_t s : rows) {
     const std::span<const double> row(x_source.Row(s), m);
     const auto n_s =
@@ -68,10 +53,10 @@ Result<SourceScore> ScoreSourceDomain(const FeatureMatrix& source,
         n_s.empty() ? 0.0
                     : static_cast<double>(same_label) /
                           static_cast<double>(n_s.size());
+    NeighbourhoodCentroidInto(x_source, n_s, &centroid_s);
+    NeighbourhoodCentroidInto(x_target, n_t, &centroid_t);
     const double sim_l = TransER::StructuralSimilarityFromDistance(
-        L2Distance(NeighbourhoodCentroid(x_source, n_s),
-                   NeighbourhoodCentroid(x_target, n_t)),
-        m);
+        L2Distance(centroid_s, centroid_t), m);
     structural_total += sim_l;
     if (sim_c >= options.transer.t_c && sim_l >= options.transer.t_l) {
       ++transferable;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "knn/kd_tree.h"
+#include "knn/neighbourhood.h"
 #include "linalg/covariance.h"
 #include "linalg/vector_ops.h"
 #include "ml/model_store.h"
@@ -16,20 +17,6 @@
 namespace transer {
 
 namespace {
-
-/// Mean of the neighbour rows of `points`.
-std::vector<double> NeighbourhoodCentroid(
-    const Matrix& points, const std::vector<Neighbour>& neighbours) {
-  std::vector<double> centroid(points.cols(), 0.0);
-  if (neighbours.empty()) return centroid;
-  for (const auto& nb : neighbours) {
-    const double* row = points.Row(nb.index);
-    for (size_t c = 0; c < centroid.size(); ++c) centroid[c] += row[c];
-  }
-  const double inv = 1.0 / static_cast<double>(neighbours.size());
-  for (double& v : centroid) v *= inv;
-  return centroid;
-}
 
 /// Sample covariance of the neighbour rows (for the sim_v ablation).
 Matrix NeighbourhoodCovariance(const Matrix& points,
@@ -125,29 +112,41 @@ Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
       KdTree::Create(x_target, context, "transer", diagnostics,
                      num_threads));
 
-  // Per-instance filters are independent; chunks fill private index
-  // lists that concatenate in chunk order, so the selection matches the
-  // serial scan exactly at any thread count.
+  // Both neighbourhoods of every source instance come from the batched
+  // query path (tiled kernels + per-thread scratch) up front: N_x^S with
+  // the self row excluded, N_x^T over the whole target.
   ParallelOptions par;
   par.num_threads = num_threads;
   par.min_items_per_chunk = 8;
   par.diagnostics = diagnostics;
+  TRANSER_ASSIGN_OR_RETURN(
+      const std::vector<std::vector<Neighbour>> source_neighbourhoods,
+      source_tree.QueryBatch(x_source, k_source, context, "transer", par,
+                             /*skip_self=*/true));
+  TRANSER_ASSIGN_OR_RETURN(
+      const std::vector<std::vector<Neighbour>> target_neighbourhoods,
+      target_tree.QueryBatch(x_source, k_target, context, "transer", par));
+
+  // Per-instance filters are independent; chunks fill private index
+  // lists that concatenate in chunk order, so the selection matches the
+  // serial scan exactly at any thread count.
   const ChunkPlan plan = PlanChunks(source.size(), par.min_items_per_chunk);
   std::vector<std::vector<size_t>> chunk_selected(plan.num_chunks);
   TRANSER_RETURN_IF_ERROR(ParallelFor(
       context, "transer", source.size(),
       [&](size_t begin, size_t end, size_t chunk) -> Status {
         std::vector<size_t>& kept = chunk_selected[chunk];
+        // Centroid scratch lives across the chunk's instances — the
+        // sim_l filter allocates nothing per instance.
+        std::vector<double> centroid_s, centroid_t;
         for (size_t s = begin; s < end; ++s) {
           if (!InParallelRegion()) {
             // Heartbeat only from the single driving thread.
             context.ReportProgress(static_cast<double>(s) /
                                    static_cast<double>(source.size()));
           }
-          const std::span<const double> row(x_source.Row(s), m);
-          const auto n_s =
-              source_tree.Query(row, k_source, static_cast<ptrdiff_t>(s));
-          const auto n_t = target_tree.Query(row, k_target);
+          const std::vector<Neighbour>& n_s = source_neighbourhoods[s];
+          const std::vector<Neighbour>& n_t = target_neighbourhoods[s];
 
           // Equation (1): fraction of source neighbours sharing the label.
           if (options_.use_sim_c) {
@@ -164,10 +163,8 @@ Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
 
           // Equation (2): decayed distance between neighbourhood centroids.
           if (options_.use_sim_l) {
-            const std::vector<double> centroid_s =
-                NeighbourhoodCentroid(x_source, n_s);
-            const std::vector<double> centroid_t =
-                NeighbourhoodCentroid(x_target, n_t);
+            NeighbourhoodCentroidInto(x_source, n_s, &centroid_s);
+            NeighbourhoodCentroidInto(x_target, n_t, &centroid_t);
             const double sim_l = StructuralSimilarityFromDistance(
                 L2Distance(centroid_s, centroid_t), m);
             if (sim_l < t_l) continue;

@@ -15,12 +15,19 @@ namespace transer {
 
 /// \brief O(n) linear-scan k-NN. Reference oracle for KdTree tests and a
 /// sane default for tiny data sets.
+///
+/// Both query paths run on the tiled pairwise kernel (linalg/kernels)
+/// over cached row norms with a size-k bounded max-heap — O(n log k)
+/// per query, no per-query allocation — and compute every per-pair
+/// distance with exactly the same kernel as the KD-tree leaf scans, so
+/// the two backends return bit-identical neighbour lists.
 class BruteForceKnn {
  public:
-  explicit BruteForceKnn(const Matrix& points) : points_(points) {}
+  explicit BruteForceKnn(const Matrix& points);
 
   /// Budgeted construction mirroring KdTree::Create: reserves the point
-  /// copy against `context`'s memory budget for the index's lifetime.
+  /// copy (plus cached norms) against `context`'s memory budget for the
+  /// index's lifetime.
   static Result<BruteForceKnn> Create(const Matrix& points,
                                       const ExecutionContext& context,
                                       const std::string& scope = "brute_knn",
@@ -38,17 +45,22 @@ class BruteForceKnn {
                                        const std::string& scope = "brute_knn")
       const;
 
-  /// One Query per row of `queries` over the parallel runtime; same
-  /// contract as KdTree::QueryBatch.
+  /// Batched queries over the parallel runtime; same contract as
+  /// KdTree::QueryBatch (including `skip_self`). Internally each worker
+  /// sweeps query tiles against cache-sized point blocks with the tiled
+  /// pairwise kernel; results are bit-identical to per-row Query at any
+  /// thread count.
   Result<std::vector<std::vector<Neighbour>>> QueryBatch(
       const Matrix& queries, size_t k, const ExecutionContext& context,
       const std::string& scope = "brute_knn",
-      const ParallelOptions& options = {}) const;
+      const ParallelOptions& options = {}, bool skip_self = false) const;
 
   size_t size() const { return points_.rows(); }
 
  private:
   Matrix points_;
+  /// Cached kernels::SquaredNorm per stored row.
+  std::vector<double> norms_;
   ScopedReservation memory_;
 };
 

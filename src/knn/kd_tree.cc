@@ -3,29 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace transer {
 
 namespace {
-
-// Max-heap ordering on (distance, index): heap[0] is the worst kept
-// candidate, and distance ties resolve to the larger index being worse —
-// the unique top-k contract of NeighbourBefore.
-bool HeapLess(const Neighbour& a, const Neighbour& b) {
-  return NeighbourBefore(a, b);
-}
-
-void HeapPush(std::vector<Neighbour>* heap, Neighbour n) {
-  heap->push_back(n);
-  std::push_heap(heap->begin(), heap->end(), HeapLess);
-}
-
-void HeapPopWorst(std::vector<Neighbour>* heap) {
-  std::pop_heap(heap->begin(), heap->end(), HeapLess);
-  heap->pop_back();
-}
 
 /// Per-thread candidate heap reused across queries (the SEL loop issues
 /// millions of small queries; one allocation per thread, not per call).
@@ -34,6 +18,9 @@ thread_local std::vector<Neighbour> tls_query_heap;
 }  // namespace
 
 KdTree::KdTree(const Matrix& points, int num_threads) : points_(points) {
+  norms_.resize(points_.rows());
+  kernels::SquaredNorms(points_.rows() > 0 ? points_.Row(0) : nullptr,
+                        points_.rows(), points_.cols(), norms_.data());
   order_.resize(points_.rows());
   for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
   if (order_.empty()) return;
@@ -91,6 +78,7 @@ KdTree::KdTree(const Matrix& points, int num_threads) : points_(points) {
 size_t KdTree::StorageBytes(const Matrix& points) {
   const size_t n = points.rows();
   return n * points.cols() * sizeof(double)  // point copy
+         + n * sizeof(double)                // cached squared norms
          + n * sizeof(size_t)                // order permutation
          + (2 * n / kLeafSize + 2) * sizeof(Node);
 }
@@ -185,27 +173,23 @@ ptrdiff_t KdTree::ExpandTop(size_t begin, size_t end, size_t depth,
 }
 
 void KdTree::Search(ptrdiff_t node_index, std::span<const double> query,
-                    size_t k, ptrdiff_t skip_index,
+                    double query_norm, size_t k, ptrdiff_t skip_index,
                     std::vector<Neighbour>* heap) const {
   const Node& node = nodes_[static_cast<size_t>(node_index)];
   if (node.is_leaf) {
-    for (size_t i = node.begin; i < node.end; ++i) {
-      const size_t row = order_[i];
+    // Gather the whole leaf's squared distances with the decomposed
+    // kernel (same per-pair computation as the brute-force paths), then
+    // offer them to the bounded heap. Leaves hold <= kLeafSize rows, so
+    // the distance buffer lives on the stack.
+    double dist_sq[kLeafSize];
+    const std::span<const size_t> rows(order_.data() + node.begin,
+                                       node.end - node.begin);
+    kernels::SquaredL2Gather(query, query_norm, points_.Row(0),
+                             points_.cols(), rows, norms_.data(), dist_sq);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const size_t row = rows[i];
       if (static_cast<ptrdiff_t>(row) == skip_index) continue;
-      double dist_sq = 0.0;
-      const double* p = points_.Row(row);
-      for (size_t d = 0; d < query.size(); ++d) {
-        const double diff = p[d] - query[d];
-        dist_sq += diff * diff;
-      }
-      const double dist = std::sqrt(dist_sq);
-      const Neighbour candidate{row, dist};
-      if (heap->size() < k) {
-        HeapPush(heap, candidate);
-      } else if (NeighbourBefore(candidate, heap->front())) {
-        HeapPopWorst(heap);
-        HeapPush(heap, candidate);
-      }
+      PushBoundedNeighbour(heap, k, Neighbour{row, std::sqrt(dist_sq[i])});
     }
     return;
   }
@@ -213,12 +197,12 @@ void KdTree::Search(ptrdiff_t node_index, std::span<const double> query,
   const double delta = query[node.split_dim] - node.split_value;
   const ptrdiff_t near = delta <= 0.0 ? node.left : node.right;
   const ptrdiff_t far = delta <= 0.0 ? node.right : node.left;
-  Search(near, query, k, skip_index, heap);
+  Search(near, query, query_norm, k, skip_index, heap);
   // Visit the far side unless the splitting plane is strictly beyond the
   // worst kept candidate: an equidistant point may still win its index
   // tie-break, so <= rather than <.
   if (heap->size() < k || std::fabs(delta) <= heap->front().distance) {
-    Search(far, query, k, skip_index, heap);
+    Search(far, query, query_norm, k, skip_index, heap);
   }
 }
 
@@ -229,8 +213,8 @@ std::vector<Neighbour> KdTree::Query(std::span<const double> query, size_t k,
   std::vector<Neighbour>& heap = tls_query_heap;
   heap.clear();
   heap.reserve(k + 1);
-  Search(root_, query, k, skip_index, &heap);
-  std::sort_heap(heap.begin(), heap.end(), HeapLess);
+  Search(root_, query, kernels::SquaredNorm(query), k, skip_index, &heap);
+  std::sort_heap(heap.begin(), heap.end(), NeighbourBefore);
   return std::vector<Neighbour>(heap.begin(), heap.end());
 }
 
@@ -244,7 +228,8 @@ Result<std::vector<Neighbour>> KdTree::Query(std::span<const double> query,
 
 Result<std::vector<std::vector<Neighbour>>> KdTree::QueryBatch(
     const Matrix& queries, size_t k, const ExecutionContext& context,
-    const std::string& scope, const ParallelOptions& options) const {
+    const std::string& scope, const ParallelOptions& options,
+    bool skip_self) const {
   std::vector<std::vector<Neighbour>> results(queries.rows());
   ParallelOptions chunk_options = options;
   chunk_options.min_items_per_chunk =
@@ -254,7 +239,8 @@ Result<std::vector<std::vector<Neighbour>>> KdTree::QueryBatch(
       [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
         for (size_t i = begin; i < end; ++i) {
           results[i] = Query(
-              std::span<const double>(queries.Row(i), queries.cols()), k);
+              std::span<const double>(queries.Row(i), queries.cols()), k,
+              skip_self ? static_cast<ptrdiff_t>(i) : ptrdiff_t{-1});
         }
         return Status::OK();
       },

@@ -1,6 +1,7 @@
 #ifndef TRANSER_KNN_KD_TREE_H_
 #define TRANSER_KNN_KD_TREE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <string>
@@ -28,6 +29,27 @@ struct Neighbour {
 inline bool NeighbourBefore(const Neighbour& a, const Neighbour& b) {
   if (a.distance != b.distance) return a.distance < b.distance;
   return a.index < b.index;
+}
+
+/// \brief Offers `candidate` to a bounded max-heap of the k best
+/// neighbours (heap front = worst kept, ordered by NeighbourBefore).
+///
+/// Because (distance, index) is a strict total order, the kept set —
+/// and therefore the sorted top-k list — is independent of the order in
+/// which candidates arrive. Every k-NN backend (KD-tree leaf scans,
+/// brute-force single queries, and the tiled batch path) funnels
+/// through this one helper, which is what makes their answers
+/// bit-identical to each other at any thread count.
+inline void PushBoundedNeighbour(std::vector<Neighbour>* heap, size_t k,
+                                 const Neighbour& candidate) {
+  if (heap->size() < k) {
+    heap->push_back(candidate);
+    std::push_heap(heap->begin(), heap->end(), NeighbourBefore);
+  } else if (NeighbourBefore(candidate, heap->front())) {
+    std::pop_heap(heap->begin(), heap->end(), NeighbourBefore);
+    heap->back() = candidate;
+    std::push_heap(heap->begin(), heap->end(), NeighbourBefore);
+  }
 }
 
 /// \brief KD-tree over the rows of a feature matrix [Bentley 1975] — the
@@ -73,11 +95,13 @@ class KdTree {
 
   /// Answers one Query per row of `queries` over the parallel runtime.
   /// Results land in row order, bit-identical at any thread count;
-  /// workers poll `context` per chunk.
+  /// workers poll `context` per chunk. With `skip_self`, query row i
+  /// excludes stored row i — the batched form of Query's `skip_index`
+  /// for self-neighbourhood scans (queries must be the indexed matrix).
   Result<std::vector<std::vector<Neighbour>>> QueryBatch(
       const Matrix& queries, size_t k, const ExecutionContext& context,
       const std::string& scope = "kd_tree",
-      const ParallelOptions& options = {}) const;
+      const ParallelOptions& options = {}, bool skip_self = false) const;
 
   size_t size() const { return points_.rows(); }
   size_t dimensions() const { return points_.cols(); }
@@ -120,9 +144,12 @@ class KdTree {
   ptrdiff_t ExpandTop(size_t begin, size_t end, size_t depth,
                       std::vector<PendingSubtree>* pending);
 
-  /// Recursive best-first search helper.
-  void Search(ptrdiff_t node_index, std::span<const double> query, size_t k,
-              ptrdiff_t skip_index, std::vector<Neighbour>* heap) const;
+  /// Recursive best-first search helper. `query_norm` is the cached
+  /// kernels::SquaredNorm of the query, threaded down so leaf scans use
+  /// the decomposed pairwise kernel without recomputing it per node.
+  void Search(ptrdiff_t node_index, std::span<const double> query,
+              double query_norm, size_t k, ptrdiff_t skip_index,
+              std::vector<Neighbour>* heap) const;
 
   static constexpr size_t kLeafSize = 16;
   /// Depth of the serial/parallel frontier: a constant (never derived
@@ -132,6 +159,9 @@ class KdTree {
   static constexpr size_t kParallelStopDepth = 6;
 
   Matrix points_;
+  /// Cached kernels::SquaredNorm of every stored row, for the
+  /// ‖a‖²+‖b‖²−2a·b leaf-scan kernel (see DESIGN.md §9).
+  std::vector<double> norms_;
   std::vector<size_t> order_;  ///< permutation of row indices
   std::vector<Node> nodes_;
   ptrdiff_t root_ = -1;

@@ -1,0 +1,24 @@
+#ifndef TRANSER_KNN_NEIGHBOURHOOD_H_
+#define TRANSER_KNN_NEIGHBOURHOOD_H_
+
+#include <vector>
+
+#include "knn/kd_tree.h"
+#include "linalg/matrix.h"
+
+namespace transer {
+
+/// \brief Mean of the neighbour rows of `points`, accumulated into the
+/// caller-owned `centroid` scratch (resized to points.cols()).
+///
+/// SEL computes two of these per source instance, so the scratch reuse
+/// removes the phase's dominant small-allocation churn. Accumulation is
+/// element-wise in neighbour order followed by one scale — bit-identical
+/// to the historical Mean/accumulate loop.
+void NeighbourhoodCentroidInto(const Matrix& points,
+                               const std::vector<Neighbour>& neighbours,
+                               std::vector<double>* centroid);
+
+}  // namespace transer
+
+#endif  // TRANSER_KNN_NEIGHBOURHOOD_H_

@@ -1,0 +1,381 @@
+// This translation unit is compiled with -ffp-contract=off (see
+// src/CMakeLists.txt): the kernels' arithmetic must not be fused into
+// FMAs under TRANSER_NATIVE_ARCH, or their results would depend on the
+// build flags and break the determinism contract in kernels.h.
+#include "linalg/kernels.h"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+#if defined(__clang__)
+#pragma STDC FP_CONTRACT OFF
+#endif
+
+namespace transer {
+namespace kernels {
+
+namespace {
+
+/// The canonical lane combine: (acc0+acc1)+(acc2+acc3).
+inline double Combine4(double a0, double a1, double a2, double a3) {
+  return (a0 + a1) + (a2 + a3);
+}
+
+/// Four-lane dot product: element i feeds accumulator i mod 4. Every
+/// public reduction funnels through this one inline so all call sites —
+/// Dot, SquaredNorm, the pairwise tiles, the gather kernel — produce the
+/// same bits for the same rows.
+inline double DotImpl(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (; i < n4; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  // i is a multiple of 4, so element i+j still lands on lane j.
+  if (i < n) acc0 += a[i] * b[i];
+  if (i + 1 < n) acc1 += a[i + 1] * b[i + 1];
+  if (i + 2 < n) acc2 += a[i + 2] * b[i + 2];
+  return Combine4(acc0, acc1, acc2, acc3);
+}
+
+inline double SquaredL2Impl(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (; i < n4; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  if (i < n) {
+    const double d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  if (i + 1 < n) {
+    const double d = a[i + 1] - b[i + 1];
+    acc1 += d * d;
+  }
+  if (i + 2 < n) {
+    const double d = a[i + 2] - b[i + 2];
+    acc2 += d * d;
+  }
+  return Combine4(acc0, acc1, acc2, acc3);
+}
+
+/// The decomposed pair distance. (a_norm + b_norm) - 2*dot is evaluated
+/// in exactly this order so that identical rows — whose norms and dot
+/// are the same double — give exactly 0. The clamp absorbs small
+/// negative cancellation residues; NaN < 0.0 is false, so NaN inputs
+/// propagate.
+inline double PairDistSq(double a_norm, double b_norm, double dot) {
+  const double d = (a_norm + b_norm) - 2.0 * dot;
+  return d < 0.0 ? 0.0 : d;
+}
+
+/// Cache tile shape of the pairwise kernel: kTileA query rows are swept
+/// against kTileB point rows while both stay resident in L1. Tile
+/// boundaries never affect values — each entry is a full-width DotImpl.
+constexpr size_t kTileA = 8;
+constexpr size_t kTileB = 64;
+
+}  // namespace
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  return DotImpl(a.data(), b.data(), a.size());
+}
+
+double SquaredL2(std::span<const double> a, std::span<const double> b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  return SquaredL2Impl(a.data(), b.data(), a.size());
+}
+
+double SquaredNorm(std::span<const double> v) {
+  return DotImpl(v.data(), v.data(), v.size());
+}
+
+void Axpy(double s, std::span<const double> x, std::span<double> y) {
+  TRANSER_CHECK_EQ(x.size(), y.size());
+  const double* xp = x.data();
+  double* yp = y.data();
+  const size_t n = x.size();
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (; i < n4; i += 4) {
+    yp[i] += s * xp[i];
+    yp[i + 1] += s * xp[i + 1];
+    yp[i + 2] += s * xp[i + 2];
+    yp[i + 3] += s * xp[i + 3];
+  }
+  for (; i < n; ++i) yp[i] += s * xp[i];
+}
+
+void Fma(std::span<const double> a, std::span<const double> b,
+         std::span<double> out) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  TRANSER_CHECK_EQ(a.size(), out.size());
+  const double* ap = a.data();
+  const double* bp = b.data();
+  double* op = out.data();
+  const size_t n = a.size();
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (; i < n4; i += 4) {
+    op[i] += ap[i] * bp[i];
+    op[i + 1] += ap[i + 1] * bp[i + 1];
+    op[i + 2] += ap[i + 2] * bp[i + 2];
+    op[i + 3] += ap[i + 3] * bp[i + 3];
+  }
+  for (; i < n; ++i) op[i] += ap[i] * bp[i];
+}
+
+void ScaleInPlace(std::span<double> v, double s) {
+  double* p = v.data();
+  const size_t n = v.size();
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (; i < n4; i += 4) {
+    p[i] *= s;
+    p[i + 1] *= s;
+    p[i + 2] *= s;
+    p[i + 3] *= s;
+  }
+  for (; i < n; ++i) p[i] *= s;
+}
+
+void AddInPlace(std::span<double> a, std::span<const double> b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  double* ap = a.data();
+  const double* bp = b.data();
+  const size_t n = a.size();
+  size_t i = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (; i < n4; i += 4) {
+    ap[i] += bp[i];
+    ap[i + 1] += bp[i + 1];
+    ap[i + 2] += bp[i + 2];
+    ap[i + 3] += bp[i + 3];
+  }
+  for (; i < n; ++i) ap[i] += bp[i];
+}
+
+void SquaredNorms(const double* rows, size_t n, size_t dims, double* out) {
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = rows + r * dims;
+    out[r] = DotImpl(row, row, dims);
+  }
+}
+
+double PairSquaredL2(std::span<const double> a, double a_norm,
+                     std::span<const double> b, double b_norm) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  return PairDistSq(a_norm, b_norm, DotImpl(a.data(), b.data(), a.size()));
+}
+
+void PairwiseSquaredL2(const double* a, size_t a_rows, const double* a_norms,
+                       const double* b, size_t b_rows, const double* b_norms,
+                       size_t dims, double* out) {
+  for (size_t i0 = 0; i0 < a_rows; i0 += kTileA) {
+    const size_t i1 = i0 + kTileA < a_rows ? i0 + kTileA : a_rows;
+    for (size_t j0 = 0; j0 < b_rows; j0 += kTileB) {
+      const size_t j1 = j0 + kTileB < b_rows ? j0 + kTileB : b_rows;
+      for (size_t i = i0; i < i1; ++i) {
+        const double* ai = a + i * dims;
+        const double ni = a_norms[i];
+        double* out_row = out + i * b_rows;
+        for (size_t j = j0; j < j1; ++j) {
+          out_row[j] =
+              PairDistSq(ni, b_norms[j], DotImpl(ai, b + j * dims, dims));
+        }
+      }
+    }
+  }
+}
+
+void SquaredL2Gather(std::span<const double> query, double query_norm,
+                     const double* base, size_t dims,
+                     std::span<const size_t> rows, const double* norms,
+                     double* out) {
+  TRANSER_CHECK_EQ(query.size(), dims);
+  const double* q = query.data();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const size_t row = rows[r];
+    out[r] = PairDistSq(query_norm, norms[row],
+                        DotImpl(q, base + row * dims, dims));
+  }
+}
+
+namespace ref {
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < a.size(); ++i) acc[i % 4] += a[i] * b[i];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+double SquaredL2(std::span<const double> a, std::span<const double> b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc[i % 4] += d * d;
+  }
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+double SquaredNorm(std::span<const double> v) { return Dot(v, v); }
+
+void Axpy(double s, std::span<const double> x, std::span<double> y) {
+  TRANSER_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += s * x[i];
+}
+
+void Fma(std::span<const double> a, std::span<const double> b,
+         std::span<double> out) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  TRANSER_CHECK_EQ(a.size(), out.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] += a[i] * b[i];
+}
+
+void ScaleInPlace(std::span<double> v, double s) {
+  for (size_t i = 0; i < v.size(); ++i) v[i] *= s;
+}
+
+void AddInPlace(std::span<double> a, std::span<const double> b) {
+  TRANSER_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void PairwiseSquaredL2(const double* a, size_t a_rows, const double* a_norms,
+                       const double* b, size_t b_rows, const double* b_norms,
+                       size_t dims, double* out) {
+  for (size_t i = 0; i < a_rows; ++i) {
+    for (size_t j = 0; j < b_rows; ++j) {
+      const double dot = Dot(std::span<const double>(a + i * dims, dims),
+                             std::span<const double>(b + j * dims, dims));
+      const double d = (a_norms[i] + b_norms[j]) - 2.0 * dot;
+      out[i * b_rows + j] = d < 0.0 ? 0.0 : d;
+    }
+  }
+}
+
+}  // namespace ref
+
+namespace {
+
+/// xorshift-based deterministic fill for the self-check battery (no
+/// dependency on util/random, which may itself evolve).
+void FillDeterministic(double* p, size_t n, uint64_t seed) {
+  uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (size_t i = 0; i < n; ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    // Values in roughly [-1, 1] with full mantissa entropy.
+    p[i] = static_cast<double>(static_cast<int64_t>(s >> 11)) / (1ull << 52);
+  }
+}
+
+bool BitsEqual(double a, double b) {
+  // Bit comparison, so NaN == NaN and -0.0 != +0.0 are judged exactly.
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+Status SelfCheck() {
+  // Sizes 0..67 cover every remainder of the 4-lane unroll plus the tile
+  // edges of the pairwise kernel; the +1/+2/+3 sub-span offsets exercise
+  // misaligned starts.
+  std::vector<double> xs(96), ys(96), scratch_a(96), scratch_b(96);
+  for (size_t n = 0; n <= 67; ++n) {
+    for (size_t offset = 0; offset < 4; ++offset) {
+      FillDeterministic(xs.data(), n + offset, 1000 + n);
+      FillDeterministic(ys.data(), n + offset, 2000 + n);
+      const std::span<const double> a(xs.data() + offset, n);
+      const std::span<const double> b(ys.data() + offset, n);
+      if (!BitsEqual(Dot(a, b), ref::Dot(a, b))) {
+        return Status::InvalidArgument(
+            StrFormat("kernel Dot diverges from reference at n=%zu off=%zu",
+                      n, offset));
+      }
+      if (!BitsEqual(SquaredL2(a, b), ref::SquaredL2(a, b))) {
+        return Status::InvalidArgument(StrFormat(
+            "kernel SquaredL2 diverges from reference at n=%zu off=%zu", n,
+            offset));
+      }
+      if (!BitsEqual(SquaredNorm(a), ref::SquaredNorm(a))) {
+        return Status::InvalidArgument(StrFormat(
+            "kernel SquaredNorm diverges from reference at n=%zu off=%zu", n,
+            offset));
+      }
+      scratch_a.assign(xs.begin(), xs.end());
+      scratch_b.assign(xs.begin(), xs.end());
+      Axpy(0.37, b, std::span<double>(scratch_a.data() + offset, n));
+      ref::Axpy(0.37, b, std::span<double>(scratch_b.data() + offset, n));
+      for (size_t i = 0; i < n + offset; ++i) {
+        if (!BitsEqual(scratch_a[i], scratch_b[i])) {
+          return Status::InvalidArgument(StrFormat(
+              "kernel Axpy diverges from reference at n=%zu off=%zu", n,
+              offset));
+        }
+      }
+      scratch_a.assign(ys.begin(), ys.end());
+      scratch_b.assign(ys.begin(), ys.end());
+      Fma(a, b, std::span<double>(scratch_a.data() + offset, n));
+      ref::Fma(a, b, std::span<double>(scratch_b.data() + offset, n));
+      for (size_t i = 0; i < n + offset; ++i) {
+        if (!BitsEqual(scratch_a[i], scratch_b[i])) {
+          return Status::InvalidArgument(StrFormat(
+              "kernel Fma diverges from reference at n=%zu off=%zu", n,
+              offset));
+        }
+      }
+    }
+  }
+
+  // Pairwise tile shapes straddling both tile dimensions.
+  for (const auto [a_rows, b_rows, dims] :
+       {std::array<size_t, 3>{1, 1, 1}, std::array<size_t, 3>{3, 5, 7},
+        std::array<size_t, 3>{9, 65, 4}, std::array<size_t, 3>{17, 130, 11}}) {
+    std::vector<double> a(a_rows * dims), b(b_rows * dims);
+    FillDeterministic(a.data(), a.size(), 31 * a_rows + dims);
+    FillDeterministic(b.data(), b.size(), 57 * b_rows + dims);
+    std::vector<double> a_norms(a_rows), b_norms(b_rows);
+    SquaredNorms(a.data(), a_rows, dims, a_norms.data());
+    SquaredNorms(b.data(), b_rows, dims, b_norms.data());
+    std::vector<double> tiled(a_rows * b_rows), naive(a_rows * b_rows);
+    PairwiseSquaredL2(a.data(), a_rows, a_norms.data(), b.data(), b_rows,
+                      b_norms.data(), dims, tiled.data());
+    ref::PairwiseSquaredL2(a.data(), a_rows, a_norms.data(), b.data(), b_rows,
+                           b_norms.data(), dims, naive.data());
+    for (size_t i = 0; i < tiled.size(); ++i) {
+      if (!BitsEqual(tiled[i], naive[i])) {
+        return Status::InvalidArgument(StrFormat(
+            "tiled PairwiseSquaredL2 diverges from reference at "
+            "%zux%zu d=%zu entry %zu",
+            a_rows, b_rows, dims, i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kernels
+}  // namespace transer

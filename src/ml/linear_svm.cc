@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "linalg/kernels.h"
 #include "util/artifact_io.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -50,18 +51,16 @@ void LinearSvm::Fit(const Matrix& x, const std::vector<int>& y,
       ++t;
       const double eta =
           1.0 / (options_.lambda * (static_cast<double>(t) + t0));
-      const double* row = x.Row(i);
+      const std::span<const double> row(x.Row(i), m);
       const double label = y[i] == 1 ? 1.0 : -1.0;
-      double margin = bias_;
-      for (size_t c = 0; c < m; ++c) margin += weights_[c] * row[c];
+      const double margin = bias_ + kernels::Dot(weights_, row);
       const double sample_w = weights.empty() ? 1.0 : weights[i];
 
       // Shrink (regularisation applies to w only, not bias).
-      const double shrink = 1.0 - eta * options_.lambda;
-      for (size_t c = 0; c < m; ++c) weights_[c] *= shrink;
+      kernels::ScaleInPlace(weights_, 1.0 - eta * options_.lambda);
       if (label * margin < 1.0) {
         const double step = eta * label * sample_w;
-        for (size_t c = 0; c < m; ++c) weights_[c] += step * row[c];
+        kernels::Axpy(step, row, weights_);
         bias_ += step;
       }
     }
@@ -71,11 +70,7 @@ void LinearSvm::Fit(const Matrix& x, const std::vector<int>& y,
 
 double LinearSvm::DecisionFunction(std::span<const double> features) const {
   TRANSER_CHECK_EQ(features.size(), weights_.size());
-  double margin = bias_;
-  for (size_t c = 0; c < weights_.size(); ++c) {
-    margin += weights_[c] * features[c];
-  }
-  return margin;
+  return bias_ + kernels::Dot(weights_, features);
 }
 
 void LinearSvm::FitPlatt(const Matrix& x, const std::vector<int>& y) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "linalg/kernels.h"
 #include "util/artifact_io.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -42,15 +43,15 @@ void LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
     const double lr =
         options_.learning_rate / (1.0 + 0.01 * static_cast<double>(epoch));
     for (size_t i : order) {
-      const double* row = x.Row(i);
-      double z = bias_;
-      for (size_t c = 0; c < m; ++c) z += weights_[c] * row[c];
+      const std::span<const double> row(x.Row(i), m);
+      const double z = bias_ + kernels::Dot(weights_, row);
       const double p = Sigmoid(z);
       const double sample_w = weights.empty() ? 1.0 : weights[i];
       const double grad = (p - static_cast<double>(y[i])) * sample_w;
-      for (size_t c = 0; c < m; ++c) {
-        weights_[c] -= lr * (grad * row[c] + options_.l2 * weights_[c]);
-      }
+      // w -= lr * (grad * row + l2 * w), folded into one decoupled
+      // shrink plus an Axpy on the data row.
+      kernels::ScaleInPlace(weights_, 1.0 - lr * options_.l2);
+      kernels::Axpy(-lr * grad, row, weights_);
       bias_ -= lr * grad;
     }
   }
@@ -59,11 +60,7 @@ void LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
 double LogisticRegression::PredictProba(
     std::span<const double> features) const {
   TRANSER_CHECK_EQ(features.size(), weights_.size());
-  double z = bias_;
-  for (size_t c = 0; c < weights_.size(); ++c) {
-    z += weights_[c] * features[c];
-  }
-  return Sigmoid(z);
+  return Sigmoid(bias_ + kernels::Dot(weights_, features));
 }
 
 Status LogisticRegression::SaveState(artifact::Encoder* out) const {

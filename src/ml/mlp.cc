@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "linalg/kernels.h"
 #include "util/artifact_io.h"
 #include "util/logging.h"
 
@@ -28,10 +29,8 @@ void DenseLayer::Forward(const std::vector<double>& input,
   TRANSER_CHECK_EQ(input.size(), in);
   pre->assign(out, 0.0);
   for (size_t o = 0; o < out; ++o) {
-    const double* row = w.data() + o * in;
-    double z = b[o];
-    for (size_t i = 0; i < in; ++i) z += row[i] * input[i];
-    (*pre)[o] = z;
+    const std::span<const double> row(w.data() + o * in, in);
+    (*pre)[o] = b[o] + kernels::Dot(row, input);
   }
   *act = *pre;
   if (relu) {
@@ -54,16 +53,16 @@ void DenseLayer::Backward(const std::vector<double>& input,
     for (size_t o = 0; o < out; ++o) {
       const double g = grad_act[o];
       if (g == 0.0) continue;
-      const double* row = w.data() + o * in;
-      for (size_t i = 0; i < in; ++i) (*grad_input)[i] += g * row[i];
+      kernels::Axpy(g, std::span<const double>(w.data() + o * in, in),
+                    *grad_input);
     }
   }
   for (size_t o = 0; o < out; ++o) {
     const double g = grad_act[o];
-    double* row = w.data() + o * in;
-    for (size_t i = 0; i < in; ++i) {
-      row[i] -= lr * (g * input[i] + l2 * row[i]);
-    }
+    const std::span<double> row(w.data() + o * in, in);
+    // row -= lr * (g * input + l2 * row): decoupled shrink + Axpy.
+    kernels::ScaleInPlace(row, 1.0 - lr * l2);
+    kernels::Axpy(-lr * g, input, row);
     b[o] -= lr * g;
   }
 }

@@ -5,27 +5,115 @@
 
 namespace transer {
 
-size_t LevenshteinDistance(std::string_view a, std::string_view b) {
-  if (a.size() > b.size()) std::swap(a, b);
+namespace {
+
+/// Shared DP rows reused across calls (comparator sweeps run millions of
+/// pairwise distances; two allocations per thread, not per call).
+thread_local std::vector<size_t> tls_prev_row;
+thread_local std::vector<size_t> tls_cur_row;
+
+/// Drops the common prefix and suffix of (a, b) — neither changes the
+/// edit distance — so the DP runs only over the differing core.
+void StripCommonAffixes(std::string_view* a, std::string_view* b) {
+  size_t prefix = 0;
+  const size_t max_prefix = std::min(a->size(), b->size());
+  while (prefix < max_prefix && (*a)[prefix] == (*b)[prefix]) ++prefix;
+  a->remove_prefix(prefix);
+  b->remove_prefix(prefix);
+  size_t suffix = 0;
+  const size_t max_suffix = std::min(a->size(), b->size());
+  while (suffix < max_suffix &&
+         (*a)[a->size() - 1 - suffix] == (*b)[b->size() - 1 - suffix]) {
+    ++suffix;
+  }
+  a->remove_suffix(suffix);
+  b->remove_suffix(suffix);
+}
+
+/// One banded two-row DP pass over the cells with j - i in
+/// [len_diff - band, band] (a is the shorter string; i indexes a,
+/// j indexes b). Any alignment of cost <= band stays inside that band
+/// (cost-so-far >= |j - i| and cost-to-go >= |len_diff - (j - i)|), so a
+/// result <= band is the exact distance; a larger result only means "no
+/// path of cost <= band" and the caller widens the band.
+///
+/// The rows are full-width but only window cells are computed; the cells
+/// just outside the window are poisoned with `inf` after each row so the
+/// next row (whose window shifts by one) never reads a stale value.
+size_t BandedPass(std::string_view a, std::string_view b, size_t band) {
   const size_t n = a.size();
   const size_t m = b.size();
-  if (n == 0) return m;
+  const size_t len_diff = m - n;
+  const size_t inf = n + m + 1;
 
-  // Single-row dynamic program over the shorter string.
-  std::vector<size_t> row(n + 1);
-  for (size_t i = 0; i <= n; ++i) row[i] = i;
-  for (size_t j = 1; j <= m; ++j) {
-    size_t prev_diag = row[0];
-    row[0] = j;
-    for (size_t i = 1; i <= n; ++i) {
-      const size_t del = row[i] + 1;
-      const size_t ins = row[i - 1] + 1;
-      const size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-      prev_diag = row[i];
-      row[i] = std::min({del, ins, sub});
+  std::vector<size_t>& prev = tls_prev_row;
+  std::vector<size_t>& cur = tls_cur_row;
+  prev.resize(m + 1);
+  cur.resize(m + 1);
+
+  const size_t row0_hi = std::min(band, m);
+  for (size_t j = 0; j <= row0_hi; ++j) prev[j] = j;
+  if (row0_hi + 1 <= m) prev[row0_hi + 1] = inf;
+
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t lo =
+        i + len_diff > band ? i + len_diff - band : size_t{0};
+    const size_t hi = std::min(i + band, m);
+    if (lo > 0) cur[lo - 1] = inf;
+    for (size_t j = lo; j <= hi; ++j) {
+      if (j == 0) {
+        cur[0] = i;
+        continue;
+      }
+      const size_t del = prev[j] + 1;
+      const size_t ins = cur[j - 1] + 1;
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({del, ins, sub});
     }
+    if (hi + 1 <= m) cur[hi + 1] = inf;
+    std::swap(prev, cur);
   }
-  return row[n];
+  return prev[m];
+}
+
+/// Band-doubling driver: start at the length-difference lower bound and
+/// widen until the pass proves its answer exact (result <= band) or the
+/// band covers the whole table.
+size_t BandedDistance(std::string_view a, std::string_view b,
+                      size_t band_cap) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  size_t band = std::max(m - n, size_t{1});
+  band = std::min(band, band_cap);
+  for (;;) {
+    const size_t d = BandedPass(a, b, band);
+    if (d <= band || band >= band_cap) return d;
+    band = std::min(band * 2, band_cap);
+  }
+}
+
+}  // namespace
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  StripCommonAffixes(&a, &b);
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return b.size();
+  // A band of |b| covers every cell, so the final pass is always exact.
+  return BandedDistance(a, b, b.size());
+}
+
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t max_distance) {
+  StripCommonAffixes(&a, &b);
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t len_diff = b.size() - a.size();
+  // The length difference is a lower bound on the distance: callers that
+  // only threshold (blocking, similarity cut-offs) exit here in O(1).
+  if (len_diff > max_distance) return max_distance + 1;
+  if (a.empty()) return b.size();
+  const size_t cap = std::min(std::max(max_distance, size_t{1}), b.size());
+  const size_t d = BandedDistance(a, b, cap);
+  return d <= max_distance ? d : max_distance + 1;
 }
 
 size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {

@@ -7,7 +7,20 @@
 namespace transer {
 
 /// Levenshtein (unit-cost insert/delete/substitute) distance.
+///
+/// Implemented as a banded two-row DP with band doubling (Ukkonen): the
+/// common prefix/suffix is stripped, then passes over diagonals
+/// |j - i| within the band widen until the result is proven exact —
+/// O(d * min(|a|, |b|)) for distance d, exactly equivalent to the full
+/// DP for all inputs.
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein distance capped at `max_distance`: returns the exact
+/// distance when it is <= max_distance and max_distance + 1 otherwise,
+/// exiting in O(1) when the length difference alone exceeds the cap.
+/// For thresholded similarity comparisons this skips most of the DP.
+size_t LevenshteinDistanceBounded(std::string_view a, std::string_view b,
+                                  size_t max_distance);
 
 /// Damerau-Levenshtein distance with adjacent transpositions
 /// (optimal string alignment variant).

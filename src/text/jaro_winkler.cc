@@ -1,15 +1,47 @@
 #include "text/jaro_winkler.h"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "util/logging.h"
 
 namespace transer {
 
+namespace {
+
+/// Per-thread match flags reused across calls (vector<bool> per call
+/// dominated the function's profile in comparator sweeps).
+thread_local std::vector<uint8_t> tls_matched_a;
+thread_local std::vector<uint8_t> tls_matched_b;
+
+/// 256-bit byte-occurrence bitmap of `s`.
+std::array<uint64_t, 4> ByteSet(std::string_view s) {
+  std::array<uint64_t, 4> set{};
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    set[byte >> 6] |= uint64_t{1} << (byte & 63);
+  }
+  return set;
+}
+
+}  // namespace
+
 double JaroSimilarity(std::string_view a, std::string_view b) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
+  // Identical strings match completely with no transpositions; the
+  // general path below evaluates to (1 + 1 + 1) / 3 exactly.
+  if (a == b) return 1.0;
+  // Disjoint byte sets mean zero matches regardless of the window —
+  // exactly the matches == 0 exit below.
+  const std::array<uint64_t, 4> set_a = ByteSet(a);
+  const std::array<uint64_t, 4> set_b = ByteSet(b);
+  if (((set_a[0] & set_b[0]) | (set_a[1] & set_b[1]) |
+       (set_a[2] & set_b[2]) | (set_a[3] & set_b[3])) == 0) {
+    return 0.0;
+  }
 
   const size_t len_a = a.size();
   const size_t len_b = b.size();
@@ -17,17 +49,19 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
   // Matching window per the Jaro definition.
   const size_t window = max_len / 2 == 0 ? 0 : max_len / 2 - 1;
 
-  std::vector<bool> matched_a(len_a, false);
-  std::vector<bool> matched_b(len_b, false);
+  std::vector<uint8_t>& matched_a = tls_matched_a;
+  std::vector<uint8_t>& matched_b = tls_matched_b;
+  matched_a.assign(len_a, 0);
+  matched_b.assign(len_b, 0);
 
   size_t matches = 0;
   for (size_t i = 0; i < len_a; ++i) {
     const size_t lo = i > window ? i - window : 0;
     const size_t hi = std::min(len_b, i + window + 1);
     for (size_t j = lo; j < hi; ++j) {
-      if (matched_b[j] || a[i] != b[j]) continue;
-      matched_a[i] = true;
-      matched_b[j] = true;
+      if (matched_b[j] != 0 || a[i] != b[j]) continue;
+      matched_a[i] = 1;
+      matched_b[j] = 1;
       ++matches;
       break;
     }
@@ -38,8 +72,8 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
   size_t transpositions = 0;
   size_t j = 0;
   for (size_t i = 0; i < len_a; ++i) {
-    if (!matched_a[i]) continue;
-    while (!matched_b[j]) ++j;
+    if (matched_a[i] == 0) continue;
+    while (matched_b[j] == 0) ++j;
     if (a[i] != b[j]) ++transpositions;
     ++j;
   }

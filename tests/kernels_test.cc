@@ -1,0 +1,233 @@
+#include "linalg/kernels.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "knn/brute_force.h"
+#include "knn/kd_tree.h"
+#include "util/random.h"
+
+namespace transer {
+namespace {
+
+// The kernel layer's contract is bit-identity against the scalar
+// references (kernels.h): every EXPECT here compares exact bit
+// patterns, never tolerances.
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+std::vector<double> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  // Mixed-sign, mixed-magnitude values so accumulation order matters.
+  for (double& x : v) x = (rng.NextDouble() - 0.5) * (1.0 + rng.NextDouble() * 1e3);
+  return v;
+}
+
+// Sizes 0..67 cover every remainder of the 4-lane unroll and both tile
+// edges; offsets 1..3 exercise misaligned span starts.
+constexpr size_t kMaxSize = 67;
+constexpr size_t kMaxOffset = 4;
+
+TEST(KernelsTest, DotMatchesReferenceExhaustively) {
+  for (size_t n = 0; n <= kMaxSize; ++n) {
+    for (size_t offset = 0; offset < kMaxOffset; ++offset) {
+      const std::vector<double> a = RandomVec(n + offset, 100 + n);
+      const std::vector<double> b = RandomVec(n + offset, 200 + n);
+      const std::span<const double> sa(a.data() + offset, n);
+      const std::span<const double> sb(b.data() + offset, n);
+      EXPECT_TRUE(SameBits(kernels::Dot(sa, sb), kernels::ref::Dot(sa, sb)))
+          << "n=" << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST(KernelsTest, SquaredL2MatchesReferenceExhaustively) {
+  for (size_t n = 0; n <= kMaxSize; ++n) {
+    for (size_t offset = 0; offset < kMaxOffset; ++offset) {
+      const std::vector<double> a = RandomVec(n + offset, 300 + n);
+      const std::vector<double> b = RandomVec(n + offset, 400 + n);
+      const std::span<const double> sa(a.data() + offset, n);
+      const std::span<const double> sb(b.data() + offset, n);
+      EXPECT_TRUE(SameBits(kernels::SquaredL2(sa, sb),
+                           kernels::ref::SquaredL2(sa, sb)))
+          << "n=" << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST(KernelsTest, SquaredNormMatchesDotWithSelf) {
+  for (size_t n = 0; n <= kMaxSize; ++n) {
+    const std::vector<double> v = RandomVec(n, 500 + n);
+    EXPECT_TRUE(SameBits(kernels::SquaredNorm(v), kernels::Dot(v, v)));
+    EXPECT_TRUE(SameBits(kernels::SquaredNorm(v), kernels::ref::SquaredNorm(v)));
+  }
+}
+
+TEST(KernelsTest, ElementwiseKernelsMatchReferenceExhaustively) {
+  for (size_t n = 0; n <= kMaxSize; ++n) {
+    for (size_t offset = 0; offset < kMaxOffset; ++offset) {
+      const std::vector<double> x = RandomVec(n + offset, 600 + n);
+      const std::vector<double> base = RandomVec(n + offset, 700 + n);
+      const std::span<const double> sx(x.data() + offset, n);
+
+      std::vector<double> got = base, want = base;
+      kernels::Axpy(-1.75, sx, std::span<double>(got.data() + offset, n));
+      kernels::ref::Axpy(-1.75, sx, std::span<double>(want.data() + offset, n));
+      EXPECT_EQ(got, want) << "Axpy n=" << n << " offset=" << offset;
+
+      got = base;
+      want = base;
+      const std::vector<double> y = RandomVec(n + offset, 800 + n);
+      const std::span<const double> sy(y.data() + offset, n);
+      kernels::Fma(sx, sy, std::span<double>(got.data() + offset, n));
+      kernels::ref::Fma(sx, sy, std::span<double>(want.data() + offset, n));
+      EXPECT_EQ(got, want) << "Fma n=" << n << " offset=" << offset;
+
+      got = base;
+      want = base;
+      kernels::ScaleInPlace(std::span<double>(got.data() + offset, n), 0.37);
+      kernels::ref::ScaleInPlace(std::span<double>(want.data() + offset, n),
+                                 0.37);
+      EXPECT_EQ(got, want) << "ScaleInPlace n=" << n << " offset=" << offset;
+
+      got = base;
+      want = base;
+      kernels::AddInPlace(std::span<double>(got.data() + offset, n), sx);
+      kernels::ref::AddInPlace(std::span<double>(want.data() + offset, n), sx);
+      EXPECT_EQ(got, want) << "AddInPlace n=" << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST(KernelsTest, NanAndInfPropagate) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (size_t n : {1u, 5u, 19u}) {
+    for (size_t poison = 0; poison < n; ++poison) {
+      std::vector<double> a = RandomVec(n, 900 + n);
+      const std::vector<double> b = RandomVec(n, 950 + n);
+      a[poison] = nan;
+      EXPECT_TRUE(std::isnan(kernels::Dot(a, b)));
+      EXPECT_TRUE(std::isnan(kernels::SquaredL2(a, b)));
+      a[poison] = inf;
+      EXPECT_TRUE(std::isinf(kernels::Dot(a, b)) ||
+                  std::isnan(kernels::Dot(a, b)));
+      EXPECT_EQ(kernels::SquaredL2(a, b), inf);
+    }
+  }
+  // The pair-distance clamp maps negative residue to 0 but must not
+  // swallow NaN.
+  const std::vector<double> v = {nan, 1.0};
+  const double norm = kernels::SquaredNorm(v);
+  EXPECT_TRUE(std::isnan(kernels::PairSquaredL2(v, norm, v, norm)));
+}
+
+TEST(KernelsTest, PairwiseTiledMatchesNaiveBitForBit) {
+  struct Shape {
+    size_t a_rows, b_rows, dims;
+  };
+  // Shapes straddle the internal 8x64 tiling in both dimensions.
+  for (const Shape shape : {Shape{1, 1, 3}, Shape{7, 9, 5}, Shape{8, 64, 16},
+                            Shape{9, 65, 7}, Shape{23, 200, 12},
+                            Shape{64, 33, 1}}) {
+    const std::vector<double> a =
+        RandomVec(shape.a_rows * shape.dims, 1000 + shape.a_rows);
+    const std::vector<double> b =
+        RandomVec(shape.b_rows * shape.dims, 2000 + shape.b_rows);
+    std::vector<double> a_norms(shape.a_rows), b_norms(shape.b_rows);
+    kernels::SquaredNorms(a.data(), shape.a_rows, shape.dims, a_norms.data());
+    kernels::SquaredNorms(b.data(), shape.b_rows, shape.dims, b_norms.data());
+    std::vector<double> tiled(shape.a_rows * shape.b_rows);
+    std::vector<double> naive(shape.a_rows * shape.b_rows);
+    kernels::PairwiseSquaredL2(a.data(), shape.a_rows, a_norms.data(),
+                               b.data(), shape.b_rows, b_norms.data(),
+                               shape.dims, tiled.data());
+    kernels::ref::PairwiseSquaredL2(a.data(), shape.a_rows, a_norms.data(),
+                                    b.data(), shape.b_rows, b_norms.data(),
+                                    shape.dims, naive.data());
+    EXPECT_EQ(tiled, naive) << shape.a_rows << "x" << shape.b_rows << " d="
+                            << shape.dims;
+    // Every tile entry must also equal the single-pair kernel.
+    for (size_t i = 0; i < shape.a_rows; ++i) {
+      for (size_t j = 0; j < shape.b_rows; ++j) {
+        const std::span<const double> row_a(a.data() + i * shape.dims,
+                                            shape.dims);
+        const std::span<const double> row_b(b.data() + j * shape.dims,
+                                            shape.dims);
+        EXPECT_TRUE(SameBits(tiled[i * shape.b_rows + j],
+                             kernels::PairSquaredL2(row_a, a_norms[i], row_b,
+                                                    b_norms[j])));
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, IdenticalRowsAreExactlyZero) {
+  // The decomposed distance of a row to itself must clamp to exactly 0
+  // even for far-from-origin rows — the k-NN duplicate-point contract.
+  for (size_t dims : {1u, 4u, 13u}) {
+    std::vector<double> row = RandomVec(dims, 3000 + dims);
+    for (double& x : row) x = x * 1e6 + 1e7;
+    const double norm = kernels::SquaredNorm(row);
+    EXPECT_TRUE(SameBits(kernels::PairSquaredL2(row, norm, row, norm), 0.0));
+  }
+}
+
+TEST(KernelsTest, SelfCheckPasses) {
+  const Status status = kernels::SelfCheck();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+Matrix RandomMatrix(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims; ++d) m(i, d) = rng.NextDouble();
+  }
+  return m;
+}
+
+TEST(KernelsTest, BatchKnnBitIdenticalAcrossThreadCounts) {
+  const Matrix points = RandomMatrix(700, 6, 77);
+  const Matrix queries = RandomMatrix(333, 6, 78);
+  const BruteForceKnn brute(points);
+  const KdTree tree(points);
+  const ExecutionContext& context = ExecutionContext::Unlimited();
+
+  ParallelOptions serial;
+  serial.num_threads = 1;
+  ParallelOptions eight;
+  eight.num_threads = 8;
+  const auto brute_1 =
+      brute.QueryBatch(queries, 9, context, "test", serial);
+  const auto brute_8 = brute.QueryBatch(queries, 9, context, "test", eight);
+  const auto tree_1 = tree.QueryBatch(queries, 9, context, "test", serial);
+  const auto tree_8 = tree.QueryBatch(queries, 9, context, "test", eight);
+  ASSERT_TRUE(brute_1.ok() && brute_8.ok() && tree_1.ok() && tree_8.ok());
+
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_EQ(brute_1.value()[q].size(), 9u);
+    for (size_t i = 0; i < 9u; ++i) {
+      // One shared per-pair kernel means all four paths agree bitwise.
+      EXPECT_EQ(brute_1.value()[q][i].index, brute_8.value()[q][i].index);
+      EXPECT_TRUE(SameBits(brute_1.value()[q][i].distance,
+                           brute_8.value()[q][i].distance));
+      EXPECT_EQ(brute_1.value()[q][i].index, tree_1.value()[q][i].index);
+      EXPECT_TRUE(SameBits(brute_1.value()[q][i].distance,
+                           tree_1.value()[q][i].distance));
+      EXPECT_EQ(tree_1.value()[q][i].index, tree_8.value()[q][i].index);
+      EXPECT_TRUE(SameBits(tree_1.value()[q][i].distance,
+                           tree_8.value()[q][i].distance));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace transer

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "knn/brute_force.h"
 #include "knn/kd_tree.h"
+#include "linalg/kernels.h"
 #include "util/random.h"
 
 namespace transer {
@@ -109,6 +113,103 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(KnnCase{50, 2, 5, 41}, KnnCase{500, 4, 7, 42},
                       KnnCase{1000, 8, 3, 43}, KnnCase{300, 11, 10, 44},
                       KnnCase{17, 1, 17, 45}, KnnCase{2000, 5, 1, 46}));
+
+// Reference for the bounded-heap Query: compute every distance with the
+// same pairwise kernel, sort all n by (distance, index), take k. The
+// heap rewrite must reproduce this exactly — ties included.
+std::vector<Neighbour> FullSortTopK(const Matrix& points,
+                                    std::span<const double> query, size_t k,
+                                    ptrdiff_t skip_index) {
+  std::vector<double> norms(points.rows());
+  kernels::SquaredNorms(points.rows() > 0 ? points.Row(0) : nullptr,
+                        points.rows(), points.cols(), norms.data());
+  const double query_norm = kernels::SquaredNorm(query);
+  std::vector<Neighbour> all;
+  for (size_t row = 0; row < points.rows(); ++row) {
+    if (static_cast<ptrdiff_t>(row) == skip_index) continue;
+    const std::span<const double> p(points.Row(row), points.cols());
+    all.push_back(Neighbour{
+        row, std::sqrt(kernels::PairSquaredL2(query, query_norm, p,
+                                              norms[row]))});
+  }
+  std::sort(all.begin(), all.end(), NeighbourBefore);
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(BruteForceTest, HeapQueryMatchesFullSortIncludingTies) {
+  // A 5x5 integer grid replicated 3x: every query distance is massively
+  // tied, so any heap mistake in tie ordering shows up immediately.
+  Matrix points(75, 2);
+  for (size_t copy = 0; copy < 3; ++copy) {
+    for (size_t i = 0; i < 25; ++i) {
+      points(copy * 25 + i, 0) = static_cast<double>(i % 5);
+      points(copy * 25 + i, 1) = static_cast<double>(i / 5);
+    }
+  }
+  const BruteForceKnn brute(points);
+  Rng rng(91);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> query = {static_cast<double>(rng.NextUint64Below(5)),
+                                 static_cast<double>(rng.NextUint64Below(5))};
+    const size_t k = 1 + rng.NextUint64Below(75);
+    const ptrdiff_t skip =
+        trial % 2 == 0
+            ? static_cast<ptrdiff_t>(rng.NextUint64Below(points.rows()))
+            : -1;
+    const auto expected = FullSortTopK(points, query, k, skip);
+    const auto actual = brute.Query(query, k, skip);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].index, expected[i].index) << "trial " << trial;
+      EXPECT_EQ(actual[i].distance, expected[i].distance);
+    }
+  }
+}
+
+TEST(BruteForceTest, HeapQueryMatchesFullSortOnRandomData) {
+  const Matrix points = RandomPoints(600, 5, 92);
+  const BruteForceKnn brute(points);
+  Rng rng(93);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> query(5);
+    for (double& v : query) v = rng.NextDouble();
+    const size_t k = 1 + rng.NextUint64Below(40);
+    const auto expected = FullSortTopK(points, query, k, -1);
+    const auto actual = brute.Query(query, k);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].index, expected[i].index);
+      EXPECT_EQ(actual[i].distance, expected[i].distance);
+    }
+  }
+}
+
+TEST(QueryBatchTest, SkipSelfMatchesPerRowQueryWithSkipIndex) {
+  const Matrix points = RandomPoints(250, 4, 94);
+  const BruteForceKnn brute(points);
+  const KdTree tree(points);
+  const ExecutionContext& context = ExecutionContext::Unlimited();
+  const auto batch_brute = brute.QueryBatch(points, 6, context, "test", {},
+                                            /*skip_self=*/true);
+  const auto batch_tree = tree.QueryBatch(points, 6, context, "test", {},
+                                          /*skip_self=*/true);
+  ASSERT_TRUE(batch_brute.ok());
+  ASSERT_TRUE(batch_tree.ok());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const std::span<const double> row(points.Row(i), points.cols());
+    const auto single =
+        brute.Query(row, 6, static_cast<ptrdiff_t>(i));
+    ASSERT_EQ(batch_brute.value()[i].size(), single.size());
+    for (size_t j = 0; j < single.size(); ++j) {
+      EXPECT_NE(batch_brute.value()[i][j].index, i);
+      EXPECT_EQ(batch_brute.value()[i][j].index, single[j].index);
+      EXPECT_EQ(batch_brute.value()[i][j].distance, single[j].distance);
+      EXPECT_EQ(batch_tree.value()[i][j].index, single[j].index);
+      EXPECT_EQ(batch_tree.value()[i][j].distance, single[j].distance);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace transer

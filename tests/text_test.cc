@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "text/edit_distance.h"
 #include "text/jaro_winkler.h"
 #include "text/normalize.h"
@@ -7,6 +11,7 @@
 #include "text/set_similarity.h"
 #include "text/similarity_registry.h"
 #include "text/tokenize.h"
+#include "util/random.h"
 
 namespace transer {
 namespace {
@@ -272,6 +277,102 @@ INSTANTIATE_TEST_SUITE_P(
                       "damerau_levenshtein", "word_jaccard", "qgram_jaccard",
                       "qgram_dice", "lcs", "monge_elkan", "exact", "year",
                       "numeric_abs"));
+
+// ---------- banded edit distance ----------
+
+// The naive full-table DP the banded implementation must match exactly.
+size_t NaiveLevenshtein(std::string_view a, std::string_view b) {
+  std::vector<std::vector<size_t>> dp(a.size() + 1,
+                                      std::vector<size_t>(b.size() + 1, 0));
+  for (size_t i = 0; i <= a.size(); ++i) dp[i][0] = i;
+  for (size_t j = 0; j <= b.size(); ++j) dp[0][j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      dp[i][j] = std::min({dp[i - 1][j] + 1, dp[i][j - 1] + 1,
+                           dp[i - 1][j - 1] +
+                               (a[i - 1] == b[j - 1] ? size_t{0} : size_t{1})});
+    }
+  }
+  return dp[a.size()][b.size()];
+}
+
+std::string RandomWord(Rng* rng, size_t max_len, int alphabet) {
+  std::string s(rng->NextUint64Below(max_len + 1), 'a');
+  for (char& c : s) {
+    c = static_cast<char>('a' + rng->NextUint64Below(alphabet));
+  }
+  return s;
+}
+
+TEST(EditDistanceTest, BandedMatchesNaiveExhaustively) {
+  Rng rng(101);
+  for (int trial = 0; trial < 3000; ++trial) {
+    // A small alphabet produces heavy prefix/suffix overlap and tight
+    // bands; a larger one produces near-maximal distances.
+    const int alphabet = trial % 2 == 0 ? 2 : 8;
+    const std::string a = RandomWord(&rng, 14, alphabet);
+    const std::string b = RandomWord(&rng, 14, alphabet);
+    EXPECT_EQ(LevenshteinDistance(a, b), NaiveLevenshtein(a, b))
+        << "a=\"" << a << "\" b=\"" << b << "\"";
+  }
+}
+
+TEST(EditDistanceTest, BandedMatchesNaiveOnLongStrings) {
+  Rng rng(102);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string a = RandomWord(&rng, 120, 4);
+    const std::string b = RandomWord(&rng, 120, 4);
+    EXPECT_EQ(LevenshteinDistance(a, b), NaiveLevenshtein(a, b));
+  }
+}
+
+TEST(EditDistanceTest, BoundedReturnsExactWithinCapAndCapPlusOneBeyond) {
+  Rng rng(103);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string a = RandomWord(&rng, 12, 3);
+    const std::string b = RandomWord(&rng, 12, 3);
+    const size_t exact = NaiveLevenshtein(a, b);
+    for (size_t cap : {size_t{0}, size_t{1}, size_t{2}, size_t{5}}) {
+      const size_t got = LevenshteinDistanceBounded(a, b, cap);
+      if (exact <= cap) {
+        EXPECT_EQ(got, exact) << "a=\"" << a << "\" b=\"" << b << "\"";
+      } else {
+        EXPECT_EQ(got, cap + 1) << "a=\"" << a << "\" b=\"" << b << "\"";
+      }
+    }
+  }
+}
+
+TEST(EditDistanceTest, BoundedShortCircuitsOnLengthDifference) {
+  // |len difference| > cap exits before any DP work.
+  EXPECT_EQ(LevenshteinDistanceBounded("ab", "abcdefgh", 3), 4u);
+  EXPECT_EQ(LevenshteinDistanceBounded("", "xyz", 2), 3u);
+  EXPECT_EQ(LevenshteinDistanceBounded("same", "same", 0), 0u);
+}
+
+// ---------- jaro-winkler short circuits ----------
+
+TEST(JaroWinklerTest, EqualStringShortCircuitIsExact) {
+  for (const char* s : {"a", "martha", "0123456789abcdef"}) {
+    EXPECT_EQ(JaroSimilarity(s, s), 1.0);
+    EXPECT_EQ(JaroWinklerSimilarity(s, s), 1.0);
+  }
+}
+
+TEST(JaroWinklerTest, DisjointCharacterSetsAreExactlyZero) {
+  EXPECT_EQ(JaroSimilarity("aaaa", "bbbb"), 0.0);
+  EXPECT_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_EQ(JaroWinklerSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, ShortCircuitsAgreeWithGeneralPath) {
+  // Values computed through the general path on pairs that do share
+  // characters stay unchanged by the fast paths.
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444444444, 1e-9);
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.961111111111,
+              1e-9);
+  EXPECT_GT(JaroSimilarity("dwayne", "duane"), 0.8);
+}
 
 }  // namespace
 }  // namespace transer
