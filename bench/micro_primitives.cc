@@ -280,13 +280,16 @@ int Main(int argc, char** argv) {
         bench::DoNotOptimize(rowscan_out.data());
       },
       static_cast<double>(queries_n));
-  // Always emitted (even at --threads=1) so the sidecar's entry set is
-  // machine-independent; perf_compare skips it when thread counts
-  // differ between baseline and candidate.
+  // Always emitted so the sidecar's entry set is machine-independent;
+  // perf_compare skips it when lane counts differ between baseline and
+  // candidate. At --threads=1 the probe oversubscribes lanes (see
+  // ResolveProbeLanes) so the parallel dispatch path is measured — and
+  // knn_batch_speedup_vs_1_thread populated — even on one core.
+  const int lanes = bench::ResolveProbeLanes(threads);
   ParallelOptions wide;
-  wide.num_threads = threads;
+  wide.num_threads = lanes;
   const double batch_nt = harness.Run(
-      "knn_batch.tiled.tN", threads,
+      "knn_batch.tiled.tN", lanes,
       [&] {
         bench::DoNotOptimize(
             brute.QueryBatch(queries, k, context, "bench", wide));

@@ -144,10 +144,12 @@ int Main(int argc, char** argv) {
                         probe.knn_batch_ns_per_query_nt);
   bench_report.AddExtra("knn_batch_speedup_vs_1_thread",
                         probe.knn_batch_speedup_vs_1_thread);
+  bench_report.AddExtra("knn_batch_probe_lanes",
+                        static_cast<double>(probe.probe_lanes));
   std::printf("\nkernel probe: dot %.1f ns/op, batch k-NN %.0f ns/query at "
-              "1 thread, %.0f ns/query at %d threads (%.2fx)\n",
+              "1 thread, %.0f ns/query at %d lanes (%.2fx)\n",
               probe.dot_ns_per_op, probe.knn_batch_ns_per_query_1t,
-              probe.knn_batch_ns_per_query_nt, threads,
+              probe.knn_batch_ns_per_query_nt, probe.probe_lanes,
               probe.knn_batch_speedup_vs_1_thread);
   bench_report.Write();
   return 0;

@@ -253,6 +253,19 @@ Result<std::vector<int>> TransER::RunWithReport(
   snap.seed = run_options.seed;
   snap.source_rows = source.size();
   snap.target_rows = target.size();
+  // Domain profile: the per-feature target mean, stored in the snapshot
+  // so the serving repository can run its SEL-style similarity probe
+  // against incoming domains without the training data.
+  std::vector<double> target_centroid(x_target.cols(), 0.0);
+  if (x_target.rows() > 0) {
+    for (size_t r = 0; r < x_target.rows(); ++r) {
+      const double* row = x_target.Row(r);
+      for (size_t c = 0; c < x_target.cols(); ++c) target_centroid[c] += row[c];
+    }
+    const double inv = 1.0 / static_cast<double>(x_target.rows());
+    for (double& value : target_centroid) value *= inv;
+  }
+  snap.target_centroid = target_centroid;
   // Persists the current state atomically; a failed write degrades (the
   // run's answer is unaffected) rather than failing the run.
   auto save_snapshot = [&](const char* phase) {
@@ -293,6 +306,9 @@ Result<std::vector<int>> TransER::RunWithReport(
                  0.0, 0.0);
       } else {
         snap = std::move(loaded).value();
+        // Older snapshots carry no domain profile; refresh it so any
+        // snapshot this run re-saves is probe-eligible.
+        snap.target_centroid = target_centroid;
         local_report.selected_instances = snap.selected_indices.size();
         local_report.warm_started = true;
         if (snap.classifier_v != nullptr && options_.use_gen_tcl) {

@@ -1,5 +1,6 @@
 #include "ml/model_store.h"
 
+#include <cmath>
 #include <utility>
 
 #include "ml/decision_tree.h"
@@ -24,6 +25,9 @@ constexpr char kModelUSection[] = "model_u";
 constexpr char kModelVSection[] = "model_v";
 constexpr char kSelSection[] = "sel";
 constexpr char kGenSection[] = "gen";
+/// Optional domain profile (target centroid); absent in pre-serving
+/// snapshots, which keeps the container format at version 1.
+constexpr char kProfileSection[] = "profile";
 
 /// The named section, or InvalidArgument naming what is missing (the CRC
 /// passed, so a missing section means a different writer, not a torn
@@ -192,6 +196,11 @@ Status SaveTransERPipelineState(const TransERPipelineState& state,
     return Status::InvalidArgument(
         "pipeline snapshot pseudo-label vectors disagree with target_rows");
   }
+  if (!state.target_centroid.empty() &&
+      state.target_centroid.size() != state.feature_names.size()) {
+    return Status::InvalidArgument(
+        "pipeline snapshot centroid length disagrees with the schema");
+  }
 
   artifact::Encoder meta;
   meta.PutStringVec(state.feature_names);
@@ -220,6 +229,11 @@ Status SaveTransERPipelineState(const TransERPipelineState& state,
     artifact::Encoder model_v;
     TRANSER_RETURN_IF_ERROR(state.classifier_v->SaveState(&model_v));
     sections.push_back({kModelVSection, model_v.TakeBytes()});
+  }
+  if (!state.target_centroid.empty()) {
+    artifact::Encoder profile;
+    profile.PutDoubleVec(state.target_centroid);
+    sections.push_back({kProfileSection, profile.TakeBytes()});
   }
 
   artifact::Header header;
@@ -289,6 +303,24 @@ Result<TransERPipelineState> LoadTransERPipelineState(
     if (!(confidence >= 0.0 && confidence <= 1.0)) {
       return Status::InvalidArgument(
           "pipeline snapshot confidence is outside [0, 1]");
+    }
+  }
+
+  // The profile is optional: pre-serving snapshots simply lack it.
+  if (const artifact::Section* profile = art.Find(kProfileSection)) {
+    artifact::Decoder profile_decoder(profile->payload);
+    TRANSER_RETURN_IF_ERROR(
+        profile_decoder.GetDoubleVec(&state.target_centroid));
+    TRANSER_RETURN_IF_ERROR(profile_decoder.ExpectEnd());
+    if (state.target_centroid.size() != state.feature_names.size()) {
+      return Status::InvalidArgument(
+          "pipeline snapshot centroid length disagrees with the schema");
+    }
+    for (double value : state.target_centroid) {
+      if (!std::isfinite(value)) {
+        return Status::InvalidArgument(
+            "pipeline snapshot centroid holds a non-finite value");
+      }
     }
   }
 

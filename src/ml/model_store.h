@@ -74,6 +74,14 @@ struct TransERPipelineState {
   /// GEN output, one entry per target row.
   std::vector<int> pseudo_labels;
   std::vector<double> pseudo_confidences;
+  /// Optional domain profile: the per-feature mean of the target rows
+  /// the snapshot was adapted to. The serving repository uses it as the
+  /// SEL-style structural-similarity probe when an incoming domain's
+  /// schema fingerprint matches no artifact exactly. Empty when absent
+  /// (artifacts written before the profile section existed load fine
+  /// and are simply ineligible for the probe); when non-empty it must
+  /// have one entry per feature.
+  std::vector<double> target_centroid;
   std::string classifier_name;  ///< family of both classifiers
   /// C^U, trained on the transferred source instances (always present in
   /// a valid snapshot).

@@ -1,0 +1,139 @@
+#ifndef TRANSER_SERVE_MODEL_REPOSITORY_H_
+#define TRANSER_SERVE_MODEL_REPOSITORY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/model_store.h"
+#include "serve/retry.h"
+#include "util/diagnostics.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace transer {
+namespace serve {
+
+/// \brief One indexed TERA pipeline artifact: its identity, the schema
+/// it serves, its optional domain profile, and the loaded state. The
+/// state is shared immutably, so a hot-reload swaps the index entry
+/// while in-flight requests keep serving from the snapshot they
+/// selected.
+struct RepositoryModel {
+  std::string path;
+  std::string id;  ///< file name within the repository directory
+  uint64_t schema_fingerprint = 0;
+  std::string classifier_kind;  ///< classifier family, e.g. "random_forest"
+  bool has_classifier_v = false;
+  std::vector<std::string> feature_names;
+  std::vector<double> centroid;  ///< domain profile; empty when absent
+  int64_t mtime_ticks = 0;       ///< filesystem mtime (ordering only)
+  uint64_t file_size = 0;
+  std::shared_ptr<const TransERPipelineState> state;
+};
+
+/// \brief Repository configuration.
+struct RepositoryOptions {
+  std::string directory;
+  /// Artifact file suffix the scan indexes; other files are ignored.
+  std::string extension = ".tera";
+  /// MaybeRefresh() rescans at most this often (seconds; 0 = every call).
+  double refresh_interval_seconds = 2.0;
+  /// Bounded retry for transient load failures (see retry.h).
+  RetryPolicy retry;
+  /// Floor for the SEL-style similarity probe: a fallback candidate
+  /// below this is no better than no model at all.
+  double min_probe_similarity = 0.5;
+};
+
+/// \brief Outcome of one repository scan.
+struct RefreshReport {
+  size_t files_seen = 0;
+  size_t loaded = 0;       ///< new artifacts indexed
+  size_t reloaded = 0;     ///< changed artifacts re-indexed (hot swap)
+  size_t unchanged = 0;    ///< same (mtime, size); load skipped
+  size_t removed = 0;      ///< index entries whose file vanished
+  size_t quarantined = 0;  ///< artifacts that failed their retry budget
+  size_t still_quarantined = 0;  ///< unchanged since they were quarantined
+  /// kServeArtifactRetried / kModelArtifactRejected events of the scan.
+  RunDiagnostics diagnostics;
+};
+
+/// \brief Directory-backed repository of TransER pipeline artifacts
+/// with hot reload and schema-aware selection (the construct-search-
+/// integrate loop of the model-repository line of work, PAPERS.md).
+///
+/// Scanning indexes every `*.tera` file by (mtime, size): unchanged
+/// files are never re-read, changed files are re-loaded through the
+/// bounded retry/backoff path, and files that exhaust the budget are
+/// quarantined — remembered by their exact (mtime, size) so a corrupt
+/// artifact costs one retry burst, not one per scan, and is re-probed
+/// the moment it changes on disk. All methods are thread-safe.
+class ModelRepository {
+ public:
+  explicit ModelRepository(RepositoryOptions options, SleepFn sleep = {});
+
+  /// Scans the directory now. Never fails: unreadable directories or
+  /// artifacts degrade (recorded in the report) rather than erroring,
+  /// because a serving daemon must outlive its filesystem's bad days.
+  RefreshReport Refresh();
+
+  /// Refresh() if the refresh interval elapsed; otherwise a no-op.
+  /// Returns true when a scan ran.
+  bool MaybeRefresh();
+
+  /// \brief A selection answer: the model plus how it was chosen.
+  struct Selection {
+    std::shared_ptr<const RepositoryModel> model;
+    bool by_fingerprint = false;  ///< exact schema match
+    double probe_similarity = 0.0;  ///< set when probed
+  };
+
+  /// Picks the best artifact for a request schema. Exact fingerprint
+  /// match wins (preferring artifacts with a trained C^V, then the
+  /// newest, then lexicographically smallest id — deterministic).
+  /// Otherwise, when `request_centroid` is non-empty, falls back to the
+  /// SEL-style structural-similarity probe over same-width candidates
+  /// that carry a domain profile, requiring min_probe_similarity.
+  /// NotFound when nothing qualifies.
+  Result<Selection> Select(const std::vector<std::string>& feature_names,
+                           std::span<const double> request_centroid) const;
+
+  /// Snapshot of the current index (for stats/tests).
+  std::vector<std::shared_ptr<const RepositoryModel>> Models() const;
+
+  size_t size() const;
+  size_t quarantined_count() const;
+  uint64_t refresh_count() const;
+  /// Total transient-load retries across all scans.
+  uint64_t load_retry_count() const;
+
+  const RepositoryOptions& options() const { return options_; }
+
+ private:
+  struct FileSignature {
+    int64_t mtime_ticks = 0;
+    uint64_t file_size = 0;
+    bool operator==(const FileSignature&) const = default;
+  };
+
+  RepositoryOptions options_;
+  SleepFn sleep_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const RepositoryModel>> models_;
+  std::map<std::string, FileSignature> quarantine_;
+  Stopwatch since_refresh_;
+  bool ever_refreshed_ = false;
+  uint64_t refresh_count_ = 0;
+  uint64_t load_retry_count_ = 0;
+};
+
+}  // namespace serve
+}  // namespace transer
+
+#endif  // TRANSER_SERVE_MODEL_REPOSITORY_H_

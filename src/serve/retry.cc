@@ -1,0 +1,58 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace transer {
+namespace serve {
+
+void SleepForMilliseconds(double milliseconds) {
+  if (milliseconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      milliseconds));
+}
+
+double BackoffMilliseconds(const RetryPolicy& policy, int attempt) {
+  double backoff = std::max(policy.initial_backoff_ms, 0.0);
+  for (int i = 0; i < attempt; ++i) {
+    backoff *= std::max(policy.backoff_multiplier, 1.0);
+    if (backoff >= policy.max_backoff_ms) break;
+  }
+  return std::min(backoff, std::max(policy.max_backoff_ms, 0.0));
+}
+
+bool IsTransientArtifactError(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kInvalidArgument;
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, const std::string& scope,
+                        const std::function<Status()>& attempt,
+                        const std::function<bool(const Status&)>& retryable,
+                        const SleepFn& sleep, RunDiagnostics* diagnostics) {
+  const int attempts = std::max(policy.max_attempts, 1);
+  const SleepFn& do_sleep = sleep ? sleep : SleepForMilliseconds;
+  Status last = Status::OK();
+  for (int i = 0; i < attempts; ++i) {
+    last = attempt();
+    if (last.ok() || !retryable(last)) return last;
+    if (i + 1 >= attempts) break;  // budget spent; no sleep after the last try
+    const double backoff_ms = BackoffMilliseconds(policy, i);
+    if (diagnostics != nullptr) {
+      diagnostics->Add(DegradationKind::kServeArtifactRetried, scope,
+                       StrFormat("attempt %d/%d failed (%s); retrying in "
+                                 "%.1f ms",
+                                 i + 1, attempts, last.ToString().c_str(),
+                                 backoff_ms),
+                       static_cast<double>(i + 1), backoff_ms);
+    }
+    do_sleep(backoff_ms);
+  }
+  return last;
+}
+
+}  // namespace serve
+}  // namespace transer

@@ -1,0 +1,56 @@
+#ifndef TRANSER_SERVE_RETRY_H_
+#define TRANSER_SERVE_RETRY_H_
+
+#include <functional>
+#include <string>
+
+#include "util/diagnostics.h"
+#include "util/status.h"
+
+namespace transer {
+namespace serve {
+
+/// \brief Bounded exponential backoff for transient serving-side I/O
+/// failures (artifact loads racing a writer, brief filesystem hiccups).
+/// The budget is deliberately small: a serving daemon must give up and
+/// quarantine quickly rather than stall its refresh loop.
+struct RetryPolicy {
+  int max_attempts = 3;              ///< total attempts, including the first
+  double initial_backoff_ms = 10.0;  ///< sleep before the 2nd attempt
+  double backoff_multiplier = 2.0;   ///< growth factor per retry
+  double max_backoff_ms = 1000.0;    ///< backoff ceiling
+};
+
+/// Sleep hook so tests can record backoffs instead of waiting them out.
+using SleepFn = std::function<void(double milliseconds)>;
+
+/// The default SleepFn: std::this_thread::sleep_for.
+void SleepForMilliseconds(double milliseconds);
+
+/// Backoff before attempt `attempt + 1` (attempt is 0-based):
+/// min(initial * multiplier^attempt, max), never negative.
+double BackoffMilliseconds(const RetryPolicy& policy, int attempt);
+
+/// True for the error codes an artifact load may recover from by
+/// retrying: kIoError (transient filesystem trouble) and
+/// kInvalidArgument (a torn file racing a non-atomic writer may become
+/// whole). NotFound / FailedPrecondition are permanent for a given file
+/// state — retrying cannot conjure a file or change its format version.
+bool IsTransientArtifactError(const Status& status);
+
+/// Runs `attempt` up to `policy.max_attempts` times, sleeping the
+/// exponential backoff between tries. Only statuses accepted by
+/// `retryable` are retried; the first OK or non-retryable status is
+/// returned as-is, and the last error is returned once the budget is
+/// spent. Every retry records a kServeArtifactRetried event in
+/// `diagnostics` (when given) with the attempt number and backoff.
+Status RetryWithBackoff(const RetryPolicy& policy, const std::string& scope,
+                        const std::function<Status()>& attempt,
+                        const std::function<bool(const Status&)>& retryable,
+                        const SleepFn& sleep = {},
+                        RunDiagnostics* diagnostics = nullptr);
+
+}  // namespace serve
+}  // namespace transer
+
+#endif  // TRANSER_SERVE_RETRY_H_

@@ -1,0 +1,133 @@
+#ifndef TRANSER_SERVE_SERVER_CORE_H_
+#define TRANSER_SERVE_SERVER_CORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/model_repository.h"
+#include "serve/request_codec.h"
+#include "serve/server_stats.h"
+#include "util/execution_context.h"
+#include "util/status.h"
+
+namespace transer {
+namespace serve {
+
+/// \brief Serving configuration: the repository plus the overload
+/// envelope (concurrency, queueing, deadlines, memory).
+struct ServerOptions {
+  RepositoryOptions repository;
+
+  /// Requests scored at once; arrivals beyond it queue.
+  size_t max_concurrent_requests = 2;
+  /// Arrivals allowed to wait for a slot; beyond this they are shed
+  /// immediately (the bounded queue of the admission layer).
+  size_t queue_capacity = 8;
+
+  /// Deadline applied when a request carries none.
+  double default_deadline_ms = 1000.0;
+  /// Ceiling on client-supplied deadlines.
+  double max_deadline_ms = 30000.0;
+  /// A full resolve needs at least this much headroom left after
+  /// admission for its repository refresh + domain probe; with less the
+  /// request drops to classify-only.
+  double min_full_resolve_ms = 10.0;
+
+  /// Byte budget for per-request result buffers (0 = unlimited),
+  /// enforced through an ExecutionContext memory budget shared by all
+  /// in-flight requests.
+  size_t memory_limit_bytes = 0;
+
+  CodecLimits codec;
+};
+
+/// \brief The long-lived ER serving core: model repository + admission
+/// control + degradation ladder + drain. Transport-free — hosts feed it
+/// frames (HandleFrame) or decoded requests (Handle) from any number of
+/// threads.
+///
+/// The degradation ladder for a kResolve request:
+///   0. full resolve  — repository freshness check, SEL-style domain
+///      probe, labels AND confidences from the freshest artifact;
+///   1. classify-only — cached fingerprint-only selection, labels only
+///      (taken when time or memory cannot afford rung 0; recorded as a
+///      kServeClassifyOnly event);
+///   2. reject        — structured error with a kServeRequestRejected /
+///      kServeRequestShed event; never a crash, never partial results.
+/// kClassify requests enter at rung 1.
+class ServerCore {
+ public:
+  explicit ServerCore(ServerOptions options, SleepFn sleep = {});
+
+  /// Initial repository scan. The server is ready when >= 1 artifact is
+  /// indexed; an empty repository still serves control traffic and
+  /// rejects data requests cleanly, so this never fails.
+  RefreshReport Start();
+
+  /// Serves one decoded request. Thread-safe; blocks only while queued
+  /// for an execution slot (bounded by the request's deadline).
+  Response Handle(const Request& request);
+
+  /// Decodes, serves and re-encodes one frame. A frame the codec
+  /// rejects yields an encoded kRejected response (request_id 0) and a
+  /// malformed tick — the caller always gets a well-formed frame back.
+  std::vector<uint8_t> HandleFrame(std::span<const uint8_t> frame);
+
+  /// Starts a drain: every subsequent data request is shed; requests
+  /// already admitted (executing or queued) complete normally.
+  void BeginDrain();
+
+  /// Blocks until all admitted requests finished. Call after
+  /// BeginDrain().
+  void AwaitDrain();
+
+  bool draining() const;
+  /// True when at least one artifact is indexed.
+  bool ready() const { return repository_.size() > 0; }
+
+  /// Counters + latency + repository/lifecycle state.
+  StatsSnapshot Stats() const;
+
+  ModelRepository& repository() { return repository_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  /// RAII execution slot; releases and wakes the queue on destruction.
+  class Slot;
+
+  /// The admission outcome for one data request.
+  enum class Admission { kAdmitted, kShedDraining, kShedQueueFull,
+                         kDeadlineExpired };
+  Admission Admit(double deadline_ms, double elapsed_ms);
+  void ReleaseSlot();
+
+  Response HandleData(const Request& request, double deadline_ms,
+                      Stopwatch& watch);
+
+  ServerOptions options_;
+  ModelRepository repository_;
+  ServerStats stats_;
+  /// Byte budget shared by every in-flight request's result buffers.
+  ExecutionContext memory_context_;
+
+  mutable std::mutex admission_mutex_;
+  std::condition_variable slot_free_;
+  std::condition_variable drained_;
+  size_t active_ = 0;   ///< requests holding an execution slot
+  size_t waiting_ = 0;  ///< requests queued for a slot
+  bool draining_ = false;
+
+  /// Scoring cost model for the admission estimate (EWMA of measured
+  /// milliseconds per row; 0 until the first request completes).
+  std::atomic<double> ewma_ms_per_row_{0.0};
+};
+
+}  // namespace serve
+}  // namespace transer
+
+#endif  // TRANSER_SERVE_SERVER_CORE_H_

@@ -1,0 +1,70 @@
+#include "serve/server_stats.h"
+
+#include <sstream>
+
+namespace transer {
+namespace serve {
+
+std::string StatsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"ready\":" << (ready ? "true" : "false")
+      << ",\"draining\":" << (draining ? "true" : "false")
+      << ",\"received\":" << received << ",\"served_full\":" << served_full
+      << ",\"served_degraded\":" << served_degraded << ",\"shed\":" << shed
+      << ",\"rejected\":" << rejected << ",\"malformed\":" << malformed
+      << ",\"active_requests\":" << active_requests
+      << ",\"latency_samples\":" << latency_samples << ",\"p50_ms\":" << p50_ms
+      << ",\"p99_ms\":" << p99_ms << ",\"models\":" << models
+      << ",\"refreshes\":" << refreshes << ",\"load_retries\":" << load_retries
+      << ",\"quarantined\":" << quarantined << "}";
+  return out.str();
+}
+
+double ServerStats::BucketUpperMs(size_t i) {
+  // 1, 2, 4, ... 1024 ms; the last bucket absorbs everything slower.
+  return static_cast<double>(uint64_t{1} << i);
+}
+
+void ServerStats::RecordLatencyMs(double milliseconds) {
+  size_t bucket = 0;
+  while (bucket + 1 < kLatencyBuckets &&
+         milliseconds >= BucketUpperMs(bucket)) {
+    ++bucket;
+  }
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+StatsSnapshot ServerStats::Snapshot() const {
+  StatsSnapshot snapshot;
+  snapshot.received = received_.load(std::memory_order_relaxed);
+  snapshot.served_full = served_full_.load(std::memory_order_relaxed);
+  snapshot.served_degraded = served_degraded_.load(std::memory_order_relaxed);
+  snapshot.shed = shed_.load(std::memory_order_relaxed);
+  snapshot.rejected = rejected_.load(std::memory_order_relaxed);
+  snapshot.malformed = malformed_.load(std::memory_order_relaxed);
+
+  std::array<uint64_t, kLatencyBuckets> buckets;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);
+    total += buckets[i];
+  }
+  snapshot.latency_samples = total;
+  auto percentile = [&](double p) -> double {
+    if (total == 0) return 0.0;
+    const uint64_t rank =
+        static_cast<uint64_t>(p * static_cast<double>(total - 1)) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kLatencyBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return BucketUpperMs(i);
+    }
+    return BucketUpperMs(kLatencyBuckets - 1);
+  };
+  snapshot.p50_ms = percentile(0.50);
+  snapshot.p99_ms = percentile(0.99);
+  return snapshot;
+}
+
+}  // namespace serve
+}  // namespace transer

@@ -1,0 +1,82 @@
+#ifndef TRANSER_SERVE_SERVER_STATS_H_
+#define TRANSER_SERVE_SERVER_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace transer {
+namespace serve {
+
+/// \brief Point-in-time view of the serving counters, the latency
+/// percentiles, and the repository state — the health/readiness payload
+/// of the kStats endpoint and the drain-time flush.
+struct StatsSnapshot {
+  uint64_t received = 0;
+  uint64_t served_full = 0;      ///< answered at the requested level
+  uint64_t served_degraded = 0;  ///< answered one rung down
+  uint64_t shed = 0;             ///< refused at admission (queue/drain)
+  uint64_t rejected = 0;         ///< refused after admission (budget, model)
+  uint64_t malformed = 0;        ///< frames the codec rejected
+  uint64_t latency_samples = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  // Repository / lifecycle state, filled by the server core.
+  uint64_t models = 0;
+  uint64_t refreshes = 0;
+  uint64_t load_retries = 0;
+  uint64_t quarantined = 0;
+  uint64_t active_requests = 0;
+  bool ready = false;
+  bool draining = false;
+
+  /// One-line JSON rendering (stable key order, no external deps).
+  std::string ToJson() const;
+};
+
+/// \brief Lock-free serving counters plus a log-bucketed latency
+/// histogram. Everything is atomics, so request threads record without
+/// contention; percentiles are computed from the histogram on demand
+/// (bucket-upper-bound resolution, which is plenty for p50/p99 health
+/// reporting).
+class ServerStats {
+ public:
+  /// Histogram buckets: [0, 1ms) then doubling up to ~0.5 s, with a
+  /// final overflow bucket.
+  static constexpr size_t kLatencyBuckets = 12;
+
+  void RecordReceived() { Add(&received_); }
+  void RecordServedFull() { Add(&served_full_); }
+  void RecordServedDegraded() { Add(&served_degraded_); }
+  void RecordShed() { Add(&shed_); }
+  void RecordRejected() { Add(&rejected_); }
+  void RecordMalformed() { Add(&malformed_); }
+
+  void RecordLatencyMs(double milliseconds);
+
+  /// Counters + percentiles; the repository/lifecycle fields are left
+  /// zero for the caller (the server core) to fill.
+  StatsSnapshot Snapshot() const;
+
+ private:
+  static void Add(std::atomic<uint64_t>* counter) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Upper bound (ms) of bucket `i`.
+  static double BucketUpperMs(size_t i);
+
+  std::atomic<uint64_t> received_{0};
+  std::atomic<uint64_t> served_full_{0};
+  std::atomic<uint64_t> served_degraded_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> malformed_{0};
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_buckets_{};
+};
+
+}  // namespace serve
+}  // namespace transer
+
+#endif  // TRANSER_SERVE_SERVER_STATS_H_

@@ -1,5 +1,6 @@
 #include "testing/fault_injection.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -180,13 +181,65 @@ Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
   return Status::OK();
 }
 
+namespace {
+
+/// Process-global partial-write injection state, armed by
+/// ScopedPartialWriteFault. Single-threaded test setup only.
+struct PartialWriteFaultState {
+  bool armed = false;
+  size_t bytes_before_failure = 0;
+  size_t writes_until_fault = 0;  ///< pass-through writes remaining
+  size_t injected_failures = 0;
+};
+
+PartialWriteFaultState& GetPartialWriteFault() {
+  static PartialWriteFaultState state;
+  return state;
+}
+
+}  // namespace
+
+ScopedPartialWriteFault::ScopedPartialWriteFault(size_t bytes_before_failure,
+                                                 size_t fail_after_writes) {
+  PartialWriteFaultState& state = GetPartialWriteFault();
+  TRANSER_CHECK(!state.armed);  // nested partial-write faults are a test bug
+  state.armed = true;
+  state.bytes_before_failure = bytes_before_failure;
+  state.writes_until_fault = fail_after_writes;
+  state.injected_failures = 0;
+}
+
+ScopedPartialWriteFault::~ScopedPartialWriteFault() {
+  GetPartialWriteFault() = PartialWriteFaultState{};
+}
+
+size_t ScopedPartialWriteFault::injected_failures() const {
+  return GetPartialWriteFault().injected_failures;
+}
+
 Status WriteFileBytes(const std::string& path,
                       const std::vector<uint8_t>& bytes) {
+  PartialWriteFaultState& fault = GetPartialWriteFault();
+  const bool inject = fault.armed && fault.writes_until_fault == 0;
+  if (fault.armed && !inject) --fault.writes_until_fault;
+
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
+  const size_t to_write =
+      inject ? std::min(bytes.size(), fault.bytes_before_failure)
+             : bytes.size();
   const size_t written =
-      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-  if (std::fclose(f) != 0 || written != bytes.size()) {
+      to_write == 0 ? 0 : std::fwrite(bytes.data(), 1, to_write, f);
+  const bool closed_ok = std::fclose(f) == 0;
+  if (inject) {
+    // The torn prefix stays on disk, exactly as a full disk leaves it.
+    ++fault.injected_failures;
+    return Status::IoError(StrFormat(
+        "no space left on device writing %s after %zu of %zu bytes "
+        "(injected)",
+        path.c_str(), written, bytes.size()));
+  }
+  if (!closed_ok || written != bytes.size()) {
     return Status::IoError("short write on " + path);
   }
   return Status::OK();

@@ -93,6 +93,28 @@ Status FlipFileByte(const std::string& path, size_t offset,
 /// exceeds the current size (truncation must shrink, not extend).
 Status TruncateFile(const std::string& path, size_t keep_bytes);
 
+/// \brief Scoped partial-write fault: while alive, every WriteFileBytes
+/// call writes at most `bytes_before_failure` bytes of its payload and
+/// then fails with an ENOSPC-style IoError, leaving the torn prefix on
+/// disk — the "disk filled up mid-write" regime a loader and its retry
+/// path must survive. `fail_after_writes` successful calls pass through
+/// untouched first (0 = fail from the first write). Not thread-safe by
+/// design: it mutates process-global injection state, so it belongs in
+/// single-threaded test setup, and at most one may be alive at a time
+/// (a nested scope CHECK-fails).
+class ScopedPartialWriteFault {
+ public:
+  explicit ScopedPartialWriteFault(size_t bytes_before_failure,
+                                   size_t fail_after_writes = 0);
+  ~ScopedPartialWriteFault();
+
+  ScopedPartialWriteFault(const ScopedPartialWriteFault&) = delete;
+  ScopedPartialWriteFault& operator=(const ScopedPartialWriteFault&) = delete;
+
+  /// WriteFileBytes calls that hit the fault so far.
+  size_t injected_failures() const;
+};
+
 }  // namespace fault
 }  // namespace transer
 

@@ -36,6 +36,14 @@ const char* DegradationKindName(DegradationKind kind) {
       return "model_artifact_rejected";
     case DegradationKind::kModelSaveFailed:
       return "model_save_failed";
+    case DegradationKind::kServeRequestShed:
+      return "serve_request_shed";
+    case DegradationKind::kServeClassifyOnly:
+      return "serve_classify_only";
+    case DegradationKind::kServeRequestRejected:
+      return "serve_request_rejected";
+    case DegradationKind::kServeArtifactRetried:
+      return "serve_artifact_retried";
   }
   return "unknown";
 }

@@ -26,6 +26,10 @@ enum class DegradationKind {
   kModelWarmStarted,      ///< phases skipped by restoring a model snapshot
   kModelArtifactRejected, ///< saved model unusable (corrupt/incompatible)
   kModelSaveFailed,       ///< snapshot write failed; run continued unsaved
+  kServeRequestShed,      ///< serving: request shed (queue full / draining)
+  kServeClassifyOnly,     ///< serving: resolve degraded to classify-only
+  kServeRequestRejected,  ///< serving: request rejected with structured error
+  kServeArtifactRetried,  ///< serving: transient artifact load retried
 };
 
 /// Short identifier, e.g. "sel_threshold_relaxed".
