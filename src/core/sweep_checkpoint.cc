@@ -6,6 +6,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "util/journal_io.h"
 #include "util/string_util.h"
 
 namespace transer {
@@ -149,51 +150,36 @@ Result<SweepCheckpoint> SweepCheckpoint::Open(const std::string& path,
   }
   SweepCheckpoint checkpoint(path);
 
-  std::ifstream in(path);
-  if (!in.is_open()) return checkpoint;  // fresh journal
+  // The torn-tail policy (only the trailing line may be corrupt; earlier
+  // damage is an error) lives in the shared journal recovery helper so
+  // this journal and the binary ingest WAL cannot drift apart.
+  TRANSER_ASSIGN_OR_RETURN(
+      const journal::LineRecovery recovery,
+      journal::RecoverJournalLines(path, [](const std::string& entry) {
+        return DecodeSweepCellRecord(entry).status();
+      }));
 
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!Trim(line).empty()) lines.push_back(line);
-  }
-
-  size_t dropped_from = lines.size();
-  for (size_t i = 0; i < lines.size(); ++i) {
-    auto record = DecodeSweepCellRecord(lines[i]);
-    if (!record.ok()) {
-      // Only a torn *tail* is consistent with the write-temp-then-rename
-      // protocol; garbage earlier in the journal means the file is not
-      // ours (or was edited) and silently dropping completed cells would
-      // corrupt the resumed aggregate.
-      if (i + 1 != lines.size()) {
-        return Status::FailedPrecondition(StrFormat(
-            "sweep checkpoint %s: line %zu of %zu is corrupt (not just a "
-            "torn tail): %s",
-            path.c_str(), i + 1, lines.size(),
-            record.status().message().c_str()));
-      }
-      dropped_from = i;
-      break;
-    }
-    const std::string index_key = IndexKey(record.value().key);
+  for (const std::string& entry : recovery.lines) {
+    TRANSER_ASSIGN_OR_RETURN(SweepCellRecord record,
+                             DecodeSweepCellRecord(entry));
+    const std::string index_key = IndexKey(record.key);
     auto it = checkpoint.index_.find(index_key);
     if (it != checkpoint.index_.end()) {
-      checkpoint.records_[it->second] = std::move(record).value();
+      checkpoint.records_[it->second] = std::move(record);
     } else {
       checkpoint.index_[index_key] = checkpoint.records_.size();
-      checkpoint.records_.push_back(std::move(record).value());
+      checkpoint.records_.push_back(std::move(record));
     }
   }
 
-  if (dropped_from < lines.size()) {
+  if (recovery.tail_dropped) {
     if (diagnostics != nullptr) {
       diagnostics->Add(DegradationKind::kCheckpointTailDropped, "sweep",
                        StrFormat("dropped corrupt trailing journal line "
                                  "%zu of %s; the cell will be re-run",
-                                 dropped_from + 1, path.c_str()),
-                       static_cast<double>(lines.size()),
-                       static_cast<double>(dropped_from));
+                                 recovery.total_lines, path.c_str()),
+                       static_cast<double>(recovery.total_lines),
+                       static_cast<double>(recovery.total_lines - 1));
     }
     // Persist the truncation so a second resume does not re-report it.
     TRANSER_RETURN_IF_ERROR(checkpoint.Flush());

@@ -54,6 +54,13 @@ class PairComparator {
                                    const ExecutionContext& context,
                                    const ParallelOptions& options) const;
 
+  /// The feature schema this comparator emits ("attr:similarity" per
+  /// attribute) — the names a model trained on its output is bound to.
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  size_t num_features() const { return similarity_fns_.size(); }
+
  private:
   PairComparator(std::vector<std::string> names,
                  std::vector<SimilarityFn> fns, ComparatorOptions options)

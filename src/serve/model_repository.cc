@@ -39,7 +39,7 @@ double L2Distance(std::span<const double> a, std::span<const double> b) {
 ModelRepository::ModelRepository(RepositoryOptions options, SleepFn sleep)
     : options_(std::move(options)), sleep_(std::move(sleep)) {}
 
-RefreshReport ModelRepository::Refresh() {
+RefreshReport ModelRepository::ForceRescan() {
   RefreshReport report;
 
   // Enumerate candidate files outside the lock (directory IO), sorted
@@ -167,12 +167,15 @@ RefreshReport ModelRepository::Refresh() {
 bool ModelRepository::MaybeRefresh() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (ever_refreshed_ &&
-        since_refresh_.ElapsedSeconds() < options_.refresh_interval_seconds) {
+    // The debounce floor bounds how often per-request freshness checks
+    // can hit the filesystem, even with refresh_interval_seconds = 0.
+    const double interval = std::max(options_.refresh_interval_seconds,
+                                     options_.min_rescan_interval_seconds);
+    if (ever_refreshed_ && since_refresh_.ElapsedSeconds() < interval) {
       return false;
     }
   }
-  Refresh();
+  ForceRescan();
   return true;
 }
 

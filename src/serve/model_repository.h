@@ -41,8 +41,15 @@ struct RepositoryOptions {
   std::string directory;
   /// Artifact file suffix the scan indexes; other files are ignored.
   std::string extension = ".tera";
-  /// MaybeRefresh() rescans at most this often (seconds; 0 = every call).
+  /// MaybeRefresh() rescans at most this often (seconds; 0 = every call,
+  /// subject to the debounce floor below).
   double refresh_interval_seconds = 2.0;
+  /// Hard floor between MaybeRefresh() scans. The per-request freshness
+  /// check stat()s every artifact in the directory; without a floor a
+  /// request storm amplifies into a filesystem-metadata storm. Tests and
+  /// hot-swap paths that need an immediate scan call ForceRescan(),
+  /// which ignores both intervals.
+  double min_rescan_interval_seconds = 0.25;
   /// Bounded retry for transient load failures (see retry.h).
   RetryPolicy retry;
   /// Floor for the SEL-style similarity probe: a fallback candidate
@@ -77,13 +84,15 @@ class ModelRepository {
  public:
   explicit ModelRepository(RepositoryOptions options, SleepFn sleep = {});
 
-  /// Scans the directory now. Never fails: unreadable directories or
-  /// artifacts degrade (recorded in the report) rather than erroring,
-  /// because a serving daemon must outlive its filesystem's bad days.
-  RefreshReport Refresh();
+  /// Scans the directory now, ignoring the rescan intervals. Never
+  /// fails: unreadable directories or artifacts degrade (recorded in the
+  /// report) rather than erroring, because a serving daemon must outlive
+  /// its filesystem's bad days.
+  RefreshReport ForceRescan();
 
-  /// Refresh() if the refresh interval elapsed; otherwise a no-op.
-  /// Returns true when a scan ran.
+  /// ForceRescan() if both the refresh interval and the debounce floor
+  /// (min_rescan_interval_seconds) have elapsed; otherwise a no-op. The
+  /// first call always scans. Returns true when a scan ran.
   bool MaybeRefresh();
 
   /// \brief A selection answer: the model plus how it was chosen.

@@ -55,7 +55,7 @@ ServerCore::ServerCore(ServerOptions options, SleepFn sleep)
       repository_(options_.repository, std::move(sleep)),
       memory_context_(ExecutionLimits{0.0, options_.memory_limit_bytes}) {}
 
-RefreshReport ServerCore::Start() { return repository_.Refresh(); }
+RefreshReport ServerCore::Start() { return repository_.ForceRescan(); }
 
 std::vector<uint8_t> ServerCore::HandleFrame(std::span<const uint8_t> frame) {
   auto decoded = DecodeRequest(frame, options_.codec);

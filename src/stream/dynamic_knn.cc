@@ -1,0 +1,77 @@
+#include "stream/dynamic_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "util/string_util.h"
+
+namespace transer {
+namespace stream {
+
+Status DynamicKnn::Insert(std::vector<double> point) {
+  if (points_.empty()) {
+    if (point.empty()) {
+      return Status::InvalidArgument("k-NN points must have dimension >= 1");
+    }
+    dimensions_ = point.size();
+  } else if (point.size() != dimensions_) {
+    return Status::InvalidArgument(
+        StrFormat("k-NN point has %zu dimensions, index has %zu",
+                  point.size(), dimensions_));
+  }
+  points_.push_back(std::move(point));
+  if (options_.rebuild_interval > 0 &&
+      points_.size() - indexed_ >= options_.rebuild_interval) {
+    Rebuild();
+  }
+  return Status::OK();
+}
+
+void DynamicKnn::Rebuild() {
+  Matrix matrix(points_.size(), dimensions_);
+  for (size_t r = 0; r < points_.size(); ++r) {
+    std::copy(points_[r].begin(), points_[r].end(), matrix.Row(r));
+  }
+  tree_ = std::make_unique<KdTree>(matrix, options_.num_threads);
+  indexed_ = points_.size();
+  ++rebuilds_;
+}
+
+std::vector<Neighbour> DynamicKnn::Query(std::span<const double> query,
+                                         size_t k,
+                                         ptrdiff_t skip_index) const {
+  std::vector<Neighbour> heap;
+  if (k == 0 || points_.empty()) return heap;
+  heap.reserve(k);
+  if (tree_ != nullptr) {
+    // The tree's top-k over rows [0, indexed_) are the only indexed rows
+    // that can appear in the global top-k, so feeding them to the shared
+    // bounded heap loses nothing.
+    for (const Neighbour& n : tree_->Query(query, k, skip_index)) {
+      PushBoundedNeighbour(&heap, k, n);
+    }
+  }
+  // Tail scan with the same decomposed kernel as the KD-tree leaves, so
+  // a point's distance does not depend on which side of the rebuild
+  // boundary it currently sits.
+  const double query_norm = kernels::SquaredNorm(query);
+  for (size_t row = indexed_; row < points_.size(); ++row) {
+    if (skip_index >= 0 && static_cast<size_t>(skip_index) == row) continue;
+    const std::vector<double>& point = points_[row];
+    const double dist_sq = kernels::PairSquaredL2(
+        query, query_norm, point, kernels::SquaredNorm(point));
+    PushBoundedNeighbour(&heap, k, Neighbour{row, std::sqrt(dist_sq)});
+  }
+  std::sort_heap(heap.begin(), heap.end(), NeighbourBefore);
+  return heap;
+}
+
+std::span<const double> DynamicKnn::Point(size_t index) const {
+  return points_[index];
+}
+
+}  // namespace stream
+}  // namespace transer

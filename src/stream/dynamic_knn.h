@@ -1,0 +1,71 @@
+#ifndef TRANSER_STREAM_DYNAMIC_KNN_H_
+#define TRANSER_STREAM_DYNAMIC_KNN_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "knn/kd_tree.h"
+#include "util/status.h"
+
+namespace transer {
+namespace stream {
+
+/// \brief Options for the dynamic k-NN index.
+struct DynamicKnnOptions {
+  /// The tree over all points is rebuilt after every `rebuild_interval`
+  /// inserts. The trigger is a pure function of the insert count — never
+  /// of wall clock or thread timing — so an interrupted-and-replayed
+  /// stream rebuilds at exactly the same points as an uninterrupted one.
+  size_t rebuild_interval = 64;
+  /// Threads for the periodic KD-tree rebuild. The deterministic
+  /// parallel build (knn/kd_tree) produces an identical tree at any
+  /// value, so this is a pure throughput knob.
+  int num_threads = 1;
+};
+
+/// \brief Insert-friendly k-NN over a growing point set: a KD-tree over
+/// the rows present at the last rebuild plus a linear scan of the tail
+/// inserted since. Both halves funnel candidates through
+/// PushBoundedNeighbour, so Query answers are exactly the brute-force
+/// top-k over all points — the dynamic index changes cost, never
+/// answers. Queries are by global row index (insert order).
+class DynamicKnn {
+ public:
+  explicit DynamicKnn(DynamicKnnOptions options = {}) : options_(options) {}
+
+  /// Appends one point. The first insert fixes the dimensionality;
+  /// mismatching later inserts fail with InvalidArgument. Triggers the
+  /// periodic rebuild when the insert count reaches the interval.
+  Status Insert(std::vector<double> point);
+
+  /// The k nearest stored points to `query` in (distance, index) order.
+  /// `skip_index` >= 0 excludes that row (self-neighbourhood queries).
+  std::vector<Neighbour> Query(std::span<const double> query, size_t k,
+                               ptrdiff_t skip_index = -1) const;
+
+  /// Point by global row index.
+  std::span<const double> Point(size_t index) const;
+
+  size_t size() const { return points_.size(); }
+  size_t dimensions() const { return dimensions_; }
+  /// Rows covered by the KD-tree (the rest are the scanned tail).
+  size_t indexed_size() const { return indexed_; }
+  size_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  void Rebuild();
+
+  DynamicKnnOptions options_;
+  std::vector<std::vector<double>> points_;
+  size_t dimensions_ = 0;
+  size_t indexed_ = 0;
+  size_t rebuilds_ = 0;
+  std::unique_ptr<KdTree> tree_;
+};
+
+}  // namespace stream
+}  // namespace transer
+
+#endif  // TRANSER_STREAM_DYNAMIC_KNN_H_

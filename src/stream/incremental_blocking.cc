@@ -1,0 +1,67 @@
+#include "stream/incremental_blocking.h"
+
+#include <cctype>
+
+namespace transer {
+namespace stream {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void FnvMix(uint64_t* hash, const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    *hash ^= bytes[i];
+    *hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::string IncrementalBlockingIndex::KeyOf(const Record& record) const {
+  if (options_.key_attribute >= record.values.size()) return std::string();
+  const std::string& value = record.values[options_.key_attribute];
+  std::string key;
+  key.reserve(options_.prefix_length);
+  for (char c : value) {
+    if (key.size() >= options_.prefix_length) break;
+    key += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return key;
+}
+
+std::vector<size_t> IncrementalBlockingIndex::InsertAndCollect(
+    size_t record_index, const Record& record) {
+  std::vector<size_t>& block = blocks_[KeyOf(record)];
+  std::vector<size_t> candidates;
+  if (block.size() < options_.max_block_size) {
+    candidates = block;  // already ascending: inserts assign rising indices
+  } else {
+    ++suppressed_;
+  }
+  block.push_back(record_index);
+  ++inserted_;
+  return candidates;
+}
+
+uint64_t IncrementalBlockingIndex::Digest() const {
+  uint64_t hash = kFnvOffset;
+  const uint64_t block_count = blocks_.size();
+  FnvMix(&hash, &block_count, sizeof(block_count));
+  for (const auto& [key, members] : blocks_) {
+    FnvMix(&hash, key.data(), key.size());
+    const uint64_t size = members.size();
+    FnvMix(&hash, &size, sizeof(size));
+    for (size_t index : members) {
+      const uint64_t value = index;
+      FnvMix(&hash, &value, sizeof(value));
+    }
+  }
+  return hash;
+}
+
+}  // namespace stream
+}  // namespace transer

@@ -1,0 +1,109 @@
+#include "stream/ingest_journal.h"
+
+#include <utility>
+
+#include "util/artifact_io.h"
+#include "util/string_util.h"
+
+namespace transer {
+namespace stream {
+
+namespace {
+
+/// Payload version inside a frame, so the entry layout can evolve
+/// independently of the framing.
+constexpr uint8_t kEntryVersion = 1;
+
+}  // namespace
+
+std::vector<uint8_t> EncodeIngestEntry(const IngestEntry& entry) {
+  artifact::Encoder encoder;
+  encoder.PutU8(kEntryVersion);
+  encoder.PutU64(entry.sequence);
+  encoder.PutString(entry.record.id);
+  encoder.PutI64(entry.record.entity_id);
+  encoder.PutStringVec(entry.record.values);
+  return encoder.TakeBytes();
+}
+
+Result<IngestEntry> DecodeIngestEntry(std::span<const uint8_t> payload) {
+  artifact::Decoder decoder(payload);
+  uint8_t version = 0;
+  TRANSER_RETURN_IF_ERROR(decoder.GetU8(&version));
+  if (version != kEntryVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported ingest entry version %u", version));
+  }
+  IngestEntry entry;
+  TRANSER_RETURN_IF_ERROR(decoder.GetU64(&entry.sequence));
+  TRANSER_RETURN_IF_ERROR(decoder.GetString(&entry.record.id));
+  TRANSER_RETURN_IF_ERROR(decoder.GetI64(&entry.record.entity_id));
+  TRANSER_RETURN_IF_ERROR(decoder.GetStringVec(&entry.record.values));
+  TRANSER_RETURN_IF_ERROR(decoder.ExpectEnd());
+  if (entry.sequence == 0) {
+    return Status::InvalidArgument("ingest entry sequence 0 is reserved");
+  }
+  return entry;
+}
+
+Result<IngestJournal> IngestJournal::Open(const std::string& path,
+                                          IngestJournalRecovery* recovery) {
+  if (recovery == nullptr) {
+    return Status::InvalidArgument("ingest journal recovery out-param is null");
+  }
+  *recovery = IngestJournalRecovery{};
+  journal::FrameRecovery frames;
+  TRANSER_ASSIGN_OR_RETURN(
+      journal::FrameJournal journal,
+      journal::FrameJournal::Open(path, kIngestJournalMagic, &frames));
+  recovery->tail_dropped = frames.tail_dropped;
+  recovery->dropped_bytes = frames.dropped_bytes;
+  recovery->entries.reserve(frames.frames.size());
+  uint64_t last_sequence = 0;
+  for (size_t i = 0; i < frames.frames.size(); ++i) {
+    auto entry = DecodeIngestEntry(frames.frames[i]);
+    if (!entry.ok()) {
+      // The frame CRC passed, so this is not bit rot: the payload layout
+      // itself is wrong. That is never a torn tail — refuse.
+      return Status::FailedPrecondition(StrFormat(
+          "%s: frame %zu is not a valid ingest entry: %s", path.c_str(),
+          i + 1, entry.status().message().c_str()));
+    }
+    if (entry.value().sequence <= last_sequence) {
+      return Status::FailedPrecondition(StrFormat(
+          "%s: frame %zu has sequence %llu after %llu (journal order "
+          "violated)",
+          path.c_str(), i + 1,
+          static_cast<unsigned long long>(entry.value().sequence),
+          static_cast<unsigned long long>(last_sequence)));
+    }
+    last_sequence = entry.value().sequence;
+    recovery->entries.push_back(std::move(entry).value());
+  }
+  return IngestJournal(std::move(journal));
+}
+
+Status IngestJournal::Append(const IngestEntry& entry) {
+  const std::vector<uint8_t> payload = EncodeIngestEntry(entry);
+  return journal_.Append(payload);
+}
+
+Status IngestJournal::Compact(const std::vector<IngestEntry>& keep) {
+  std::vector<std::vector<uint8_t>> frames;
+  frames.reserve(keep.size());
+  for (const IngestEntry& entry : keep) {
+    frames.push_back(EncodeIngestEntry(entry));
+  }
+  const std::string path = journal_.path();
+  // The rewrite replaces the inode; close our fd first so the appends
+  // after re-open go to the new file.
+  journal_.Close();
+  TRANSER_RETURN_IF_ERROR(
+      journal::FrameJournal::Rewrite(path, kIngestJournalMagic, frames));
+  TRANSER_ASSIGN_OR_RETURN(
+      journal_, journal::FrameJournal::Open(path, kIngestJournalMagic));
+  return Status::OK();
+}
+
+}  // namespace stream
+}  // namespace transer

@@ -1,0 +1,79 @@
+#ifndef TRANSER_STREAM_INGEST_JOURNAL_H_
+#define TRANSER_STREAM_INGEST_JOURNAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "util/journal_io.h"
+#include "util/status.h"
+
+namespace transer {
+namespace stream {
+
+/// Flavour magic of the ingest write-ahead journal ("TransER Ingest
+/// Write-ahead Log").
+inline constexpr char kIngestJournalMagic[4] = {'T', 'I', 'W', 'L'};
+
+/// \brief One journaled ingest operation: a record plus the sequence
+/// number that fixes its position in the stream. Replay applies entries
+/// in sequence order, which is what makes recovery bit-identical to the
+/// uninterrupted run — the journal *is* the stream.
+struct IngestEntry {
+  uint64_t sequence = 0;  ///< 1-based, dense, assigned by the ingestor
+  Record record;
+};
+
+/// Serialises an entry to the frame payload (artifact::Encoder layout).
+std::vector<uint8_t> EncodeIngestEntry(const IngestEntry& entry);
+
+/// Inverse of EncodeIngestEntry; bounds-checked, InvalidArgument on any
+/// malformation (the frame CRC catches bit rot first; this catches
+/// crafted or version-skewed payloads).
+Result<IngestEntry> DecodeIngestEntry(std::span<const uint8_t> payload);
+
+/// \brief What IngestJournal::Open recovered.
+struct IngestJournalRecovery {
+  std::vector<IngestEntry> entries;  ///< journal order (ascending sequence)
+  bool tail_dropped = false;         ///< torn trailing frame truncated
+  size_t dropped_bytes = 0;
+};
+
+/// \brief The record write-ahead journal of the streaming ingestor: a
+/// FrameJournal of IngestEntry frames. Every entry is durable (fsync'd)
+/// before the in-memory state sees it, so a SIGKILL at any boundary
+/// loses at most an *unacknowledged* append, and replaying the journal
+/// reconstructs the exact pre-crash state (DESIGN.md §11).
+class IngestJournal {
+ public:
+  /// Opens (creating if absent) the journal at `path`, recovering all
+  /// intact entries. Entries must have strictly increasing sequence
+  /// numbers; a violation fails with FailedPrecondition.
+  static Result<IngestJournal> Open(const std::string& path,
+                                    IngestJournalRecovery* recovery);
+
+  /// Durably appends one entry.
+  Status Append(const IngestEntry& entry);
+
+  /// Compacts the journal down to `keep`: atomically rewrites the file
+  /// with only those entries (typically none — the caller just made a
+  /// snapshot covering everything) and re-opens it for appending.
+  Status Compact(const std::vector<IngestEntry>& keep);
+
+  size_t frame_count() const { return journal_.frame_count(); }
+  size_t size_bytes() const { return journal_.size_bytes(); }
+  const std::string& path() const { return journal_.path(); }
+
+ private:
+  explicit IngestJournal(journal::FrameJournal journal)
+      : journal_(std::move(journal)) {}
+
+  journal::FrameJournal journal_;
+};
+
+}  // namespace stream
+}  // namespace transer
+
+#endif  // TRANSER_STREAM_INGEST_JOURNAL_H_

@@ -1,0 +1,134 @@
+#include "stream/stream_ingestor.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace transer {
+namespace stream {
+
+namespace {
+
+constexpr char kJournalFile[] = "ingest.wal";
+constexpr char kSnapshotFile[] = "snapshot.tera";
+
+}  // namespace
+
+std::string StreamIngestor::journal_path() const {
+  return options_.directory + "/" + kJournalFile;
+}
+
+std::string StreamIngestor::snapshot_path() const {
+  return options_.directory + "/" + kSnapshotFile;
+}
+
+std::string StreamIngestor::publish_path() const {
+  return options_.publish_directory + "/" + options_.publish_stem + ".tera";
+}
+
+Result<StreamIngestor> StreamIngestor::Open(
+    const StreamIngestorOptions& options, RunDiagnostics* diagnostics) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("stream ingestor directory is empty");
+  }
+  const std::string journal_path =
+      options.directory + "/" + kJournalFile;
+  const std::string snapshot_path =
+      options.directory + "/" + kSnapshotFile;
+
+  IngestJournalRecovery recovery;
+  TRANSER_ASSIGN_OR_RETURN(IngestJournal journal,
+                           IngestJournal::Open(journal_path, &recovery));
+  if (recovery.tail_dropped && diagnostics != nullptr) {
+    diagnostics->Add(
+        DegradationKind::kCheckpointTailDropped, "stream",
+        StrFormat("truncated %zu torn byte(s) from the ingest journal; "
+                  "the unacknowledged tail entry is lost by design",
+                  recovery.dropped_bytes),
+        0.0, static_cast<double>(recovery.dropped_bytes));
+  }
+
+  // Recover the state: snapshot when one is loadable, cold start (or
+  // full replay) otherwise.
+  Result<StreamResolver> resolver = Status::NotFound("no snapshot");
+  bool from_snapshot = false;
+  if (::access(snapshot_path.c_str(), F_OK) == 0) {
+    resolver =
+        StreamResolver::LoadSnapshot(snapshot_path, options.resolver,
+                                     diagnostics);
+    if (resolver.ok()) {
+      from_snapshot = true;
+    } else {
+      // A corrupt snapshot is recoverable only while the journal still
+      // holds the full history (nothing was compacted away). Once
+      // compaction dropped entries the snapshot covered, its loss is
+      // data loss and must surface, not silently restart the stream.
+      const bool full_history =
+          !recovery.entries.empty() && recovery.entries.front().sequence == 1;
+      if (!full_history) return resolver.status();
+      if (diagnostics != nullptr) {
+        diagnostics->Add(
+            DegradationKind::kStreamSnapshotFallback, "stream",
+            "snapshot unusable (" + resolver.status().message() +
+                "); rebuilding by full journal replay");
+      }
+      resolver = StreamResolver::Create(options.resolver, diagnostics);
+    }
+  } else {
+    resolver = StreamResolver::Create(options.resolver, diagnostics);
+  }
+  TRANSER_RETURN_IF_ERROR(resolver.status());
+
+  StreamIngestor ingestor(options, std::move(journal),
+                          std::move(resolver).value());
+  ingestor.from_snapshot_ = from_snapshot;
+
+  // Tail replay: everything journaled past what the snapshot covers.
+  for (const IngestEntry& entry : recovery.entries) {
+    if (entry.sequence <= ingestor.resolver_->applied_sequence()) continue;
+    TRANSER_RETURN_IF_ERROR(
+        ingestor.resolver_->Apply(entry, diagnostics));
+    ++ingestor.replayed_;
+  }
+  return ingestor;
+}
+
+Status StreamIngestor::Ingest(const Record& record,
+                              RunDiagnostics* diagnostics) {
+  const uint64_t sequence = resolver_->applied_sequence() + 1;
+  IngestEntry entry;
+  entry.sequence = sequence;
+  entry.record = record;
+  // Write-ahead: the entry must be durable before any state mutation,
+  // so a crash between the two replays it instead of losing it.
+  TRANSER_RETURN_IF_ERROR(journal_.Append(entry));
+  if (options_.after_append_hook) options_.after_append_hook(sequence);
+  TRANSER_RETURN_IF_ERROR(resolver_->Apply(entry, diagnostics));
+  if (options_.after_apply_hook) options_.after_apply_hook(sequence);
+  if (options_.snapshot_interval > 0 &&
+      sequence % options_.snapshot_interval == 0) {
+    TRANSER_RETURN_IF_ERROR(Snapshot(diagnostics));
+  }
+  return Status::OK();
+}
+
+Status StreamIngestor::Snapshot(RunDiagnostics* diagnostics) {
+  (void)diagnostics;
+  // Order matters: the snapshot must be durable (atomic write) before
+  // the journal forgets the entries it covers. A crash between the two
+  // replays entries the snapshot already holds — harmlessly skipped.
+  TRANSER_RETURN_IF_ERROR(resolver_->SaveSnapshot(snapshot_path()));
+  TRANSER_RETURN_IF_ERROR(journal_.Compact({}));
+  ++snapshots_;
+  if (!options_.publish_directory.empty()) {
+    // Atomic publish into the serving repository's directory: a serving
+    // daemon's next rescan hot-swaps to this model mid-traffic.
+    TRANSER_RETURN_IF_ERROR(resolver_->PublishTo(publish_path()));
+  }
+  return Status::OK();
+}
+
+}  // namespace stream
+}  // namespace transer

@@ -1,0 +1,103 @@
+#ifndef TRANSER_STREAM_STREAM_INGESTOR_H_
+#define TRANSER_STREAM_STREAM_INGESTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "stream/ingest_journal.h"
+#include "stream/stream_resolver.h"
+#include "util/diagnostics.h"
+#include "util/status.h"
+
+namespace transer {
+namespace stream {
+
+/// \brief Configuration of the crash-safe ingest loop.
+struct StreamIngestorOptions {
+  /// Directory holding the journal (`ingest.wal`) and the compaction
+  /// snapshot (`snapshot.tera`). Must exist.
+  std::string directory;
+  StreamResolverOptions resolver;
+  /// Snapshot + compact after every `snapshot_interval` journaled
+  /// entries (0 = only on explicit Snapshot() calls). Like every other
+  /// periodic trigger, counted in sequence numbers, so replay snapshots
+  /// at the same boundaries.
+  size_t snapshot_interval = 0;
+  /// When non-empty, every snapshot also publishes the current model as
+  /// a TransER pipeline artifact `<publish_stem>.tera` in this directory
+  /// (atomic rename), where a serve::ModelRepository hot-swaps it in.
+  std::string publish_directory;
+  std::string publish_stem = "stream";
+  /// Test-only crash points, invoked with the entry sequence: after the
+  /// journal append is durable but before the state sees the entry, and
+  /// after the state applied it. The crash matrix SIGKILLs inside these.
+  std::function<void(uint64_t)> after_append_hook;
+  std::function<void(uint64_t)> after_apply_hook;
+};
+
+/// \brief Journaled streaming ER with bit-identical replay: the write-
+/// ahead loop `journal append (durable) -> apply -> periodic snapshot +
+/// journal compaction`, and the recovery `load snapshot -> replay
+/// journal tail` (DESIGN.md §11).
+///
+/// Crash contract: a SIGKILL (or torn write, or fsync failure) at ANY
+/// point leaves a state Open() recovers to exactly what an
+/// uninterrupted run reaches after the same acknowledged entries —
+/// verified by StreamResolver::StateDigest over the kill matrix in
+/// tests/stream_crash_test.cc. Records are acknowledged only after the
+/// journal fsync, so an acknowledged record is never lost and an
+/// unacknowledged one never half-applied.
+class StreamIngestor {
+ public:
+  /// Opens the directory and recovers: journal recovery (torn tail
+  /// truncated and reported as kCheckpointTailDropped), snapshot load
+  /// (corrupt snapshot falls back to a full journal replay when the
+  /// journal is uncompacted — kStreamSnapshotFallback — and fails
+  /// otherwise), then tail replay of every journal entry past the
+  /// snapshot's applied sequence.
+  static Result<StreamIngestor> Open(const StreamIngestorOptions& options,
+                                     RunDiagnostics* diagnostics = nullptr);
+
+  /// Ingests one record: assigns the next sequence, journals it
+  /// durably, applies it, and snapshots at the configured interval.
+  /// The record is acknowledged (OK) only after the journal fsync.
+  Status Ingest(const Record& record, RunDiagnostics* diagnostics = nullptr);
+
+  /// Snapshot + compact + publish now.
+  Status Snapshot(RunDiagnostics* diagnostics = nullptr);
+
+  const StreamResolver& resolver() const { return *resolver_; }
+  uint64_t applied_sequence() const { return resolver_->applied_sequence(); }
+  /// Journal entries replayed into the state during Open().
+  size_t replayed_entries() const { return replayed_; }
+  /// True when Open() recovered from a snapshot (vs a cold start).
+  bool recovered_from_snapshot() const { return from_snapshot_; }
+  size_t snapshot_count() const { return snapshots_; }
+
+  std::string journal_path() const;
+  std::string snapshot_path() const;
+  std::string publish_path() const;
+
+ private:
+  StreamIngestor(StreamIngestorOptions options, IngestJournal journal,
+                 StreamResolver resolver)
+      : options_(std::move(options)),
+        journal_(std::move(journal)),
+        resolver_(std::make_unique<StreamResolver>(std::move(resolver))) {}
+
+  StreamIngestorOptions options_;
+  IngestJournal journal_;
+  /// unique_ptr keeps the ingestor movable without requiring the
+  /// resolver (which holds std::function members) to be move-assignable.
+  std::unique_ptr<StreamResolver> resolver_;
+  size_t replayed_ = 0;
+  bool from_snapshot_ = false;
+  size_t snapshots_ = 0;
+};
+
+}  // namespace stream
+}  // namespace transer
+
+#endif  // TRANSER_STREAM_STREAM_INGESTOR_H_

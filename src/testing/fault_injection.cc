@@ -1,10 +1,15 @@
 #include "testing/fault_injection.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <sstream>
+
+#include "util/artifact_io.h"
 
 #include "util/logging.h"
 #include "util/random.h"
@@ -215,6 +220,51 @@ ScopedPartialWriteFault::~ScopedPartialWriteFault() {
 
 size_t ScopedPartialWriteFault::injected_failures() const {
   return GetPartialWriteFault().injected_failures;
+}
+
+namespace {
+
+/// Process-global fsync injection state, armed by ScopedFsyncFault.
+struct FsyncFaultState {
+  bool armed = false;
+  size_t syncs_until_fault = 0;
+  size_t injected_failures = 0;
+};
+
+FsyncFaultState& GetFsyncFault() {
+  static FsyncFaultState state;
+  return state;
+}
+
+int FailingFsync(int fd) {
+  FsyncFaultState& state = GetFsyncFault();
+  if (state.syncs_until_fault > 0) {
+    --state.syncs_until_fault;
+    return ::fsync(fd);
+  }
+  ++state.injected_failures;
+  errno = EIO;
+  return -1;
+}
+
+}  // namespace
+
+ScopedFsyncFault::ScopedFsyncFault(size_t fail_after_syncs) {
+  FsyncFaultState& state = GetFsyncFault();
+  TRANSER_CHECK(!state.armed);  // nested fsync faults are a test bug
+  state.armed = true;
+  state.syncs_until_fault = fail_after_syncs;
+  state.injected_failures = 0;
+  artifact::SetFsyncHookForTesting(&FailingFsync);
+}
+
+ScopedFsyncFault::~ScopedFsyncFault() {
+  artifact::SetFsyncHookForTesting(nullptr);
+  GetFsyncFault().armed = false;
+}
+
+size_t ScopedFsyncFault::injected_failures() const {
+  return GetFsyncFault().injected_failures;
 }
 
 Status WriteFileBytes(const std::string& path,

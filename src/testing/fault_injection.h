@@ -115,6 +115,27 @@ class ScopedPartialWriteFault {
   size_t injected_failures() const;
 };
 
+/// \brief Scoped fsync fault: while alive, every fsync the library
+/// issues through artifact::FsyncFd (artifact writes, journal appends,
+/// directory syncs after rename) fails with an EIO-style error after
+/// `fail_after_syncs` successful calls pass through (0 = fail from the
+/// first). Models a dying disk / filesystem that accepts writes but
+/// cannot make them durable — the regime in which a writer must report
+/// a write error rather than publish unsynced bytes. Same discipline as
+/// ScopedPartialWriteFault: process-global, single-threaded test setup
+/// only, at most one alive at a time (nested scopes CHECK-fail).
+class ScopedFsyncFault {
+ public:
+  explicit ScopedFsyncFault(size_t fail_after_syncs = 0);
+  ~ScopedFsyncFault();
+
+  ScopedFsyncFault(const ScopedFsyncFault&) = delete;
+  ScopedFsyncFault& operator=(const ScopedFsyncFault&) = delete;
+
+  /// fsync calls that hit the fault so far.
+  size_t injected_failures() const;
+};
+
 }  // namespace fault
 }  // namespace transer
 

@@ -35,6 +35,39 @@ const uint32_t* CrcTable() {
 
 }  // namespace
 
+namespace {
+
+FsyncFn g_fsync_hook = nullptr;
+
+}  // namespace
+
+FsyncFn SetFsyncHookForTesting(FsyncFn fn) {
+  FsyncFn previous = g_fsync_hook;
+  g_fsync_hook = fn;
+  return previous;
+}
+
+int FsyncFd(int fd) {
+  return g_fsync_hook != nullptr ? g_fsync_hook(fd) : ::fsync(fd);
+}
+
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + dir + " for fsync");
+  }
+  const int synced = FsyncFd(fd);
+  ::close(fd);
+  if (synced != 0) {
+    return Status::IoError("failed fsyncing directory " + dir);
+  }
+  return Status::OK();
+}
+
 uint32_t Crc32(const void* data, size_t size) {
   const uint32_t* table = CrcTable();
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
@@ -302,7 +335,11 @@ Status WriteArtifact(const std::string& path, const Header& header,
     }
     written += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  // A failed fsync means the kernel could not promise the bytes are on
+  // disk; surfacing it *before* the rename is what keeps the artifact at
+  // `path` trustworthy — renaming first would publish a file whose
+  // content might evaporate on power loss.
+  if (FsyncFd(fd) != 0) {
     ::close(fd);
     ::unlink(temp_path.c_str());
     return Status::IoError("failed fsyncing " + temp_path);
@@ -315,7 +352,10 @@ Status WriteArtifact(const std::string& path, const Header& header,
     ::unlink(temp_path.c_str());
     return Status::IoError("failed renaming " + temp_path + " over " + path);
   }
-  return Status::OK();
+  // The rename itself lives in the directory; without this sync a crash
+  // can forget the publish even though the file's bytes are safe. The
+  // artifact at `path` is complete either way, so the caller may retry.
+  return SyncParentDir(path);
 }
 
 Result<Artifact> ReadArtifact(const std::string& path) {

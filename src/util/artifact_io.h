@@ -23,6 +23,26 @@ inline constexpr char kMagic[4] = {'T', 'E', 'R', 'A'};
 /// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) of `size` bytes.
 uint32_t Crc32(const void* data, size_t size);
 
+/// The fsync implementation every artifact / journal writer in the
+/// library flushes through. Returns 0 on success, -1 with errno set on
+/// failure — the ::fsync contract.
+using FsyncFn = int (*)(int fd);
+
+/// Installs a replacement fsync (nullptr restores the real ::fsync) and
+/// returns the previous hook. Test-only: lets the fault-injection
+/// harness (fault::ScopedFsyncFault) prove that a failed flush surfaces
+/// as a write error instead of being swallowed before the rename that
+/// would publish unsynced bytes. Not thread-safe; install in
+/// single-threaded test setup only.
+FsyncFn SetFsyncHookForTesting(FsyncFn fn);
+
+/// fsync(fd) through the installed hook.
+int FsyncFd(int fd);
+
+/// fsyncs the directory containing `path`, making a preceding rename
+/// into that directory durable. IoError on failure.
+Status SyncParentDir(const std::string& path);
+
 /// Order-sensitive FNV-1a fingerprint of a feature schema (column count
 /// plus every column name). Two matrices agree on the fingerprint iff
 /// they present the same features in the same order — the compatibility

@@ -44,6 +44,12 @@ const char* DegradationKindName(DegradationKind kind) {
       return "serve_request_rejected";
     case DegradationKind::kServeArtifactRetried:
       return "serve_artifact_retried";
+    case DegradationKind::kStreamRecordQuarantined:
+      return "stream_record_quarantined";
+    case DegradationKind::kStreamSnapshotFallback:
+      return "stream_snapshot_fallback";
+    case DegradationKind::kStreamRefreshSkipped:
+      return "stream_refresh_skipped";
   }
   return "unknown";
 }

@@ -30,6 +30,9 @@ enum class DegradationKind {
   kServeClassifyOnly,     ///< serving: resolve degraded to classify-only
   kServeRequestRejected,  ///< serving: request rejected with structured error
   kServeArtifactRetried,  ///< serving: transient artifact load retried
+  kStreamRecordQuarantined,  ///< ingest: poison record isolated, stream went on
+  kStreamSnapshotFallback,   ///< ingest: snapshot unusable; full journal replay
+  kStreamRefreshSkipped,     ///< ingest: classifier refresh due but untrainable
 };
 
 /// Short identifier, e.g. "sel_threshold_relaxed".

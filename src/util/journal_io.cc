@@ -1,0 +1,330 @@
+#include "util/journal_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/artifact_io.h"
+#include "util/string_util.h"
+
+namespace transer {
+namespace journal {
+
+namespace {
+
+constexpr uint32_t kFrameFormatVersion = 1;
+constexpr size_t kHeaderBytes = 12;  // magic(4) + version(4) + crc(4)
+
+uint32_t ReadLe32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void PutLe32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+std::vector<uint8_t> EncodeHeader(const char magic[4]) {
+  std::vector<uint8_t> header(magic, magic + 4);
+  PutLe32(kFrameFormatVersion, &header);
+  PutLe32(artifact::Crc32(header.data(), header.size()), &header);
+  return header;
+}
+
+/// Writes `bytes` to `path` via temp + fsync + rename + dir fsync. The
+/// same publish discipline as artifact::WriteArtifact, reused for the
+/// journal header (creation) and full rewrites (compaction).
+Status WriteFileAtomically(const std::string& path,
+                           const std::vector<uint8_t>& bytes) {
+  const std::string temp_path = path + ".tmp";
+  const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + temp_path + " for writing");
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(temp_path.c_str());
+      return Status::IoError("failed writing " + temp_path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (artifact::FsyncFd(fd) != 0) {
+    ::close(fd);
+    ::unlink(temp_path.c_str());
+    return Status::IoError("failed fsyncing " + temp_path);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(temp_path.c_str());
+    return Status::IoError("failed closing " + temp_path);
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    ::unlink(temp_path.c_str());
+    return Status::IoError("failed renaming " + temp_path + " over " + path);
+  }
+  return artifact::SyncParentDir(path);
+}
+
+std::vector<uint8_t> EncodeFrame(std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(payload.size() + 8);
+  PutLe32(static_cast<uint32_t>(payload.size()), &frame);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  PutLe32(artifact::Crc32(payload.data(), payload.size()), &frame);
+  return frame;
+}
+
+}  // namespace
+
+Result<LineRecovery> RecoverJournalLines(
+    const std::string& path,
+    const std::function<Status(const std::string&)>& validate) {
+  LineRecovery recovery;
+  std::ifstream in(path);
+  if (!in.is_open()) return recovery;  // fresh journal
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) lines.push_back(line);
+  }
+  recovery.total_lines = lines.size();
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const Status parsed = validate(lines[i]);
+    if (parsed.ok()) {
+      recovery.lines.push_back(std::move(lines[i]));
+      continue;
+    }
+    // Only a torn *tail* is consistent with an append-only journal;
+    // damage earlier in the file means it is not ours (or was edited),
+    // and silently dropping completed entries would corrupt whatever
+    // the journal protects.
+    if (i + 1 != lines.size()) {
+      return Status::FailedPrecondition(StrFormat(
+          "journal %s: line %zu of %zu is corrupt (not just a torn "
+          "tail): %s",
+          path.c_str(), i + 1, lines.size(), parsed.message().c_str()));
+    }
+    recovery.tail_dropped = true;
+  }
+  return recovery;
+}
+
+FrameJournal::~FrameJournal() { Close(); }
+
+FrameJournal::FrameJournal(FrameJournal&& other) noexcept
+    : path_(std::move(other.path_)),
+      options_(other.options_),
+      fd_(other.fd_),
+      write_offset_(other.write_offset_),
+      frame_count_(other.frame_count_) {
+  other.fd_ = -1;
+}
+
+FrameJournal& FrameJournal::operator=(FrameJournal&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    fd_ = other.fd_;
+    write_offset_ = other.write_offset_;
+    frame_count_ = other.frame_count_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FrameJournal::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<FrameJournal> FrameJournal::Open(const std::string& path,
+                                        const char magic[4],
+                                        FrameRecovery* recovery,
+                                        const FrameJournalOptions& options) {
+  if (path.empty()) {
+    return Status::InvalidArgument("frame journal path is empty");
+  }
+  FrameRecovery local;
+  if (recovery == nullptr) recovery = &local;
+  *recovery = FrameRecovery{};
+
+  // Create a fresh journal atomically so a crash during creation never
+  // leaves a torn header behind.
+  if (::access(path.c_str(), F_OK) != 0) {
+    TRANSER_RETURN_IF_ERROR(WriteFileAtomically(path, EncodeHeader(magic)));
+  }
+
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("cannot open journal " + path);
+  }
+  FrameJournal out;
+  out.path_ = path;
+  out.options_ = options;
+  out.fd_ = fd;
+
+  // Read the whole file (journals the recovery path handles are the
+  // compacted tail, not unbounded history).
+  std::vector<uint8_t> file;
+  uint8_t buffer[1 << 16];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    file.insert(file.end(), buffer, buffer + n);
+  }
+  if (n < 0) {
+    return Status::IoError("failed reading journal " + path);
+  }
+
+  if (file.size() < kHeaderBytes) {
+    return Status::InvalidArgument(
+        path + " is too short to be a frame journal");
+  }
+  if (std::memcmp(file.data(), magic, 4) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s is not a '%.4s' journal", path.c_str(), magic));
+  }
+  if (artifact::Crc32(file.data(), 8) != ReadLe32(file.data() + 8)) {
+    return Status::InvalidArgument(path + ": journal header is corrupt");
+  }
+  const uint32_t version = ReadLe32(file.data() + 4);
+  if (version != kFrameFormatVersion) {
+    return Status::FailedPrecondition(StrFormat(
+        "%s: journal format version %u is not supported (this build "
+        "reads version %u)",
+        path.c_str(), version, kFrameFormatVersion));
+  }
+
+  // Frame scan. `good_end` advances over every intact frame; the first
+  // damaged frame ends the scan — as a truncatable tail if nothing
+  // follows it, as an error otherwise.
+  size_t offset = kHeaderBytes;
+  size_t good_end = kHeaderBytes;
+  while (offset < file.size()) {
+    bool torn = false;
+    if (file.size() - offset < 4) {
+      torn = true;  // not even a length field
+    } else {
+      const uint32_t length = ReadLe32(file.data() + offset);
+      if (length > options.max_frame_bytes ||
+          file.size() - offset - 4 < static_cast<size_t>(length) + 4) {
+        // The frame claims more bytes than exist (a mid-append crash,
+        // or a flipped length field — indistinguishable, and either way
+        // nothing after this point can be delimited).
+        torn = true;
+      } else {
+        const uint8_t* payload = file.data() + offset + 4;
+        const uint32_t stored_crc = ReadLe32(payload + length);
+        if (artifact::Crc32(payload, length) != stored_crc) {
+          // A complete frame whose CRC fails: torn only if it is the
+          // final frame (the fsync may not have covered its last
+          // bytes); with more data after it this is mid-file damage.
+          if (offset + 8 + length == file.size()) {
+            torn = true;
+          } else {
+            return Status::FailedPrecondition(StrFormat(
+                "%s: frame %zu is corrupt mid-journal (not just a torn "
+                "tail)",
+                path.c_str(), recovery->frames.size() + 1));
+          }
+        } else {
+          recovery->frames.emplace_back(payload, payload + length);
+          offset += 8 + static_cast<size_t>(length);
+          good_end = offset;
+          continue;
+        }
+      }
+    }
+    if (torn) {
+      recovery->tail_dropped = true;
+      recovery->dropped_bytes = file.size() - good_end;
+      break;
+    }
+  }
+
+  if (recovery->tail_dropped) {
+    // Persist the truncation so the torn bytes cannot shadow a later
+    // append, then make it durable before acknowledging recovery.
+    if (::ftruncate(fd, static_cast<off_t>(good_end)) != 0) {
+      return Status::IoError("failed truncating torn tail of " + path);
+    }
+    if (artifact::FsyncFd(fd) != 0) {
+      return Status::IoError("failed fsyncing truncated journal " + path);
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(good_end), SEEK_SET) < 0) {
+    return Status::IoError("failed seeking journal " + path);
+  }
+  out.write_offset_ = good_end;
+  out.frame_count_ = recovery->frames.size();
+  return out;
+}
+
+Status FrameJournal::Append(std::span<const uint8_t> payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  if (payload.size() > options_.max_frame_bytes) {
+    return Status::InvalidArgument(
+        StrFormat("journal frame of %zu bytes exceeds the %u-byte cap",
+                  payload.size(), options_.max_frame_bytes));
+  }
+  const std::vector<uint8_t> frame = EncodeFrame(payload);
+
+  // On any failure, truncate back to the previous durable prefix so the
+  // on-disk journal never acknowledges a frame the caller was told
+  // failed. ftruncate is best effort — if even that fails the next
+  // Open's torn-tail recovery removes the partial frame.
+  auto fail = [&](const std::string& what) {
+    (void)::ftruncate(fd_, static_cast<off_t>(write_offset_));
+    (void)::lseek(fd_, static_cast<off_t>(write_offset_), SEEK_SET);
+    return Status::IoError(what + " " + path_);
+  };
+
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n <= 0) return fail("failed appending to journal");
+    written += static_cast<size_t>(n);
+  }
+  if (artifact::FsyncFd(fd_) != 0) {
+    return fail("failed fsyncing journal");
+  }
+  write_offset_ += frame.size();
+  ++frame_count_;
+  return Status::OK();
+}
+
+Status FrameJournal::Rewrite(const std::string& path, const char magic[4],
+                             const std::vector<std::vector<uint8_t>>& frames,
+                             const FrameJournalOptions& options) {
+  std::vector<uint8_t> file = EncodeHeader(magic);
+  for (const std::vector<uint8_t>& payload : frames) {
+    if (payload.size() > options.max_frame_bytes) {
+      return Status::InvalidArgument(
+          StrFormat("journal frame of %zu bytes exceeds the %u-byte cap",
+                    payload.size(), options.max_frame_bytes));
+    }
+    const std::vector<uint8_t> frame = EncodeFrame(payload);
+    file.insert(file.end(), frame.begin(), frame.end());
+  }
+  return WriteFileAtomically(path, file);
+}
+
+}  // namespace journal
+}  // namespace transer

@@ -1,0 +1,133 @@
+#ifndef TRANSER_UTIL_JOURNAL_IO_H_
+#define TRANSER_UTIL_JOURNAL_IO_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace transer {
+namespace journal {
+
+/// \file
+/// The one torn-tail recovery discipline every append-only journal in
+/// the library shares (DESIGN.md §11). A journal on disk is always a
+/// well-formed prefix of what was written: a crash mid-append can at
+/// worst leave a damaged *trailing* entry, which recovery drops and
+/// truncates away. Damage anywhere *before* the tail is not consistent
+/// with the append protocol — it means the file was edited or belongs
+/// to someone else — and is an error rather than silent data loss.
+/// Both the line-based sweep checkpoint (core/sweep_checkpoint) and the
+/// binary CRC-framed ingest WAL (stream/ingest_journal) recover through
+/// the helpers here, so the policy cannot drift between them.
+
+// ---------------------------------------------------------------------
+// Line journals (one entry per text line; the entry format supplies its
+// own malformation check).
+
+/// \brief What line recovery found at `path`.
+struct LineRecovery {
+  std::vector<std::string> lines;  ///< well-formed entries, file order
+  size_t total_lines = 0;          ///< non-blank lines present pre-drop
+  bool tail_dropped = false;       ///< trailing corrupt line was dropped
+};
+
+/// Reads the line journal at `path` and validates every non-blank line
+/// with `validate` (non-OK = malformed). A missing file is an empty
+/// journal. Only the final line may be malformed (dropped and reported
+/// via `tail_dropped`); a malformed line with well-formed lines after
+/// it fails with FailedPrecondition. The file itself is not modified —
+/// callers persist the truncation by rewriting their journal.
+Result<LineRecovery> RecoverJournalLines(
+    const std::string& path,
+    const std::function<Status(const std::string&)>& validate);
+
+// ---------------------------------------------------------------------
+// Binary CRC-framed journals.
+
+/// \brief Frame-journal tuning knobs.
+struct FrameJournalOptions {
+  /// Frames larger than this are rejected on write and treated as
+  /// corruption on read (a flipped length field can claim anything).
+  uint32_t max_frame_bytes = 16u << 20;
+};
+
+/// \brief What FrameJournal::Open recovered from an existing file.
+struct FrameRecovery {
+  std::vector<std::vector<uint8_t>> frames;  ///< payloads, append order
+  bool tail_dropped = false;  ///< torn/corrupt tail truncated away
+  size_t dropped_bytes = 0;   ///< bytes removed by the truncation
+};
+
+/// \brief Append-only write-ahead journal of CRC-framed binary records.
+///
+/// Layout: a 12-byte header — 4-byte flavour magic, u32 format version,
+/// u32 CRC-32 of the first 8 bytes — then zero or more frames, each
+/// `u32 payload length | payload | u32 CRC-32(payload)`. All integers
+/// little-endian (the artifact_io Encoder discipline).
+///
+/// Durability contract: Append returns OK only after the frame is
+/// written *and* fsync'd, so an acknowledged record survives SIGKILL
+/// and power loss. A crash mid-append leaves a torn tail that the next
+/// Open truncates back to the last durable frame; a complete-but-CRC-
+/// corrupt frame *before* the end of the file fails Open instead (see
+/// the file comment). A fresh journal is created via write-temp-fsync-
+/// rename, so a crash during creation never leaves a half header.
+///
+/// Not thread-safe: one writer owns a journal (the ingest loop is
+/// single-writer by design; determinism comes from journal order).
+class FrameJournal {
+ public:
+  FrameJournal() = default;
+  ~FrameJournal();
+  FrameJournal(FrameJournal&& other) noexcept;
+  FrameJournal& operator=(FrameJournal&& other) noexcept;
+  FrameJournal(const FrameJournal&) = delete;
+  FrameJournal& operator=(const FrameJournal&) = delete;
+
+  /// Opens (creating if absent) the journal at `path` with the given
+  /// 4-byte flavour magic. Existing frames are recovered into
+  /// `recovery` (optional); a torn tail is truncated on disk before
+  /// returning. Wrong magic -> InvalidArgument; future format version
+  /// -> FailedPrecondition; mid-file corruption -> FailedPrecondition.
+  static Result<FrameJournal> Open(const std::string& path,
+                                   const char magic[4],
+                                   FrameRecovery* recovery = nullptr,
+                                   const FrameJournalOptions& options = {});
+
+  /// Appends one frame durably (write + fsync) before returning. On
+  /// any failure the file is truncated back to the previous durable
+  /// prefix (best effort) and the journal remains usable.
+  Status Append(std::span<const uint8_t> payload);
+
+  /// Atomically replaces the journal at `path` with a fresh header plus
+  /// `frames` (write-temp-fsync-rename). The compaction primitive: the
+  /// caller re-Opens afterwards. Any open FrameJournal on `path` must
+  /// be closed first.
+  static Status Rewrite(const std::string& path, const char magic[4],
+                        const std::vector<std::vector<uint8_t>>& frames,
+                        const FrameJournalOptions& options = {});
+
+  /// Closes the file descriptor (idempotent; the destructor closes too).
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  size_t frame_count() const { return frame_count_; }
+  size_t size_bytes() const { return write_offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  FrameJournalOptions options_;
+  int fd_ = -1;
+  size_t write_offset_ = 0;  ///< end of the durable well-formed prefix
+  size_t frame_count_ = 0;
+};
+
+}  // namespace journal
+}  // namespace transer
+
+#endif  // TRANSER_UTIL_JOURNAL_IO_H_

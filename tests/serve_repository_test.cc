@@ -105,7 +105,7 @@ TEST(ModelRepositoryTest, IndexesAndSelectsByFingerprint) {
   SaveStateOrDie(MakeState(kSchemaB, {}, true, 2), dir + "/b.tera");
 
   ModelRepository repository(FastOptions(dir));
-  const RefreshReport report = repository.Refresh();
+  const RefreshReport report = repository.ForceRescan();
   EXPECT_EQ(report.files_seen, 2u);
   EXPECT_EQ(report.loaded, 2u);
   EXPECT_EQ(repository.size(), 2u);
@@ -127,7 +127,7 @@ TEST(ModelRepositoryTest, PrefersTrainedCvAmongFingerprintMatches) {
   SaveStateOrDie(MakeState(kSchemaA, {}, true, 2), dir + "/full.tera");
 
   ModelRepository repository(FastOptions(dir));
-  repository.Refresh();
+  repository.ForceRescan();
   auto selected = repository.Select(kSchemaA, {});
   ASSERT_TRUE(selected.ok());
   EXPECT_EQ(selected.value().model->id, "full.tera");
@@ -140,7 +140,7 @@ TEST(ModelRepositoryTest, CentroidProbeServesForeignSchema) {
                  dir + "/profiled.tera");
 
   ModelRepository repository(FastOptions(dir));
-  repository.Refresh();
+  repository.ForceRescan();
 
   // Same width, different names, near-identical domain -> probe hit.
   auto near = repository.Select(kSchemaC, std::vector<double>{0.5, 0.5, 0.5});
@@ -164,13 +164,13 @@ TEST(ModelRepositoryTest, ProbeRespectsSimilarityFloor) {
   RepositoryOptions strict = FastOptions(dir);
   strict.min_probe_similarity = 0.9;
   ModelRepository strict_repository(strict);
-  strict_repository.Refresh();
+  strict_repository.ForceRescan();
   EXPECT_FALSE(strict_repository.Select(kSchemaC, request_centroid).ok());
 
   RepositoryOptions lenient = FastOptions(dir);
   lenient.min_probe_similarity = 0.5;
   ModelRepository lenient_repository(lenient);
-  lenient_repository.Refresh();
+  lenient_repository.ForceRescan();
   auto selected = lenient_repository.Select(kSchemaC, request_centroid);
   ASSERT_TRUE(selected.ok());
   EXPECT_GT(selected.value().probe_similarity, 0.6);
@@ -183,12 +183,12 @@ TEST(ModelRepositoryTest, HotReloadsChangedArtifact) {
   SaveStateOrDie(MakeState(kSchemaA, {}, true, 5), path);
 
   ModelRepository repository(FastOptions(dir));
-  repository.Refresh();
+  repository.ForceRescan();
   ASSERT_EQ(repository.size(), 1u);
   EXPECT_EQ(repository.Models()[0]->classifier_kind, "logistic_regression");
 
   // Unchanged file: the rescan must not re-read it.
-  const RefreshReport unchanged = repository.Refresh();
+  const RefreshReport unchanged = repository.ForceRescan();
   EXPECT_EQ(unchanged.unchanged, 1u);
   EXPECT_EQ(unchanged.loaded + unchanged.reloaded, 0u);
 
@@ -196,7 +196,7 @@ TEST(ModelRepositoryTest, HotReloadsChangedArtifact) {
   SaveStateOrDie(MakeState(kSchemaA, {}, true, 6, /*naive_bayes=*/true),
                  path);
   BumpMtime(path);
-  const RefreshReport swapped = repository.Refresh();
+  const RefreshReport swapped = repository.ForceRescan();
   EXPECT_EQ(swapped.reloaded, 1u);
   EXPECT_EQ(repository.Models()[0]->classifier_kind, "naive_bayes");
 }
@@ -207,10 +207,10 @@ TEST(ModelRepositoryTest, RemovesVanishedArtifacts) {
   SaveStateOrDie(MakeState(kSchemaB, {}, true, 8), dir + "/b.tera");
 
   ModelRepository repository(FastOptions(dir));
-  repository.Refresh();
+  repository.ForceRescan();
   ASSERT_EQ(repository.size(), 2u);
   fs::remove(dir + "/b.tera");
-  const RefreshReport report = repository.Refresh();
+  const RefreshReport report = repository.ForceRescan();
   EXPECT_EQ(report.removed, 1u);
   EXPECT_EQ(repository.size(), 1u);
   EXPECT_FALSE(repository.Select(kSchemaB, {}).ok());
@@ -219,7 +219,7 @@ TEST(ModelRepositoryTest, RemovesVanishedArtifacts) {
 TEST(ModelRepositoryTest, MissingDirectoryDegradesCleanly) {
   ModelRepository repository(
       FastOptions(::testing::TempDir() + "/repo_does_not_exist"));
-  const RefreshReport report = repository.Refresh();
+  const RefreshReport report = repository.ForceRescan();
   EXPECT_EQ(report.files_seen, 0u);
   EXPECT_TRUE(report.diagnostics.HasKind(
       DegradationKind::kModelArtifactRejected));
@@ -239,7 +239,7 @@ TEST(ModelRepositoryTest, CorruptArtifactQuarantinedAfterRetryBudget) {
   std::vector<double> sleeps;
   ModelRepository repository(FastOptions(dir),
                              [&](double ms) { sleeps.push_back(ms); });
-  const RefreshReport report = repository.Refresh();
+  const RefreshReport report = repository.ForceRescan();
 
   // The retry budget: 3 attempts, so exactly 2 exponential backoffs.
   ASSERT_EQ(sleeps.size(), 2u);
@@ -257,7 +257,7 @@ TEST(ModelRepositoryTest, CorruptArtifactQuarantinedAfterRetryBudget) {
   EXPECT_TRUE(repository.Select(kSchemaA, {}).ok());
 
   // An unchanged quarantined file is NOT re-probed: no new sleeps.
-  const RefreshReport again = repository.Refresh();
+  const RefreshReport again = repository.ForceRescan();
   EXPECT_EQ(again.still_quarantined, 1u);
   EXPECT_EQ(again.quarantined, 0u);
   EXPECT_EQ(sleeps.size(), 2u);
@@ -265,7 +265,7 @@ TEST(ModelRepositoryTest, CorruptArtifactQuarantinedAfterRetryBudget) {
   // Repairing the file (new mtime) lifts the quarantine.
   SaveStateOrDie(MakeState(kSchemaB, {}, true, 10), dir + "/bad.tera");
   BumpMtime(dir + "/bad.tera");
-  const RefreshReport repaired = repository.Refresh();
+  const RefreshReport repaired = repository.ForceRescan();
   EXPECT_EQ(repaired.loaded, 1u);
   EXPECT_EQ(repository.quarantined_count(), 0u);
   EXPECT_EQ(repository.size(), 2u);
@@ -297,7 +297,7 @@ TEST(ModelRepositoryTest, EnospcTornWriteGivesUpCleanly) {
   std::vector<double> sleeps;
   ModelRepository repository(FastOptions(dir),
                              [&](double ms) { sleeps.push_back(ms); });
-  const RefreshReport report = repository.Refresh();
+  const RefreshReport report = repository.ForceRescan();
 
   // The loader sees a torn container (transient class), burns exactly
   // its bounded budget, then gives up cleanly into quarantine.
@@ -309,7 +309,7 @@ TEST(ModelRepositoryTest, EnospcTornWriteGivesUpCleanly) {
   // Completing the write (as a recovered disk would) restores service.
   ASSERT_TRUE(fault::WriteFileBytes(path, full_bytes).ok());
   BumpMtime(path);
-  const RefreshReport recovered = repository.Refresh();
+  const RefreshReport recovered = repository.ForceRescan();
   EXPECT_EQ(recovered.loaded, 1u);
   EXPECT_EQ(repository.quarantined_count(), 0u);
   EXPECT_TRUE(repository.Select(kSchemaA, {}).ok());
@@ -336,7 +336,7 @@ TEST(ModelRepositoryTest, PermanentErrorsAreNotRetried) {
   std::vector<double> sleeps;
   ModelRepository repository(FastOptions(dir),
                              [&](double ms) { sleeps.push_back(ms); });
-  const RefreshReport report = repository.Refresh();
+  const RefreshReport report = repository.ForceRescan();
   EXPECT_EQ(sleeps.size(), 0u);
   EXPECT_EQ(report.quarantined, 1u);
   EXPECT_EQ(repository.size(), 0u);
@@ -367,6 +367,42 @@ TEST(RetryTest, StopsOnFirstNonRetryableStatus) {
       IsTransientArtifactError, [](double) {});
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRepositoryTest, MaybeRefreshIsDebouncedByTheRescanFloor) {
+  const std::string dir = MakeModelDir("debounce");
+  SaveStateOrDie(MakeState(kSchemaA, {}, true, 1), dir + "/a.tera");
+
+  RepositoryOptions options = FastOptions(dir);
+  // refresh_interval_seconds = 0 asks for "every call", but the floor
+  // still bounds how often per-request freshness checks can stat() the
+  // directory under load.
+  options.min_rescan_interval_seconds = 3600.0;
+  ModelRepository repository(options);
+
+  EXPECT_TRUE(repository.MaybeRefresh());  // first call always scans
+  EXPECT_EQ(repository.refresh_count(), 1u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(repository.MaybeRefresh());
+  }
+  EXPECT_EQ(repository.refresh_count(), 1u);
+
+  // ForceRescan bypasses the floor (tests, admin-triggered hot swaps).
+  repository.ForceRescan();
+  EXPECT_EQ(repository.refresh_count(), 2u);
+  EXPECT_FALSE(repository.MaybeRefresh());
+}
+
+TEST(ModelRepositoryTest, MaybeRefreshWithZeroFloorScansEveryCall) {
+  const std::string dir = MakeModelDir("debounce_zero");
+  SaveStateOrDie(MakeState(kSchemaA, {}, true, 1), dir + "/a.tera");
+
+  RepositoryOptions options = FastOptions(dir);
+  options.min_rescan_interval_seconds = 0.0;
+  ModelRepository repository(options);
+  EXPECT_TRUE(repository.MaybeRefresh());
+  EXPECT_TRUE(repository.MaybeRefresh());
+  EXPECT_EQ(repository.refresh_count(), 2u);
 }
 
 }  // namespace

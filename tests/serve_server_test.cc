@@ -90,7 +90,10 @@ Request MakeDataRequest(const TransferPair& pair, RequestOp op) {
 ServerOptions MakeOptions(const std::string& dir) {
   ServerOptions options;
   options.repository.directory = dir;
+  // Tests exercise hot-add immediately, so disable both the refresh
+  // interval and the debounce floor that production keeps.
   options.repository.refresh_interval_seconds = 0.0;
+  options.repository.min_rescan_interval_seconds = 0.0;
   return options;
 }
 
