@@ -39,7 +39,7 @@ int Main(int argc, char** argv) {
   const bench::Flags flags(argc, argv,
                            {"scale", "seed", "time-limit",
                             "memory-limit-mb", "checkpoint", "threads",
-                            "skip-speedup", "warm-start"});
+                            "skip-speedup", "warm-start", "sparse"});
   const int threads = bench::ConfigureThreads(flags);
   bench::BenchReport bench_report("table3", threads);
   ScenarioScale scale;
@@ -50,6 +50,9 @@ int Main(int argc, char** argv) {
   run_options.memory_limit_bytes =
       static_cast<size_t>(flags.GetInt("memory-limit-mb", 64)) << 20;
   run_options.seed = scale.seed;
+  // --sparse=true trains the linear classifiers of the suite through the
+  // CSR feature path (others fall back dense with a diagnostics event).
+  run_options.sparse_features = flags.GetBool("sparse", false);
 
   SetLogLevel(LogLevel::kError);
   std::printf(

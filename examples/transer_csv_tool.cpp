@@ -8,9 +8,15 @@
 //       [--tc=0.9] [--tl=0.9] [--tp=0.99] [--k=7] [--b=3]
 //       [--on-error=strict|skip|repair]
 //       [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]
-//       [--threads=<N>]
+//       [--threads=<N>] [--sparse]
 //       [--save-model=model.tera] [--load-model=model.tera]
 //       [--version]
+//
+// --sparse trains through the sparse feature path: instance rows are
+// held as CSR (zeros dropped), the classifier — restricted to lr or svm,
+// the families with a sparse fit — uses the second-order L-BFGS solver,
+// and snapshots store culled sparse weights. Decisions agree with the
+// dense path within solver tolerance.
 //
 // --threads sets the worker-lane count for the parallel hot paths
 // (pair comparison, kNN, ensemble training); 0 or absent means the
@@ -103,7 +109,32 @@ void RequireUnitInterval(const std::string& name, double value) {
   }
 }
 
-ClassifierFactory MakeFactory(const std::string& name) {
+ClassifierFactory MakeFactory(const std::string& name, bool sparse) {
+  if (sparse) {
+    // The sparse feature path needs a classifier with a sparse fit; the
+    // linear families get the L-BFGS solver (few passes instead of
+    // hundreds of epochs) and culled sparse snapshot weights.
+    if (name == "lr") {
+      return []() -> std::unique_ptr<Classifier> {
+        LogisticRegressionOptions options;
+        options.solver = LinearSolver::kLbfgs;
+        options.save_cull_epsilon = 1e-8;
+        return std::make_unique<LogisticRegression>(options);
+      };
+    }
+    if (name == "svm") {
+      return []() -> std::unique_ptr<Classifier> {
+        LinearSvmOptions options;
+        options.solver = LinearSolver::kLbfgs;
+        options.save_cull_epsilon = 1e-8;
+        return std::make_unique<LinearSvm>(options);
+      };
+    }
+    std::fprintf(stderr,
+                 "--sparse requires --classifier=lr or svm (got '%s')\n",
+                 name.c_str());
+    std::exit(2);
+  }
   if (name == "rf") {
     return []() -> std::unique_ptr<Classifier> {
       return std::make_unique<RandomForest>();
@@ -163,9 +194,13 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "    [--tc=0.9] [--tl=0.9] [--tp=0.99] [--k=7] [--b=3]\n"
       "    [--on-error=strict|skip|repair]\n"
       "    [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]\n"
-      "    [--threads=<N>]\n"
+      "    [--threads=<N>] [--sparse]\n"
       "    [--save-model=model.tera] [--load-model=model.tera]\n"
       "    [--version]\n"
+      "\n"
+      "--sparse trains through the CSR sparse feature path with the\n"
+      "L-BFGS solver and culled sparse snapshot weights; requires\n"
+      "--classifier=lr (the default under --sparse) or svm.\n"
       "\n"
       "--threads sets the worker-lane count for the parallel hot paths;\n"
       "0 (the default) uses the hardware width. Predictions are\n"
@@ -275,10 +310,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "--b=%g is invalid: must be > 0\n", options.b);
     return 2;
   }
-  const ClassifierFactory factory =
-      MakeFactory(GetFlag(argc, argv, "classifier", "rf"));
+  const bool sparse = HasFlag(argc, argv, "sparse");
+  const ClassifierFactory factory = MakeFactory(
+      GetFlag(argc, argv, "classifier", sparse ? "lr" : "rf"), sparse);
 
   TransferRunOptions run_options;
+  run_options.sparse_features = sparse;
   run_options.time_limit_seconds =
       GetDoubleFlag(argc, argv, "time-limit-s", 0.0);
   if (run_options.time_limit_seconds < 0.0) {

@@ -24,9 +24,17 @@
 //   --soak --target=CSV [--clients=4] [--requests=50] [--rows=32]
 //          [--corrupt-rate=0.15] [--oversize-rate=0.05]
 //          [--tiny-deadline-rate=0.15] [--seed=1]
+//          [--swap-src=FILE --swap-dst=FILE [--swap-delay-ms=200]]
 //                              concurrent mixed-traffic soak: valid,
 //                              byte-flipped and oversized frames plus
-//                              near-zero deadlines; prints "SOAK <json>"
+//                              near-zero deadlines; prints "SOAK <json>".
+//                              --swap-src/--swap-dst atomically replace
+//                              the artifact at DST with SRC mid-soak
+//                              (e.g. a dense model with its sparse-culled
+//                              retrain) so the repository hot-swap is
+//                              exercised under live traffic; the soak
+//                              still demands zero lost well-formed
+//                              requests across the swap
 //
 // Exit codes: 0 success (soak: every well-formed request answered),
 // 1 transport/load failure, 2 invalid flags, 4 request rejected
@@ -39,6 +47,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -506,6 +515,40 @@ void SoakClient(const std::string& socket_path, const FeatureMatrix& matrix,
   if (fd >= 0) ::close(fd);
 }
 
+/// Atomically replaces the artifact at `dst` with the bytes of `src`
+/// (tmp file + rename, the repository's own update idiom), after
+/// waiting `delay_ms` so traffic is in flight when the swap lands.
+bool SwapArtifact(const std::string& src, const std::string& dst,
+                  int64_t delay_ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  std::FILE* in = std::fopen(src.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "swap: cannot read %s\n", src.c_str());
+    return false;
+  }
+  const std::string tmp = dst + ".swap.tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    std::fclose(in);
+    std::fprintf(stderr, "swap: cannot write %s\n", tmp.c_str());
+    return false;
+  }
+  uint8_t buffer[1 << 16];
+  size_t got = 0;
+  bool wrote_ok = true;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    wrote_ok &= std::fwrite(buffer, 1, got, out) == got;
+  }
+  std::fclose(in);
+  wrote_ok &= std::fclose(out) == 0;
+  if (!wrote_ok || std::rename(tmp.c_str(), dst.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    std::fprintf(stderr, "swap: cannot replace %s\n", dst.c_str());
+    return false;
+  }
+  return true;
+}
+
 int RunSoak(int argc, char** argv, const std::string& socket_path) {
   bool flags_ok = true;
   const std::string target_path = GetFlag(argc, argv, "target", "");
@@ -523,8 +566,15 @@ int RunSoak(int argc, char** argv, const std::string& socket_path) {
       GetDoubleFlag(argc, argv, "tiny-deadline-rate", 0.15, &flags_ok);
   const uint64_t seed = static_cast<uint64_t>(
       GetIntFlag(argc, argv, "seed", 1, &flags_ok));
-  if (!flags_ok || target_path.empty() || clients <= 0 || requests <= 0) {
-    std::fprintf(stderr, "--soak needs --target=CSV (and sane counts)\n");
+  const std::string swap_src = GetFlag(argc, argv, "swap-src", "");
+  const std::string swap_dst = GetFlag(argc, argv, "swap-dst", "");
+  const int64_t swap_delay_ms =
+      GetIntFlag(argc, argv, "swap-delay-ms", 200, &flags_ok);
+  if (!flags_ok || target_path.empty() || clients <= 0 || requests <= 0 ||
+      swap_src.empty() != swap_dst.empty() || swap_delay_ms < 0) {
+    std::fprintf(stderr,
+                 "--soak needs --target=CSV (and sane counts; --swap-src "
+                 "and --swap-dst come together)\n");
     return 2;
   }
   auto loaded = FeatureMatrix::FromCsvFile(target_path);
@@ -538,6 +588,16 @@ int RunSoak(int argc, char** argv, const std::string& socket_path) {
   std::vector<SoakCounters> counters(static_cast<size_t>(clients));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(clients));
+  // The swap thread (if requested) races the client traffic on purpose:
+  // the artifact under the server's feet is replaced while requests are
+  // in flight, and the soak still demands zero lost well-formed requests.
+  const bool swap_enabled = !swap_src.empty();
+  bool swap_ok = true;
+  std::thread swapper;
+  if (swap_enabled) {
+    swapper = std::thread(
+        [&] { swap_ok = SwapArtifact(swap_src, swap_dst, swap_delay_ms); });
+  }
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       SoakClient(socket_path, matrix, limits, requests, rows, corrupt_rate,
@@ -547,6 +607,7 @@ int RunSoak(int argc, char** argv, const std::string& socket_path) {
     });
   }
   for (std::thread& thread : threads) thread.join();
+  if (swapper.joinable()) swapper.join();
 
   SoakCounters total;
   for (const SoakCounters& c : counters) {
@@ -559,16 +620,18 @@ int RunSoak(int argc, char** argv, const std::string& socket_path) {
   }
   std::printf(
       "SOAK {\"sent\":%llu,\"ok\":%llu,\"degraded\":%llu,\"rejected\":%llu,"
-      "\"transport_resets\":%llu,\"lost_valid\":%llu}\n",
+      "\"transport_resets\":%llu,\"lost_valid\":%llu,\"swapped\":%d}\n",
       static_cast<unsigned long long>(total.sent),
       static_cast<unsigned long long>(total.ok),
       static_cast<unsigned long long>(total.degraded),
       static_cast<unsigned long long>(total.rejected),
       static_cast<unsigned long long>(total.transport_resets),
-      static_cast<unsigned long long>(total.lost_valid));
+      static_cast<unsigned long long>(total.lost_valid),
+      swap_enabled && swap_ok ? 1 : 0);
   // Every well-formed request must have been answered with a decodable
   // response; corrupted frames may legitimately cost their connection.
-  return total.lost_valid == 0 && total.sent > 0 ? 0 : 1;
+  // When a swap was requested, it must also have landed.
+  return total.lost_valid == 0 && total.sent > 0 && swap_ok ? 0 : 1;
 }
 
 int Main(int argc, char** argv) {

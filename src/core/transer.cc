@@ -395,8 +395,9 @@ Result<std::vector<int>> TransER::RunWithReport(
     context.BeginStage("gen");
     snap.classifier_u = make_classifier();
     snap.classifier_u->set_execution_context(&context);
-    snap.classifier_u->Fit(transferred.ToMatrix(),
-                           transfer_internal::RequireLabels(transferred));
+    FitClassifierWithRunOptions(snap.classifier_u.get(), transferred,
+                                transfer_internal::RequireLabels(transferred),
+                                /*weights=*/{}, run_options);
     // An interrupted Fit stops early with a partial model; surface the
     // TE / cancellation status rather than predict from it.
     TRANSER_RETURN_IF_ERROR(context.Check("transer", budget_diag));
@@ -474,7 +475,8 @@ Result<std::vector<int>> TransER::RunWithReport(
 
   snap.classifier_v = make_classifier();
   snap.classifier_v->set_execution_context(&context);
-  snap.classifier_v->Fit(x_vb.ToMatrix(), x_vb.labels());
+  FitClassifierWithRunOptions(snap.classifier_v.get(), x_vb, x_vb.labels(),
+                              /*weights=*/{}, run_options);
   TRANSER_RETURN_IF_ERROR(context.Check("transer", budget_diag));
   local_report.tcl_trained = true;
   // Snapshot of record now carries C^V: later runs serve directly.

@@ -1,0 +1,236 @@
+#include "features/sparse_matrix.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transer {
+
+namespace {
+
+bool IsValidLabel(int label) {
+  return label == kMatch || label == kNonMatch || label == kUnlabeled;
+}
+
+}  // namespace
+
+SparseFeatureMatrix::SparseFeatureMatrix(size_t num_features,
+                                         std::vector<std::string> feature_names)
+    : num_features_(num_features), feature_names_(std::move(feature_names)) {
+  TRANSER_CHECK(feature_names_.empty() ||
+                feature_names_.size() == num_features_);
+}
+
+void SparseFeatureMatrix::AppendRow(std::span<const uint32_t> indices,
+                                    std::span<const double> values, int label,
+                                    PairRef ref) {
+  TRANSER_CHECK_EQ(indices.size(), values.size());
+  indices_.insert(indices_.end(), indices.begin(), indices.end());
+  values_.insert(values_.end(), values.begin(), values.end());
+  row_offsets_.push_back(indices_.size());
+  labels_.push_back(label);
+  pairs_.push_back(ref);
+}
+
+void SparseFeatureMatrix::Reserve(size_t rows, size_t nnz) {
+  row_offsets_.reserve(rows + 1);
+  indices_.reserve(nnz);
+  values_.reserve(nnz);
+  labels_.reserve(rows);
+  pairs_.reserve(rows);
+}
+
+SparseFeatureMatrix SparseFeatureMatrix::Select(
+    const std::vector<size_t>& rows) const {
+  SparseFeatureMatrix out(num_features_, feature_names_);
+  size_t nnz = 0;
+  for (size_t i : rows) nnz += row_offsets_[i + 1] - row_offsets_[i];
+  out.Reserve(rows.size(), nnz);
+  for (size_t i : rows) {
+    const RowView row = Row(i);
+    out.AppendRow(row.indices, row.values, labels_[i], pairs_[i]);
+  }
+  return out;
+}
+
+size_t SparseFeatureMatrix::MemoryBytes() const {
+  return row_offsets_.size() * sizeof(size_t) +
+         indices_.size() * sizeof(uint32_t) +
+         values_.size() * sizeof(double) + labels_.size() * sizeof(int) +
+         pairs_.size() * sizeof(PairRef);
+}
+
+SparseFeatureMatrix SparseFeatureMatrix::FromDense(const FeatureMatrix& dense) {
+  SparseFeatureMatrix out(dense.num_features(), dense.feature_names());
+  std::vector<uint32_t> indices;
+  std::vector<double> values;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    const std::span<const double> row = dense.Row(i);
+    indices.clear();
+    values.clear();
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c] != 0.0) {
+        indices.push_back(static_cast<uint32_t>(c));
+        values.push_back(row[c]);
+      }
+    }
+    out.AppendRow(indices, values, dense.label(i), dense.pair(i));
+  }
+  return out;
+}
+
+FeatureMatrix SparseFeatureMatrix::ToDense() const {
+  std::vector<std::string> names = feature_names_;
+  if (names.empty()) {
+    names.reserve(num_features_);
+    for (size_t c = 0; c < num_features_; ++c) {
+      names.push_back(StrFormat("f%zu", c));
+    }
+  }
+  FeatureMatrix out(std::move(names));
+  out.Resize(size());
+  for (size_t i = 0; i < size(); ++i) {
+    const RowView row = Row(i);
+    const std::span<double> dense = out.MutableRow(i);
+    for (size_t k = 0; k < row.indices.size(); ++k) {
+      dense[row.indices[k]] = row.values[k];
+    }
+    out.set_label(i, labels_[i]);
+    out.set_pair(i, pairs_[i]);
+  }
+  return out;
+}
+
+Result<SparseFeatureMatrix> SparseFeatureMatrix::Validate(
+    const ValidationOptions& options, ValidationReport* report,
+    RunDiagnostics* diagnostics) const {
+  ValidationReport local_report;
+  local_report.rows_checked = size();
+
+  // Rows with index-structure faults can never be repaired (the kernels'
+  // merge walks would be UB on them); value faults are clampable.
+  std::vector<bool> row_structural(size(), false);
+  std::vector<bool> row_bad(size(), false);
+  SparseFeatureMatrix repaired;
+  const bool clamp = options.policy == RepairPolicy::kClampValues;
+  if (clamp) repaired = *this;
+
+  for (size_t i = 0; i < size(); ++i) {
+    const RowView row = Row(i);
+    uint32_t prev = 0;
+    for (size_t k = 0; k < row.indices.size(); ++k) {
+      const uint32_t col = row.indices[k];
+      if (col >= num_features_) {
+        local_report.AddIssue(
+            i, col,
+            StrFormat("row %zu: column index %u out of range (%zu features)",
+                      i, col, num_features_),
+            options.max_issues);
+        ++local_report.out_of_range_values;
+        row_structural[i] = true;
+        row_bad[i] = true;
+      } else if (k > 0 && col <= prev) {
+        local_report.AddIssue(
+            i, col,
+            StrFormat("row %zu: column index %u not strictly increasing "
+                      "after %u",
+                      i, col, prev),
+            options.max_issues);
+        ++local_report.out_of_range_values;
+        row_structural[i] = true;
+        row_bad[i] = true;
+      }
+      prev = col;
+
+      const double v = row.values[k];
+      if (options.require_finite && !std::isfinite(v)) {
+        ++local_report.nonfinite_values;
+        local_report.AddIssue(
+            i, col, StrFormat("row %zu col %u: non-finite value", i, col),
+            options.max_issues);
+        row_bad[i] = true;
+        if (clamp) {
+          repaired.values_[row_offsets_[i] + k] =
+              std::isnan(v) ? 0.0 : (v > 0.0 ? 1.0 : 0.0);
+          ++local_report.values_repaired;
+        }
+      } else if (options.check_unit_interval && (v < 0.0 || v > 1.0)) {
+        ++local_report.out_of_range_values;
+        local_report.AddIssue(
+            i, col,
+            StrFormat("row %zu col %u: value %g outside [0, 1]", i, col, v),
+            options.max_issues);
+        row_bad[i] = true;
+        if (clamp) {
+          repaired.values_[row_offsets_[i] + k] = v < 0.0 ? 0.0 : 1.0;
+          ++local_report.values_repaired;
+        }
+      }
+    }
+    if (options.check_label_domain && !IsValidLabel(labels_[i])) {
+      ++local_report.bad_labels;
+      local_report.AddIssue(
+          i, num_features_,
+          StrFormat("row %zu: label %d out of domain", i, labels_[i]),
+          options.max_issues);
+      row_bad[i] = true;
+      if (clamp) {
+        repaired.labels_[i] = kUnlabeled;
+        ++local_report.values_repaired;
+      }
+    }
+  }
+
+  auto finish = [&](SparseFeatureMatrix matrix) -> Result<SparseFeatureMatrix> {
+    if (diagnostics != nullptr && !local_report.clean()) {
+      if (local_report.rows_dropped > 0) {
+        diagnostics->Add(DegradationKind::kSparseRowsDropped, "validate",
+                         local_report.Summary(), 0.0,
+                         static_cast<double>(local_report.rows_dropped));
+      }
+      if (local_report.values_repaired > 0) {
+        diagnostics->Add(DegradationKind::kValuesRepaired, "validate",
+                         local_report.Summary(), 0.0,
+                         static_cast<double>(local_report.values_repaired));
+      }
+    }
+    if (report != nullptr) *report = std::move(local_report);
+    return matrix;
+  };
+
+  if (local_report.clean()) return finish(*this);
+
+  switch (options.policy) {
+    case RepairPolicy::kStrict: {
+      const std::string summary = local_report.Summary();
+      if (report != nullptr) *report = std::move(local_report);
+      return Status::InvalidArgument(
+          "sparse feature matrix failed validation: " + summary);
+    }
+    case RepairPolicy::kDropRows: {
+      std::vector<size_t> keep;
+      keep.reserve(size());
+      for (size_t i = 0; i < size(); ++i) {
+        if (!row_bad[i]) keep.push_back(i);
+      }
+      local_report.rows_dropped = size() - keep.size();
+      return finish(Select(keep));
+    }
+    case RepairPolicy::kClampValues: {
+      // Structurally broken rows still have to go; drop them from the
+      // value-repaired copy.
+      std::vector<size_t> keep;
+      keep.reserve(size());
+      for (size_t i = 0; i < size(); ++i) {
+        if (!row_structural[i]) keep.push_back(i);
+      }
+      local_report.rows_dropped = size() - keep.size();
+      return finish(repaired.Select(keep));
+    }
+  }
+  return Status::Internal("unreachable repair policy");
+}
+
+}  // namespace transer

@@ -1,0 +1,81 @@
+#include "ml/feature_view.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+
+namespace transer {
+
+namespace {
+
+/// Per-chunk accumulator of the ordered reduction. Each chunk owns a
+/// full-width gradient, so memory is bounded by capping the chunk count
+/// (see below) rather than letting PlanChunks fan out to 256 partials
+/// of 2^20 doubles each.
+struct LossGradPart {
+  std::vector<double> grad;
+  double grad_bias = 0.0;
+  double loss = 0.0;
+};
+
+constexpr size_t kMaxGradChunks = 16;
+
+}  // namespace
+
+Result<double> WeightedLinearLossGrad(
+    const FeatureView& x, const std::vector<int>& y,
+    const std::vector<double>& sample_weights, std::span<const double> w,
+    double bias, LinearRowLoss row_loss, std::span<double> grad,
+    double* grad_bias, const ExecutionContext& context, int num_threads) {
+  const size_t n = x.rows();
+  const size_t m = x.cols();
+  TRANSER_CHECK_EQ(w.size(), m);
+  TRANSER_CHECK_EQ(grad.size(), m);
+  TRANSER_CHECK_EQ(y.size(), n);
+  TRANSER_CHECK(sample_weights.empty() || sample_weights.size() == n);
+  *grad_bias = 0.0;
+  if (n == 0) return 0.0;
+
+  ParallelOptions parallel_options;
+  parallel_options.num_threads = num_threads;
+  parallel_options.min_items_per_chunk =
+      std::max(size_t{1}, (n + kMaxGradChunks - 1) / kMaxGradChunks);
+
+  LossGradPart init;
+  init.grad.assign(m, 0.0);
+  auto reduced = ParallelReduce<LossGradPart>(
+      context, "linear_loss_grad", n, std::move(init),
+      [&](size_t begin, size_t end, size_t /*chunk*/,
+          LossGradPart* part) -> Status {
+        const std::span<double> pg(part->grad.data(), m);
+        for (size_t i = begin; i < end; ++i) {
+          const double margin = bias + x.RowDot(i, w);
+          const double sw = sample_weights.empty() ? 1.0 : sample_weights[i];
+          double dmargin = 0.0;
+          part->loss += row_loss(margin, y[i], sw, &dmargin);
+          if (dmargin != 0.0) {
+            x.RowAxpy(i, dmargin, pg);
+            part->grad_bias += dmargin;
+          }
+        }
+        return Status::OK();
+      },
+      [](LossGradPart* into, LossGradPart* part) {
+        into->loss += part->loss;
+        into->grad_bias += part->grad_bias;
+        kernels::AddInPlace(std::span<double>(into->grad.data(),
+                                              into->grad.size()),
+                            std::span<const double>(part->grad.data(),
+                                                    part->grad.size()));
+      },
+      parallel_options);
+  TRANSER_RETURN_IF_ERROR(reduced.status());
+
+  const LossGradPart& total = reduced.value();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t j = 0; j < m; ++j) grad[j] = total.grad[j] * inv_n;
+  *grad_bias = total.grad_bias * inv_n;
+  return total.loss * inv_n;
+}
+
+}  // namespace transer

@@ -1,0 +1,98 @@
+#ifndef TRANSER_ML_FEATURE_VIEW_H_
+#define TRANSER_ML_FEATURE_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "features/sparse_matrix.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "util/execution_context.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief Non-owning view over either instance representation — the
+/// bridge that lets LinearSvm / LogisticRegression fit and score dense
+/// Matrix rows and CSR SparseFeatureMatrix rows through one code path.
+///
+/// Cross-representation determinism: every row operation funnels into
+/// the fixed-order kernels, and SparseDenseDot / SparseAxpy are
+/// bit-identical to Dot / Axpy when a CSR row enumerates every column
+/// (kernels.h), so a dense matrix and its full CSR view train to
+/// bit-identical weights under the deterministic solvers.
+class FeatureView {
+ public:
+  explicit FeatureView(const Matrix& dense) : dense_(&dense) {}
+  explicit FeatureView(const SparseFeatureMatrix& sparse) : sparse_(&sparse) {}
+
+  bool sparse() const { return sparse_ != nullptr; }
+  size_t rows() const { return sparse_ ? sparse_->size() : dense_->rows(); }
+  size_t cols() const {
+    return sparse_ ? sparse_->num_features() : dense_->cols();
+  }
+
+  /// The underlying dense matrix; CHECKs unless !sparse().
+  const Matrix& dense_matrix() const {
+    TRANSER_CHECK(dense_ != nullptr);
+    return *dense_;
+  }
+  /// The underlying CSR matrix; CHECKs unless sparse().
+  const SparseFeatureMatrix& sparse_matrix() const {
+    TRANSER_CHECK(sparse_ != nullptr);
+    return *sparse_;
+  }
+
+  /// row_i · w through the representation-matched kernel.
+  double RowDot(size_t i, std::span<const double> w) const {
+    if (sparse_) {
+      const SparseFeatureMatrix::RowView row = sparse_->Row(i);
+      return kernels::SparseDenseDot(row.indices, row.values, w);
+    }
+    return kernels::Dot(
+        std::span<const double>(dense_->Row(i), dense_->cols()), w);
+  }
+
+  /// y += s * row_i through the representation-matched kernel.
+  void RowAxpy(size_t i, double s, std::span<double> y) const {
+    if (sparse_) {
+      const SparseFeatureMatrix::RowView row = sparse_->Row(i);
+      kernels::SparseAxpy(s, row.indices, row.values, y);
+      return;
+    }
+    kernels::Axpy(s, std::span<const double>(dense_->Row(i), dense_->cols()),
+                  y);
+  }
+
+ private:
+  const Matrix* dense_ = nullptr;
+  const SparseFeatureMatrix* sparse_ = nullptr;
+};
+
+/// Per-row loss of a weighted linear objective: returns the loss term of
+/// one instance given its margin, 0/1 label and sample weight, and
+/// writes d(loss)/d(margin) to `dmargin`.
+using LinearRowLoss = double (*)(double margin, int label, double sample_w,
+                                 double* dmargin);
+
+/// \brief Mean weighted loss and gradient of a linear model over a view:
+///   f(w, b) = (1/n) Σ_i loss(b + row_i·w, y_i, sw_i)
+/// with ∂f/∂w accumulated into `grad` (pre-zeroed, length cols) and
+/// ∂f/∂b into `*grad_bias`. Regularisation is the caller's business.
+///
+/// Rows are accumulated with an ordered ParallelReduce over a chunk
+/// plan that is independent of the thread count, so the returned loss
+/// and gradient are bit-identical at any parallelism (the 1/8-thread
+/// invariance contract of the sparse tests). Budget/cancellation errors
+/// from the context propagate as a non-OK status.
+Result<double> WeightedLinearLossGrad(
+    const FeatureView& x, const std::vector<int>& y,
+    const std::vector<double>& sample_weights, std::span<const double> w,
+    double bias, LinearRowLoss row_loss, std::span<double> grad,
+    double* grad_bias, const ExecutionContext& context, int num_threads);
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_FEATURE_VIEW_H_

@@ -1,0 +1,171 @@
+#include "ml/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "linalg/kernels.h"
+#include "util/logging.h"
+
+namespace transer {
+
+namespace {
+
+double MaxNorm(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+bool Interrupted(const ExecutionContext* context) {
+  return context != nullptr && context->Interrupted();
+}
+
+/// One (s, y) curvature pair of the two-loop recursion.
+struct CurvaturePair {
+  std::vector<double> s;
+  std::vector<double> y;
+  double rho = 0.0;  ///< 1 / (y·s)
+};
+
+}  // namespace
+
+LbfgsResult MinimizeLbfgs(const LbfgsOptions& options,
+                          const ExecutionContext* context,
+                          std::span<double> w,
+                          const LbfgsObjective& objective) {
+  LbfgsResult result;
+  const size_t m = w.size();
+  std::vector<double> grad(m, 0.0);
+
+  auto evaluate = [&](std::span<const double> at,
+                      std::span<double> g) -> Result<double> {
+    std::fill(g.begin(), g.end(), 0.0);
+    ++result.evaluations;
+    return objective(at, g);
+  };
+
+  auto f0 = evaluate(w, grad);
+  if (!f0.ok()) {
+    result.interrupted = true;
+    return result;
+  }
+  double f = f0.value();
+  result.objective = f;
+
+  std::deque<CurvaturePair> history;
+  std::vector<double> direction(m), trial(m), trial_grad(m, 0.0);
+  std::vector<double> alpha;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (Interrupted(context)) {
+      result.interrupted = true;
+      return result;
+    }
+    const double gnorm = MaxNorm(grad);
+    if (gnorm <= options.tolerance * std::max(1.0, MaxNorm(w))) {
+      result.converged = true;
+      return result;
+    }
+
+    // Two-loop recursion: direction = -H * grad.
+    direction.assign(grad.begin(), grad.end());
+    alpha.assign(history.size(), 0.0);
+    for (size_t k = history.size(); k-- > 0;) {
+      const CurvaturePair& pair = history[k];
+      alpha[k] = pair.rho * kernels::Dot(pair.s, direction);
+      kernels::Axpy(-alpha[k], pair.y, direction);
+    }
+    if (!history.empty()) {
+      // Initial Hessian scaling gamma = (s·y) / (y·y) of the newest pair.
+      const CurvaturePair& last = history.back();
+      const double yy = kernels::Dot(last.y, last.y);
+      if (yy > 0.0) {
+        kernels::ScaleInPlace(direction, 1.0 / (last.rho * yy));
+      }
+    }
+    for (size_t k = 0; k < history.size(); ++k) {
+      const CurvaturePair& pair = history[k];
+      const double beta = pair.rho * kernels::Dot(pair.y, direction);
+      kernels::Axpy(alpha[k] - beta, pair.s, direction);
+    }
+    kernels::ScaleInPlace(direction, -1.0);
+
+    double dir_dot_grad = kernels::Dot(direction, grad);
+    if (!(dir_dot_grad < 0.0)) {
+      // Not a descent direction (numerical breakdown): restart from the
+      // steepest descent.
+      history.clear();
+      direction.assign(grad.begin(), grad.end());
+      kernels::ScaleInPlace(direction, -1.0);
+      dir_dot_grad = -kernels::Dot(grad, grad);
+      if (!(dir_dot_grad < 0.0)) {
+        result.converged = true;  // zero gradient
+        return result;
+      }
+    }
+
+    // Armijo backtracking. The first iteration has no curvature scale
+    // yet, so start from a gradient-sized step.
+    double step = history.empty() ? 1.0 / std::max(1.0, MaxNorm(grad)) : 1.0;
+    bool accepted = false;
+    double f_trial = f;
+    for (int ls = 0; ls < options.max_line_search_steps; ++ls) {
+      if (Interrupted(context)) {
+        result.interrupted = true;
+        return result;
+      }
+      trial.assign(w.begin(), w.end());
+      kernels::Axpy(step, direction, trial);
+      auto ft = evaluate(trial, trial_grad);
+      if (!ft.ok()) {
+        result.interrupted = true;
+        return result;
+      }
+      f_trial = ft.value();
+      if (std::isfinite(f_trial) &&
+          f_trial <= f + options.armijo_c1 * step * dir_dot_grad) {
+        accepted = true;
+        break;
+      }
+      step *= options.backtrack;
+    }
+    if (!accepted) {
+      // The objective refuses to decrease along the best direction we
+      // can build — treat as converged-at-floor.
+      result.converged = true;
+      return result;
+    }
+
+    // Record the curvature pair (skip on non-positive y·s, which would
+    // break the positive-definiteness of the implicit Hessian).
+    CurvaturePair pair;
+    pair.s.assign(trial.begin(), trial.end());
+    for (size_t j = 0; j < m; ++j) pair.s[j] -= w[j];
+    pair.y.assign(trial_grad.begin(), trial_grad.end());
+    for (size_t j = 0; j < m; ++j) pair.y[j] -= grad[j];
+    const double ys = kernels::Dot(pair.y, pair.s);
+    if (ys > 1e-10) {
+      pair.rho = 1.0 / ys;
+      history.push_back(std::move(pair));
+      if (history.size() > options.history) history.pop_front();
+    }
+
+    const double prev_f = f;
+    std::copy(trial.begin(), trial.end(), w.begin());
+    grad.assign(trial_grad.begin(), trial_grad.end());
+    f = f_trial;
+    result.objective = f;
+    ++result.iterations;
+
+    if (std::fabs(prev_f - f) <=
+        options.tolerance * std::max(1.0, std::fabs(prev_f))) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace transer

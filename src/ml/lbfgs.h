@@ -1,0 +1,72 @@
+#ifndef TRANSER_ML_LBFGS_H_
+#define TRANSER_ML_LBFGS_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "util/execution_context.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief Which optimiser a linear model trains with.
+enum class LinearSolver {
+  kSgd = 0,   ///< the historical stochastic path (Pegasos / plain SGD);
+              ///< the bit-identity reference on dense inputs
+  kLbfgs,     ///< limited-memory BFGS with Armijo line search — the
+              ///< second-order path that converges in few passes on
+              ///< high-dimensional sparse problems
+};
+
+/// \brief Knobs for MinimizeLbfgs.
+struct LbfgsOptions {
+  int max_iterations = 100;
+  /// Curvature pairs kept for the two-loop recursion.
+  size_t history = 8;
+  /// Convergence: gradient max-norm below tolerance * max(1, |w|_inf),
+  /// or relative objective decrease below tolerance.
+  double tolerance = 1e-7;
+  /// Armijo sufficient-decrease constant c1.
+  double armijo_c1 = 1e-4;
+  /// Step shrink factor per backtrack.
+  double backtrack = 0.5;
+  int max_line_search_steps = 30;
+};
+
+/// \brief What the solver did.
+struct LbfgsResult {
+  int iterations = 0;    ///< accepted L-BFGS steps
+  int evaluations = 0;   ///< objective/gradient evaluations (≈ data passes)
+  double objective = 0.0;
+  bool converged = false;
+  /// True when the run stopped on the execution context (deadline,
+  /// cancellation, memory budget) or an objective error rather than on
+  /// its own convergence test. The weights hold the best iterate so far.
+  bool interrupted = false;
+};
+
+/// Objective callback: writes ∇f(w) into `grad` (same length as `w`,
+/// pre-zeroed by the solver) and returns f(w). A non-OK status aborts
+/// the minimisation with `interrupted` set — how budget errors from a
+/// parallel gradient accumulation surface.
+using LbfgsObjective =
+    std::function<Result<double>(std::span<const double> w,
+                                 std::span<double> grad)>;
+
+/// \brief Minimises `objective` over `w` in place with L-BFGS + Armijo
+/// backtracking line search.
+///
+/// Fully deterministic: the two-loop recursion, line search, and every
+/// vector update run serially through the fixed-order kernels, so the
+/// iterate sequence depends only on (w0, objective, options). `context`
+/// (nullable) is polled once per iteration and once per line-search
+/// evaluation; when it fires the solver returns the best iterate found
+/// so far with `interrupted` set.
+LbfgsResult MinimizeLbfgs(const LbfgsOptions& options,
+                          const ExecutionContext* context,
+                          std::span<double> w, const LbfgsObjective& objective);
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_LBFGS_H_

@@ -1,0 +1,90 @@
+#include "ml/sparse_weights.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace transer {
+
+size_t CountAboveEpsilon(std::span<const double> w, double epsilon) {
+  size_t count = 0;
+  for (double v : w) {
+    if (std::fabs(v) >= epsilon) ++count;
+  }
+  return count;
+}
+
+void EncodeWeightVector(artifact::Encoder* out, const std::vector<double>& w,
+                        double cull_epsilon) {
+  if (cull_epsilon < 0.0) {
+    out->PutDoubleVec(w);
+    return;
+  }
+  out->PutU64(kSparseWeightsSentinel);
+  out->PutU64(w.size());
+  out->PutU64(CountAboveEpsilon(w, cull_epsilon));
+  for (size_t j = 0; j < w.size(); ++j) {
+    if (std::fabs(w[j]) >= cull_epsilon) {
+      out->PutU32(static_cast<uint32_t>(j));
+      out->PutDouble(w[j]);
+    }
+  }
+}
+
+Status DecodeWeightVector(artifact::Decoder* in, std::vector<double>* w) {
+  uint64_t count = 0;
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&count));
+  if (count != kSparseWeightsSentinel) {
+    // Dense layout: the count we just consumed is PutDoubleVec's element
+    // count; validate it against the remaining bytes before allocating,
+    // exactly as GetDoubleVec would have.
+    if (count > in->remaining() / sizeof(double)) {
+      return Status::InvalidArgument(
+          StrFormat("weight vector count %llu exceeds payload",
+                    static_cast<unsigned long long>(count)));
+    }
+    w->assign(static_cast<size_t>(count), 0.0);
+    for (size_t j = 0; j < count; ++j) {
+      TRANSER_RETURN_IF_ERROR(in->GetDouble(&(*w)[j]));
+    }
+    return Status::OK();
+  }
+
+  uint64_t dimension = 0;
+  uint64_t nnz = 0;
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&dimension));
+  TRANSER_RETURN_IF_ERROR(in->GetU64(&nnz));
+  if (dimension > kMaxWeightDimension) {
+    return Status::InvalidArgument(
+        StrFormat("sparse weight dimension %llu exceeds the %llu cap",
+                  static_cast<unsigned long long>(dimension),
+                  static_cast<unsigned long long>(kMaxWeightDimension)));
+  }
+  // Each stored entry is a u32 index + a double value.
+  if (nnz > dimension ||
+      nnz > in->remaining() / (sizeof(uint32_t) + sizeof(double))) {
+    return Status::InvalidArgument(
+        StrFormat("sparse weight count %llu exceeds payload",
+                  static_cast<unsigned long long>(nnz)));
+  }
+  w->assign(static_cast<size_t>(dimension), 0.0);
+  uint64_t prev = 0;
+  for (uint64_t k = 0; k < nnz; ++k) {
+    uint32_t index = 0;
+    double value = 0.0;
+    TRANSER_RETURN_IF_ERROR(in->GetU32(&index));
+    TRANSER_RETURN_IF_ERROR(in->GetDouble(&value));
+    if (index >= dimension || (k > 0 && index <= prev)) {
+      return Status::InvalidArgument(
+          StrFormat("sparse weight index %u out of order or range", index));
+    }
+    if (!std::isfinite(value)) {
+      return Status::InvalidArgument("sparse weight value is not finite");
+    }
+    (*w)[index] = value;
+    prev = index;
+  }
+  return Status::OK();
+}
+
+}  // namespace transer

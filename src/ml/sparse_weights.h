@@ -1,0 +1,52 @@
+#ifndef TRANSER_ML_SPARSE_WEIGHTS_H_
+#define TRANSER_ML_SPARSE_WEIGHTS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/artifact_io.h"
+#include "util/status.h"
+
+namespace transer {
+
+/// \brief Culled sparse persistence of linear-model weight vectors.
+///
+/// High-dimensional sparse training leaves most of a 2^18..2^20-wide
+/// weight vector at (or negligibly near) zero; storing it densely would
+/// make every TERA artifact megabytes. EncodeWeightVector writes either
+/// the historical dense layout — byte-identical to PutDoubleVec, so
+/// existing artifacts and readers are unaffected — or a culled sparse
+/// layout: a count-field sentinel no dense vector can produce (the
+/// decoder validates counts against remaining bytes, so the all-ones
+/// count is unreachable), then dimension + strictly-increasing
+/// (index, value) pairs with |value| >= epsilon. Readers reconstruct
+/// the dense vector transparently, so serving, warm-start and refit
+/// paths never see the difference. The enclosing artifact section
+/// carries the CRC frame (util/artifact_io).
+inline constexpr uint64_t kSparseWeightsSentinel = 0xFFFFFFFFFFFFFFFFull;
+
+/// Ceiling on a decoded weight dimension (2^27 doubles = 1 GiB): a
+/// corrupt or crafted dimension field cannot trigger a huge allocation.
+inline constexpr uint64_t kMaxWeightDimension = uint64_t{1} << 27;
+
+/// Number of stored weights with |w| >= epsilon (what the sparse layout
+/// would keep).
+size_t CountAboveEpsilon(std::span<const double> w, double epsilon);
+
+/// Appends `w` to `out`. `cull_epsilon < 0` writes the dense layout
+/// (bit-identical to out->PutDoubleVec(w)); `cull_epsilon >= 0` writes
+/// the culled sparse layout, dropping entries with |w| < epsilon.
+void EncodeWeightVector(artifact::Encoder* out, const std::vector<double>& w,
+                        double cull_epsilon);
+
+/// Reads either layout back into a dense vector, fully validated:
+/// counts are bounds-checked against the remaining payload before any
+/// allocation, sparse indices must be strictly increasing and inside
+/// the stored dimension, and values must be finite. InvalidArgument on
+/// any violation — a corrupt payload can never crash or over-allocate.
+Status DecodeWeightVector(artifact::Decoder* in, std::vector<double>* w);
+
+}  // namespace transer
+
+#endif  // TRANSER_ML_SPARSE_WEIGHTS_H_
