@@ -11,26 +11,45 @@
 //   transer_ingest_tool --dir=<state dir> [--count=64] [--seed=7]
 //       [--snapshot-every=16] [--refresh-every=32] [--rebuild-every=24]
 //       [--threads=1] [--publish-dir=<serve repo dir>]
-//       [--poison-every=0]
-//       [--crash-after=<seq> --crash-point=append|apply]
+//       [--poison-every=0] [--writers=1]
+//       [--segment-mb=8] [--max-journal-mb=0]
+//       [--segment-bytes=N] [--max-journal-bytes=N]
+//       [--bench-out=<BENCH_stream.json path>]
+//       [--crash-after=<seq>
+//        --crash-point=append|apply|rotate|snapshot|retain]
 //
 // The tool resumes: on start it recovers the directory's journal +
 // snapshot and continues ingesting at the first sequence the state has
 // not applied. --crash-after raises SIGKILL (no cleanup, no flush — a
-// real crash) once that sequence reaches the chosen point.
+// real crash) once that sequence reaches the chosen point. The rotate
+// point fires on the first rotation at or past the sequence; snapshot
+// and retain fire on the first snapshot covering it.
 //
-// Output (stdout, last line): "applied=<n> digest=<16-hex> matches=<m>
-// quarantined=<q>".
+// --writers=N feeds the stream through N producer threads and the
+// single sequencing appender (RunMultiWriterIngest); the digest is
+// bit-identical to --writers=1 by construction. --segment-mb /
+// --max-journal-mb size the journal segments and the retention disk
+// budget (0 = unbounded); the *-bytes variants override them for tests
+// that need sub-MB granularity. --bench-out writes a perf sidecar with
+// the measured ingest throughput.
+//
+// Output (stdout): a telemetry JSON line
+//   {"schema":"transer.stream_ingest", "segments":..., "live_bytes":...,
+//    "retention_stalls":..., ...}
+// followed by the final line "applied=<n> digest=<16-hex> matches=<m>
+// quarantined=<q>" — the LAST line, which the crash matrix parses.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 bad flags. A --crash-after
 // run does not exit at all — it dies by SIGKILL.
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/perf_sidecar.h"
 #include "data/record.h"
 #include "stream/stream_ingestor.h"
 #include "util/string_util.h"
@@ -133,10 +152,19 @@ int Run(int argc, char** argv) {
   const int64_t crash_after = GetIntFlag(argc, argv, "crash-after", 0);
   const std::string crash_point =
       GetFlag(argc, argv, "crash-point", "append");
-  if (crash_point != "append" && crash_point != "apply") {
+  if (crash_point != "append" && crash_point != "apply" &&
+      crash_point != "rotate" && crash_point != "snapshot" &&
+      crash_point != "retain") {
     std::fprintf(stderr, "bad --crash-point=%s\n", crash_point.c_str());
     return 2;
   }
+  const size_t writers =
+      static_cast<size_t>(GetIntFlag(argc, argv, "writers", 1));
+  if (writers == 0) {
+    std::fprintf(stderr, "--writers must be at least 1\n");
+    return 2;
+  }
+  const std::string bench_out = GetFlag(argc, argv, "bench-out", "");
 
   stream::StreamIngestorOptions options;
   options.directory = dir;
@@ -159,19 +187,49 @@ int Run(int argc, char** argv) {
   options.snapshot_interval =
       static_cast<size_t>(GetIntFlag(argc, argv, "snapshot-every", 16));
   options.publish_directory = GetFlag(argc, argv, "publish-dir", "");
+  options.max_segment_bytes = static_cast<size_t>(
+      GetIntFlag(argc, argv, "segment-mb", 8)) << 20;
+  options.max_journal_bytes = static_cast<size_t>(
+      GetIntFlag(argc, argv, "max-journal-mb", 0)) << 20;
+  // Byte-granular overrides for tests that rotate within tiny streams.
+  const int64_t segment_bytes = GetIntFlag(argc, argv, "segment-bytes", 0);
+  if (segment_bytes > 0) {
+    options.max_segment_bytes = static_cast<size_t>(segment_bytes);
+  }
+  const int64_t journal_bytes =
+      GetIntFlag(argc, argv, "max-journal-bytes", 0);
+  if (journal_bytes > 0) {
+    options.max_journal_bytes = static_cast<size_t>(journal_bytes);
+  }
 
-  // A real crash, not an exit: no destructors, no buffers flushed.
+  // A real crash, not an exit: no destructors, no buffers flushed. The
+  // sequence-exact points (append/apply) fire at --crash-after itself;
+  // the lifecycle points (rotate/snapshot/retain) fire on the first
+  // event at or past it, because rotation and snapshot boundaries
+  // depend on sizes the caller cannot predict exactly.
   const auto crash_hook = [&](uint64_t sequence) {
     if (crash_after > 0 &&
         sequence == static_cast<uint64_t>(crash_after)) {
       ::raise(SIGKILL);
     }
   };
+  const auto crash_at_or_past_hook = [&](uint64_t sequence) {
+    if (crash_after > 0 &&
+        sequence >= static_cast<uint64_t>(crash_after)) {
+      ::raise(SIGKILL);
+    }
+  };
   if (crash_after > 0) {
     if (crash_point == "append") {
       options.after_append_hook = crash_hook;
-    } else {
+    } else if (crash_point == "apply") {
       options.after_apply_hook = crash_hook;
+    } else if (crash_point == "rotate") {
+      options.after_rotate_hook = crash_at_or_past_hook;
+    } else if (crash_point == "snapshot") {
+      options.after_snapshot_save_hook = crash_at_or_past_hook;
+    } else {
+      options.after_retain_hook = crash_at_or_past_hook;
     }
   }
 
@@ -194,24 +252,72 @@ int Run(int argc, char** argv) {
   }
 
   // Resume exactly where the recovered state stops: entry sequence s
-  // carries record s-1 of the deterministic stream.
-  for (uint64_t sequence = ingestor.applied_sequence() + 1;
-       sequence <= count; ++sequence) {
-    const Record record =
-        MakeStreamRecord(seed, sequence - 1, poison_every);
-    const Status status = ingestor.Ingest(record, &diagnostics);
-    if (!status.ok()) {
-      std::fprintf(stderr, "ingest of sequence %llu failed: %s\n",
-                   static_cast<unsigned long long>(sequence),
-                   status.ToString().c_str());
-      return 1;
-    }
+  // carries record s-1 of the deterministic stream. The multi-writer
+  // path produces the identical journal (and digest) at any --writers.
+  const uint64_t start_index = ingestor.applied_sequence();
+  const uint64_t remaining = count > start_index ? count - start_index : 0;
+  const auto ingest_started = std::chrono::steady_clock::now();
+  const Status ingested = stream::RunMultiWriterIngest(
+      &ingestor, writers, remaining,
+      [&](uint64_t i) {
+        return MakeStreamRecord(seed, start_index + i, poison_every);
+      },
+      &diagnostics);
+  const double ingest_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ingest_started)
+          .count();
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 ingested.ToString().c_str());
+    return 1;
   }
 
   for (const auto& event : diagnostics.events) {
     std::fprintf(stderr, "degradation: %s\n", event.ToString().c_str());
   }
   const stream::StreamResolver& resolver = ingestor.resolver();
+  const stream::JournalStats stats = ingestor.journal_stats();
+
+  if (!bench_out.empty()) {
+    bench::PerfSidecar sidecar;
+    sidecar.threads = static_cast<int>(writers);
+    bench::PerfEntry entry;
+    entry.name = "stream_ingest";
+    entry.threads = static_cast<int>(writers);
+    entry.ns_per_op =
+        remaining > 0 ? ingest_seconds * 1e9 / static_cast<double>(remaining)
+                      : 0.0;
+    entry.ops_per_sec =
+        entry.ns_per_op > 0.0 ? 1e9 / entry.ns_per_op : 0.0;
+    sidecar.entries.push_back(entry);
+    sidecar.extras.emplace_back("ingested_records",
+                                static_cast<double>(remaining));
+    sidecar.extras.emplace_back("journal_segments",
+                                static_cast<double>(stats.segments));
+    sidecar.extras.emplace_back("journal_live_bytes",
+                                static_cast<double>(stats.live_bytes));
+    sidecar.extras.emplace_back("retention_stalls",
+                                static_cast<double>(stats.retention_stalls));
+    sidecar.extras.emplace_back("segments_dropped",
+                                static_cast<double>(stats.segments_dropped));
+    sidecar.extras.emplace_back("snapshots",
+                                static_cast<double>(ingestor.snapshot_count()));
+    if (!bench::WritePerfSidecar(bench_out, sidecar)) return 1;
+  }
+
+  // Telemetry line first; the digest line below must stay LAST — the
+  // crash matrix parses the final stdout line.
+  std::printf(
+      "{\"schema\":\"transer.stream_ingest\",\"segments\":%zu,"
+      "\"live_bytes\":%zu,\"first_segment\":%llu,\"active_segment\":%llu,"
+      "\"retention_stalls\":%zu,\"segments_dropped\":%zu,"
+      "\"snapshots\":%zu,\"writers\":%zu,\"ingest_seconds\":%.6f}\n",
+      stats.segments, stats.live_bytes,
+      static_cast<unsigned long long>(stats.first_segment),
+      static_cast<unsigned long long>(stats.active_segment),
+      stats.retention_stalls, stats.segments_dropped,
+      ingestor.snapshot_count(), writers, ingest_seconds);
   std::printf("applied=%llu digest=%016llx matches=%zu quarantined=%zu\n",
               static_cast<unsigned long long>(resolver.applied_sequence()),
               static_cast<unsigned long long>(resolver.StateDigest()),

@@ -119,6 +119,7 @@ RefreshReport ModelRepository::ForceRescan() {
     const Status status = RetryWithBackoff(
         options_.retry, "repository",
         [&]() -> Status {
+          if (options_.before_load_hook) options_.before_load_hook(path);
           auto result = LoadTransERPipelineState(path);
           if (!result.ok()) return result.status();
           loaded = std::move(result).value();
@@ -129,6 +130,21 @@ RefreshReport ModelRepository::ForceRescan() {
                              DegradationKind::kServeArtifactRetried) -
                          retries_before;
     if (!status.ok()) {
+      // A file that vanished between the directory scan and the open is
+      // not a corrupt artifact — a publisher replaced or removed it
+      // while we raced it. Quarantining the path would poison the NEXT
+      // artifact published under the same name; skip it instead and let
+      // the next scan index whatever is there by then.
+      if (status.code() == StatusCode::kNotFound &&
+          !fs::exists(path, ec)) {
+        if (models_.erase(path) > 0) ++report.removed;
+        report.diagnostics.Add(
+            DegradationKind::kServeArtifactRetried, "repository",
+            StrFormat("%s vanished during the scan (deleted or replaced "
+                      "mid-rescan); skipped, not quarantined",
+                      path.c_str()));
+        continue;
+      }
       quarantine_[path] = sig;
       models_.erase(path);
       ++report.quarantined;

@@ -55,6 +55,10 @@ struct RepositoryOptions {
   /// Floor for the SEL-style similarity probe: a fallback candidate
   /// below this is no better than no model at all.
   double min_probe_similarity = 0.5;
+  /// Test-only: invoked with the artifact path right before each load
+  /// attempt, so tests can race the scan deterministically (e.g. delete
+  /// the file between directory enumeration and open).
+  std::function<void(const std::string&)> before_load_hook;
 };
 
 /// \brief Outcome of one repository scan.

@@ -1,5 +1,6 @@
 #include "stream/ingest_journal.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/artifact_io.h"
@@ -46,63 +47,115 @@ Result<IngestEntry> DecodeIngestEntry(std::span<const uint8_t> payload) {
   return entry;
 }
 
-Result<IngestJournal> IngestJournal::Open(const std::string& path,
+Result<IngestJournal> IngestJournal::Open(const IngestJournalOptions& options,
                                           IngestJournalRecovery* recovery) {
   if (recovery == nullptr) {
     return Status::InvalidArgument("ingest journal recovery out-param is null");
   }
   *recovery = IngestJournalRecovery{};
-  journal::FrameRecovery frames;
+
+  journal::SegmentedJournalOptions segment_options;
+  segment_options.max_segment_bytes = options.max_segment_bytes;
+  journal::SegmentedRecovery segments;
   TRANSER_ASSIGN_OR_RETURN(
-      journal::FrameJournal journal,
-      journal::FrameJournal::Open(path, kIngestJournalMagic, &frames));
-  recovery->tail_dropped = frames.tail_dropped;
-  recovery->dropped_bytes = frames.dropped_bytes;
-  recovery->entries.reserve(frames.frames.size());
+      journal::SegmentedJournal journal,
+      journal::SegmentedJournal::Open(options.directory, options.stem,
+                                      kIngestJournalMagic, &segments,
+                                      segment_options));
+  recovery->tail_dropped = segments.tail_dropped;
+  recovery->dropped_bytes = segments.dropped_bytes;
+  recovery->segments = segments.segments.size();
+  recovery->orphans_removed = segments.orphans_removed;
+
+  IngestJournal out(options, std::move(journal));
   uint64_t last_sequence = 0;
-  for (size_t i = 0; i < frames.frames.size(); ++i) {
-    auto entry = DecodeIngestEntry(frames.frames[i]);
-    if (!entry.ok()) {
-      // The frame CRC passed, so this is not bit rot: the payload layout
-      // itself is wrong. That is never a torn tail — refuse.
-      return Status::FailedPrecondition(StrFormat(
-          "%s: frame %zu is not a valid ingest entry: %s", path.c_str(),
-          i + 1, entry.status().message().c_str()));
+  for (const journal::SegmentRecovery& segment : segments.segments) {
+    for (size_t i = 0; i < segment.frames.size(); ++i) {
+      auto entry = DecodeIngestEntry(segment.frames[i]);
+      if (!entry.ok()) {
+        // The frame CRC passed, so this is not bit rot: the payload
+        // layout itself is wrong. That is never a torn tail — refuse.
+        return Status::FailedPrecondition(StrFormat(
+            "%s: frame %zu is not a valid ingest entry: %s",
+            out.journal_.SegmentPath(segment.id).c_str(), i + 1,
+            entry.status().message().c_str()));
+      }
+      if (entry.value().sequence <= last_sequence) {
+        return Status::FailedPrecondition(StrFormat(
+            "%s: frame %zu has sequence %llu after %llu (journal order "
+            "violated)",
+            out.journal_.SegmentPath(segment.id).c_str(), i + 1,
+            static_cast<unsigned long long>(entry.value().sequence),
+            static_cast<unsigned long long>(last_sequence)));
+      }
+      last_sequence = entry.value().sequence;
+      recovery->entries.push_back(std::move(entry).value());
     }
-    if (entry.value().sequence <= last_sequence) {
-      return Status::FailedPrecondition(StrFormat(
-          "%s: frame %zu has sequence %llu after %llu (journal order "
-          "violated)",
-          path.c_str(), i + 1,
-          static_cast<unsigned long long>(entry.value().sequence),
-          static_cast<unsigned long long>(last_sequence)));
+    if (segment.id != out.journal_.active_segment_id()) {
+      out.sealed_last_sequence_.emplace_back(segment.id, last_sequence);
     }
-    last_sequence = entry.value().sequence;
-    recovery->entries.push_back(std::move(entry).value());
   }
-  return IngestJournal(std::move(journal));
+  out.last_appended_sequence_ = last_sequence;
+  out.synced_through_id_ = out.journal_.active_segment_id();
+  return out;
 }
 
-Status IngestJournal::Append(const IngestEntry& entry) {
+void IngestJournal::SyncSealed() {
+  const uint64_t active = journal_.active_segment_id();
+  while (synced_through_id_ < active) {
+    // Sealed since the last sync: everything it holds was appended
+    // before now, so its last entry is at most last_appended_sequence_
+    // (exactly it — frames land only in the then-active segment).
+    sealed_last_sequence_.emplace_back(synced_through_id_,
+                                       last_appended_sequence_);
+    ++synced_through_id_;
+  }
+}
+
+Status IngestJournal::Append(const IngestEntry& entry,
+                             RunDiagnostics* diagnostics) {
   const std::vector<uint8_t> payload = EncodeIngestEntry(entry);
-  return journal_.Append(payload);
+  // Only IoError is transient here (space may free, a dying disk may
+  // recover). InvalidArgument means an oversized frame — permanent.
+  const Status appended = serve::RetryWithBackoff(
+      options_.retry, "ingest_journal",
+      [&] { return journal_.Append(payload); },
+      [](const Status& status) {
+        return status.code() == StatusCode::kIoError;
+      },
+      options_.sleep, diagnostics);
+  // Rotations may have happened inside the segmented layer (size cap,
+  // or quarantine of a segment whose append failed mid-retry).
+  SyncSealed();
+  if (appended.ok()) last_appended_sequence_ = entry.sequence;
+  return appended;
 }
 
-Status IngestJournal::Compact(const std::vector<IngestEntry>& keep) {
-  std::vector<std::vector<uint8_t>> frames;
-  frames.reserve(keep.size());
-  for (const IngestEntry& entry : keep) {
-    frames.push_back(EncodeIngestEntry(entry));
+Result<size_t> IngestJournal::RetainCoveredBy(uint64_t sequence) {
+  // When even the active segment is fully covered, seal it so its file
+  // becomes droppable too; an empty active segment has nothing to seal.
+  if (journal_.active_frame_count() > 0 &&
+      last_appended_sequence_ <= sequence) {
+    TRANSER_RETURN_IF_ERROR(journal_.Rotate());
+    SyncSealed();
   }
-  const std::string path = journal_.path();
-  // The rewrite replaces the inode; close our fd first so the appends
-  // after re-open go to the new file.
-  journal_.Close();
-  TRANSER_RETURN_IF_ERROR(
-      journal::FrameJournal::Rewrite(path, kIngestJournalMagic, frames));
-  TRANSER_ASSIGN_OR_RETURN(
-      journal_, journal::FrameJournal::Open(path, kIngestJournalMagic));
-  return Status::OK();
+  // Keep from the first sealed segment holding anything past the
+  // snapshot; when none does, keep only the active segment.
+  uint64_t keep_from = journal_.active_segment_id();
+  for (const auto& [id, last] : sealed_last_sequence_) {
+    if (last > sequence) {
+      keep_from = id;
+      break;
+    }
+  }
+  TRANSER_ASSIGN_OR_RETURN(size_t removed,
+                           journal_.DropSegmentsBefore(keep_from));
+  sealed_last_sequence_.erase(
+      std::remove_if(
+          sealed_last_sequence_.begin(), sealed_last_sequence_.end(),
+          [&](const auto& entry) { return entry.first < keep_from; }),
+      sealed_last_sequence_.end());
+  return removed;
 }
 
 }  // namespace stream

@@ -2,7 +2,12 @@
 
 #include <unistd.h>
 
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "util/string_util.h"
 
@@ -11,14 +16,9 @@ namespace stream {
 
 namespace {
 
-constexpr char kJournalFile[] = "ingest.wal";
 constexpr char kSnapshotFile[] = "snapshot.tera";
 
 }  // namespace
-
-std::string StreamIngestor::journal_path() const {
-  return options_.directory + "/" + kJournalFile;
-}
 
 std::string StreamIngestor::snapshot_path() const {
   return options_.directory + "/" + kSnapshotFile;
@@ -28,19 +28,33 @@ std::string StreamIngestor::publish_path() const {
   return options_.publish_directory + "/" + options_.publish_stem + ".tera";
 }
 
+JournalStats StreamIngestor::journal_stats() const {
+  JournalStats stats;
+  stats.segments = journal_.segment_count();
+  stats.live_bytes = journal_.size_bytes();
+  stats.first_segment = journal_.first_segment_id();
+  stats.active_segment = journal_.active_segment_id();
+  stats.retention_stalls = retention_stalls_;
+  stats.segments_dropped = segments_dropped_;
+  return stats;
+}
+
 Result<StreamIngestor> StreamIngestor::Open(
     const StreamIngestorOptions& options, RunDiagnostics* diagnostics) {
   if (options.directory.empty()) {
     return Status::InvalidArgument("stream ingestor directory is empty");
   }
-  const std::string journal_path =
-      options.directory + "/" + kJournalFile;
   const std::string snapshot_path =
       options.directory + "/" + kSnapshotFile;
 
+  IngestJournalOptions journal_options;
+  journal_options.directory = options.directory;
+  journal_options.max_segment_bytes = options.max_segment_bytes;
+  journal_options.retry = options.journal_retry;
   IngestJournalRecovery recovery;
-  TRANSER_ASSIGN_OR_RETURN(IngestJournal journal,
-                           IngestJournal::Open(journal_path, &recovery));
+  TRANSER_ASSIGN_OR_RETURN(
+      IngestJournal journal,
+      IngestJournal::Open(journal_options, &recovery));
   if (recovery.tail_dropped && diagnostics != nullptr) {
     diagnostics->Add(
         DegradationKind::kCheckpointTailDropped, "stream",
@@ -62,8 +76,8 @@ Result<StreamIngestor> StreamIngestor::Open(
       from_snapshot = true;
     } else {
       // A corrupt snapshot is recoverable only while the journal still
-      // holds the full history (nothing was compacted away). Once
-      // compaction dropped entries the snapshot covered, its loss is
+      // holds the full history (nothing was retained away). Once
+      // retention dropped segments the snapshot covered, its loss is
       // data loss and must surface, not silently restart the stream.
       const bool full_history =
           !recovery.entries.empty() && recovery.entries.front().sequence == 1;
@@ -84,6 +98,10 @@ Result<StreamIngestor> StreamIngestor::Open(
   StreamIngestor ingestor(options, std::move(journal),
                           std::move(resolver).value());
   ingestor.from_snapshot_ = from_snapshot;
+  if (from_snapshot) {
+    ingestor.last_snapshot_sequence_ =
+        ingestor.resolver_->applied_sequence();
+  }
 
   // Tail replay: everything journaled past what the snapshot covers.
   for (const IngestEntry& entry : recovery.entries) {
@@ -101,9 +119,54 @@ Status StreamIngestor::Ingest(const Record& record,
   IngestEntry entry;
   entry.sequence = sequence;
   entry.record = record;
+
+  // Disk budget: when this append would push the journal chain past the
+  // budget, snapshot + retain first so covered segments free the space.
+  // The budget never blocks the stream: if even retention cannot get
+  // under (the uncovered tail alone exceeds the budget, or the snapshot
+  // failed), the append proceeds and the breach is recorded as a
+  // structured degradation — availability, not data loss.
+  if (options_.max_journal_bytes > 0) {
+    const size_t entry_bytes = EncodeIngestEntry(entry).size() + 8;
+    if (journal_.size_bytes() + entry_bytes > options_.max_journal_bytes) {
+      std::string stall_detail;
+      if (resolver_->applied_sequence() > last_snapshot_sequence_) {
+        const Status snapped = Snapshot(diagnostics);
+        if (!snapped.ok()) {
+          stall_detail = " (snapshot failed: " + snapped.message() + ")";
+        }
+      }
+      if (journal_.size_bytes() + entry_bytes > options_.max_journal_bytes) {
+        ++retention_stalls_;
+        if (!stalled_ && diagnostics != nullptr) {
+          diagnostics->Add(
+              DegradationKind::kJournalRetentionStalled, "stream",
+              StrFormat("journal disk budget of %zu bytes breached at "
+                        "sequence %llu with no retainable segment%s; "
+                        "ingest continues over budget",
+                        options_.max_journal_bytes,
+                        static_cast<unsigned long long>(sequence),
+                        stall_detail.c_str()),
+              static_cast<double>(options_.max_journal_bytes),
+              static_cast<double>(journal_.size_bytes() + entry_bytes));
+        }
+        stalled_ = true;
+      } else {
+        stalled_ = false;
+      }
+    } else {
+      stalled_ = false;
+    }
+  }
+
   // Write-ahead: the entry must be durable before any state mutation,
   // so a crash between the two replays it instead of losing it.
-  TRANSER_RETURN_IF_ERROR(journal_.Append(entry));
+  const uint64_t segment_before = journal_.active_segment_id();
+  TRANSER_RETURN_IF_ERROR(journal_.Append(entry, diagnostics));
+  if (options_.after_rotate_hook &&
+      journal_.active_segment_id() != segment_before) {
+    options_.after_rotate_hook(sequence);
+  }
   if (options_.after_append_hook) options_.after_append_hook(sequence);
   TRANSER_RETURN_IF_ERROR(resolver_->Apply(entry, diagnostics));
   if (options_.after_apply_hook) options_.after_apply_hook(sequence);
@@ -116,11 +179,19 @@ Status StreamIngestor::Ingest(const Record& record,
 
 Status StreamIngestor::Snapshot(RunDiagnostics* diagnostics) {
   (void)diagnostics;
+  const uint64_t covered = resolver_->applied_sequence();
   // Order matters: the snapshot must be durable (atomic write) before
-  // the journal forgets the entries it covers. A crash between the two
+  // the journal forgets the segments it covers. A crash between the two
   // replays entries the snapshot already holds — harmlessly skipped.
   TRANSER_RETURN_IF_ERROR(resolver_->SaveSnapshot(snapshot_path()));
-  TRANSER_RETURN_IF_ERROR(journal_.Compact({}));
+  last_snapshot_sequence_ = covered;
+  if (options_.after_snapshot_save_hook) {
+    options_.after_snapshot_save_hook(covered);
+  }
+  TRANSER_ASSIGN_OR_RETURN(const size_t dropped,
+                           journal_.RetainCoveredBy(covered));
+  segments_dropped_ += dropped;
+  if (options_.after_retain_hook) options_.after_retain_hook(covered);
   ++snapshots_;
   if (!options_.publish_directory.empty()) {
     // Atomic publish into the serving repository's directory: a serving
@@ -128,6 +199,130 @@ Status StreamIngestor::Snapshot(RunDiagnostics* diagnostics) {
     TRANSER_RETURN_IF_ERROR(resolver_->PublishTo(publish_path()));
   }
   return Status::OK();
+}
+
+namespace {
+
+/// One produced record, tagged with its global stream index so the
+/// sequencer can validate per-producer ordering before appending.
+struct ProducedRecord {
+  uint64_t index = 0;
+  Record record;
+};
+
+/// Bounded SPSC handoff queue between one producer and the sequencer.
+/// The bound keeps N producers from buffering the whole stream when the
+/// sequencer (the durability bottleneck) lags.
+class ProducerQueue {
+ public:
+  explicit ProducerQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(ProducedRecord item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return queue_.size() < capacity_ || cancelled_;
+    });
+    if (cancelled_) return;
+    queue_.push_back(std::move(item));
+    not_empty_.notify_one();
+  }
+
+  /// Pops the next item; false when cancelled while empty.
+  bool Pop(ProducedRecord* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || cancelled_; });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<ProducedRecord> queue_;
+  bool cancelled_ = false;
+};
+
+}  // namespace
+
+Status RunMultiWriterIngest(StreamIngestor* ingestor, size_t writers,
+                            uint64_t total,
+                            const std::function<Record(uint64_t)>& make_record,
+                            RunDiagnostics* diagnostics) {
+  if (ingestor == nullptr) {
+    return Status::InvalidArgument("multi-writer ingestor is null");
+  }
+  if (writers == 0) {
+    return Status::InvalidArgument("multi-writer needs at least one writer");
+  }
+  if (!make_record) {
+    return Status::InvalidArgument("multi-writer record factory is empty");
+  }
+  if (writers == 1 || total <= 1) {
+    // Degenerate cases need no machinery — and stay on the exact
+    // single-writer code path the digest contract is defined against.
+    for (uint64_t i = 0; i < total; ++i) {
+      TRANSER_RETURN_IF_ERROR(ingestor->Ingest(make_record(i), diagnostics));
+    }
+    return Status::OK();
+  }
+
+  constexpr size_t kQueueCapacity = 64;
+  std::vector<std::unique_ptr<ProducerQueue>> queues;
+  queues.reserve(writers);
+  for (size_t p = 0; p < writers; ++p) {
+    queues.push_back(std::make_unique<ProducerQueue>(kQueueCapacity));
+  }
+
+  // Producers own the disjoint index classes i % writers == p and push
+  // in ascending index order, so each queue arrives pre-sorted and the
+  // round-robin merge below reconstructs the global order exactly.
+  std::vector<std::thread> producers;
+  producers.reserve(writers);
+  for (size_t p = 0; p < writers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = p; i < total; i += writers) {
+        queues[p]->Push(ProducedRecord{i, make_record(i)});
+      }
+    });
+  }
+
+  // The single sequencing appender: the only thread that touches the
+  // ingestor, so journal order — and therefore replay and StateDigest —
+  // is identical to a single-writer run regardless of thread count.
+  Status result = Status::OK();
+  for (uint64_t i = 0; i < total; ++i) {
+    ProducedRecord produced;
+    if (!queues[i % writers]->Pop(&produced)) {
+      result = Status::Internal("multi-writer producer queue cancelled");
+      break;
+    }
+    if (produced.index != i) {
+      result = Status::Internal(StrFormat(
+          "multi-writer producer %llu broke sequence order: expected "
+          "index %llu, got %llu",
+          static_cast<unsigned long long>(i % writers),
+          static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(produced.index)));
+      break;
+    }
+    result = ingestor->Ingest(produced.record, diagnostics);
+    if (!result.ok()) break;
+  }
+  for (auto& queue : queues) queue->Cancel();
+  for (std::thread& producer : producers) producer.join();
+  return result;
 }
 
 }  // namespace stream

@@ -111,7 +111,7 @@ class StreamResolver {
   /// crash-replay matrix is built on this.
   uint64_t StateDigest() const;
 
-  // --- Snapshots (compaction) -----------------------------------------
+  // --- Snapshots (journal retention anchor) ---------------------------
 
   /// Writes the full state as a TERA artifact, atomically.
   Status SaveSnapshot(const std::string& path) const;

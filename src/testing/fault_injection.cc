@@ -224,6 +224,64 @@ size_t ScopedPartialWriteFault::injected_failures() const {
 
 namespace {
 
+/// Process-global disk-full injection state, armed by
+/// ScopedDiskFullFault.
+struct DiskFullFaultState {
+  bool armed = false;
+  size_t bytes_remaining = 0;
+  size_t injected_failures = 0;
+};
+
+DiskFullFaultState& GetDiskFullFault() {
+  static DiskFullFaultState state;
+  return state;
+}
+
+/// The filling-disk write: spends the allowance, lands a torn prefix
+/// when the budget runs out mid-call, and fails with ENOSPC once dry.
+ssize_t DiskFullWrite(int fd, const void* buf, size_t count) {
+  DiskFullFaultState& state = GetDiskFullFault();
+  if (state.bytes_remaining == 0) {
+    ++state.injected_failures;
+    errno = ENOSPC;
+    return -1;
+  }
+  const size_t allowed = std::min(count, state.bytes_remaining);
+  const ssize_t written = ::write(fd, buf, allowed);
+  if (written > 0) state.bytes_remaining -= static_cast<size_t>(written);
+  return written;
+}
+
+}  // namespace
+
+ScopedDiskFullFault::ScopedDiskFullFault(size_t bytes_before_enospc) {
+  DiskFullFaultState& state = GetDiskFullFault();
+  TRANSER_CHECK(!state.armed);  // nested disk-full faults are a test bug
+  state.armed = true;
+  state.bytes_remaining = bytes_before_enospc;
+  state.injected_failures = 0;
+  artifact::SetWriteHookForTesting(&DiskFullWrite);
+}
+
+ScopedDiskFullFault::~ScopedDiskFullFault() {
+  artifact::SetWriteHookForTesting(nullptr);
+  GetDiskFullFault() = DiskFullFaultState{};
+}
+
+size_t ScopedDiskFullFault::injected_failures() const {
+  return GetDiskFullFault().injected_failures;
+}
+
+size_t ScopedDiskFullFault::bytes_remaining() const {
+  return GetDiskFullFault().bytes_remaining;
+}
+
+void ScopedDiskFullFault::Refill(size_t bytes) {
+  GetDiskFullFault().bytes_remaining += bytes;
+}
+
+namespace {
+
 /// Process-global fsync injection state, armed by ScopedFsyncFault.
 struct FsyncFaultState {
   bool armed = false;

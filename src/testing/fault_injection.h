@@ -115,6 +115,34 @@ class ScopedPartialWriteFault {
   size_t injected_failures() const;
 };
 
+/// \brief Scoped disk-full fault: while alive, every write the library
+/// issues through artifact::WriteFd (artifact temp files, journal
+/// headers, journal appends) draws from a byte allowance of
+/// `bytes_before_enospc`. Once the allowance is spent, writes land
+/// partially (up to the remaining allowance) and then fail with ENOSPC —
+/// exactly how a filling filesystem behaves: a torn prefix on disk and
+/// -1/ENOSPC to the caller. Writers must surface a clean IoError, never
+/// acknowledge the torn bytes, and leave the file recoverable. Same
+/// discipline as the other scoped faults: process-global, single-
+/// threaded test setup only, at most one alive at a time (nested scopes
+/// CHECK-fail).
+class ScopedDiskFullFault {
+ public:
+  explicit ScopedDiskFullFault(size_t bytes_before_enospc);
+  ~ScopedDiskFullFault();
+
+  ScopedDiskFullFault(const ScopedDiskFullFault&) = delete;
+  ScopedDiskFullFault& operator=(const ScopedDiskFullFault&) = delete;
+
+  /// write calls that returned -1/ENOSPC so far.
+  size_t injected_failures() const;
+  /// Bytes of allowance left (0 once the "disk" is full).
+  size_t bytes_remaining() const;
+  /// Refills the allowance — the "space was freed" regime a retry path
+  /// recovers in.
+  void Refill(size_t bytes);
+};
+
 /// \brief Scoped fsync fault: while alive, every fsync the library
 /// issues through artifact::FsyncFd (artifact writes, journal appends,
 /// directory syncs after rename) fails with an EIO-style error after

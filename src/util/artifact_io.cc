@@ -38,6 +38,7 @@ const uint32_t* CrcTable() {
 namespace {
 
 FsyncFn g_fsync_hook = nullptr;
+WriteFn g_write_hook = nullptr;
 
 }  // namespace
 
@@ -49,6 +50,17 @@ FsyncFn SetFsyncHookForTesting(FsyncFn fn) {
 
 int FsyncFd(int fd) {
   return g_fsync_hook != nullptr ? g_fsync_hook(fd) : ::fsync(fd);
+}
+
+WriteFn SetWriteHookForTesting(WriteFn fn) {
+  WriteFn previous = g_write_hook;
+  g_write_hook = fn;
+  return previous;
+}
+
+ssize_t WriteFd(int fd, const void* buf, size_t count) {
+  return g_write_hook != nullptr ? g_write_hook(fd, buf, count)
+                                 : ::write(fd, buf, count);
 }
 
 Status SyncParentDir(const std::string& path) {
@@ -327,7 +339,7 @@ Status WriteArtifact(const std::string& path, const Header& header,
   size_t written = 0;
   while (written < file.size()) {
     const ssize_t n =
-        ::write(fd, file.data() + written, file.size() - written);
+        WriteFd(fd, file.data() + written, file.size() - written);
     if (n <= 0) {
       ::close(fd);
       ::unlink(temp_path.c_str());

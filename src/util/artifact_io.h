@@ -39,6 +39,22 @@ FsyncFn SetFsyncHookForTesting(FsyncFn fn);
 /// fsync(fd) through the installed hook.
 int FsyncFd(int fd);
 
+/// The write(2) implementation every artifact / journal writer in the
+/// library pushes bytes through. Returns the byte count written (which
+/// may be short), or -1 with errno set — the ::write contract.
+using WriteFn = ssize_t (*)(int fd, const void* buf, size_t count);
+
+/// Installs a replacement write (nullptr restores the real ::write) and
+/// returns the previous hook. Test-only: lets the fault-injection
+/// harness (fault::ScopedDiskFullFault) model a filling disk — writes
+/// that land partially and then fail with ENOSPC — and prove that every
+/// writer surfaces a clean IoError and leaves a recoverable prefix.
+/// Same discipline as the fsync hook: single-threaded test setup only.
+WriteFn SetWriteHookForTesting(WriteFn fn);
+
+/// write(fd, buf, count) through the installed hook.
+ssize_t WriteFd(int fd, const void* buf, size_t count);
+
 /// fsyncs the directory containing `path`, making a preceding rename
 /// into that directory durable. IoError on failure.
 Status SyncParentDir(const std::string& path);

@@ -56,6 +56,8 @@ const char* DegradationKindName(DegradationKind kind) {
       return "sparse_rows_dropped";
     case DegradationKind::kSparseFitUnsupported:
       return "sparse_fit_unsupported";
+    case DegradationKind::kJournalRetentionStalled:
+      return "journal_retention_stalled";
   }
   return "unknown";
 }

@@ -36,6 +36,8 @@ enum class DegradationKind {
   kSparseCenteringRefused,   ///< sparse scaler asked to center; scaled only
   kSparseRowsDropped,        ///< sparse validation discarded malformed rows
   kSparseFitUnsupported,     ///< classifier lacks a sparse fit; dense used
+  kJournalRetentionStalled,  ///< ingest: disk budget hit, no snapshot covers
+                             ///< the backlog; journal grew past the budget
 };
 
 /// Short identifier, e.g. "sel_threshold_relaxed".

@@ -216,6 +216,56 @@ TEST(ModelRepositoryTest, RemovesVanishedArtifacts) {
   EXPECT_FALSE(repository.Select(kSchemaB, {}).ok());
 }
 
+TEST(ModelRepositoryTest, FileDeletedMidScanIsSkippedNotQuarantined) {
+  const std::string dir = MakeModelDir("toctou");
+  SaveStateOrDie(MakeState(kSchemaA, {}, true, 11), dir + "/keep.tera");
+  SaveStateOrDie(MakeState(kSchemaB, {}, true, 12), dir + "/racy.tera");
+
+  // Race the scan deterministically: a publisher deletes racy.tera
+  // after the directory enumeration saw it but before the load opens it
+  // — the classic TOCTOU window. One deletion only, so later rescans
+  // see whatever is republished under the name.
+  RepositoryOptions options = FastOptions(dir);
+  int deletions = 0;
+  options.before_load_hook = [&](const std::string& path) {
+    if (deletions == 0 && path == dir + "/racy.tera") {
+      ++deletions;
+      fs::remove(path);
+    }
+  };
+  std::vector<double> sleeps;
+  ModelRepository repository(options,
+                             [&](double ms) { sleeps.push_back(ms); });
+  const RefreshReport report = repository.ForceRescan();
+
+  // The vanished file is not a corrupt artifact: no quarantine entry,
+  // and the retry budget was not burned waiting for it to reappear
+  // (NotFound is permanent, so no backoff sleeps happened).
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(repository.quarantined_count(), 0u);
+  EXPECT_TRUE(
+      report.diagnostics.HasKind(DegradationKind::kServeArtifactRetried));
+  EXPECT_EQ(repository.size(), 1u);
+  EXPECT_TRUE(repository.Select(kSchemaA, {}).ok());
+  EXPECT_FALSE(repository.Select(kSchemaB, {}).ok());
+
+  // The next publish under the same name is indexed cleanly — the whole
+  // point of not poisoning the path with a quarantine entry.
+  options.before_load_hook = nullptr;
+  SaveStateOrDie(MakeState(kSchemaB, {}, true, 13), dir + "/racy.tera");
+  ModelRepository fresh(options);
+  fresh.ForceRescan();
+  EXPECT_EQ(fresh.size(), 2u);
+  EXPECT_TRUE(fresh.Select(kSchemaB, {}).ok());
+
+  // And the SAME repository that saw the race re-indexes it too.
+  BumpMtime(dir + "/racy.tera");
+  const RefreshReport rescan = repository.ForceRescan();
+  EXPECT_EQ(rescan.loaded, 1u);
+  EXPECT_EQ(repository.size(), 2u);
+}
+
 TEST(ModelRepositoryTest, MissingDirectoryDegradesCleanly) {
   ModelRepository repository(
       FastOptions(::testing::TempDir() + "/repo_does_not_exist"));

@@ -130,6 +130,102 @@ TEST_P(StreamCrashMatrixTest, KillAfterEveryBoundaryReplaysBitIdentically) {
 INSTANTIATE_TEST_SUITE_P(Threads, StreamCrashMatrixTest,
                          ::testing::Values(1, 8));
 
+// Small segments plus a tight disk budget so the 36-record stream
+// crosses several rotation, snapshot and retention boundaries.
+constexpr size_t kJournalBudget = 4096;
+constexpr const char* kSegmentFlags =
+    " --segment-bytes=512 --max-journal-bytes=4096";
+
+size_t JournalBytesOnDisk(const std::string& dir) {
+  size_t on_disk = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".wal") on_disk += entry.file_size();
+  }
+  return on_disk;
+}
+
+// The segment-lifecycle kill sweep: SIGKILL inside rotation, post-
+// snapshot-save and post-retention windows (which fire at the first
+// lifecycle event at-or-past --crash-after, since those boundaries are
+// not sequence-exact), then drain and compare against an uninterrupted
+// run with DEFAULT segmentation — the digest must be invariant to
+// segment size, rotation timing, retention and process death combined.
+TEST_P(StreamCrashMatrixTest, SegmentLifecycleKillsReplayBitIdentically) {
+  const int threads = GetParam();
+  const std::string thread_flag = " --threads=" + std::to_string(threads);
+
+  const std::string control_dir =
+      MakeStreamDir("seg_control_t" + std::to_string(threads));
+  const std::string expected = RunUninterrupted(control_dir, threads);
+
+  int kills = 0;
+  // One directory per lifecycle point: each point's sweep owns the full
+  // stream, so its kill windows are not consumed by the other points.
+  for (const char* point : {"rotate", "snapshot", "retain"}) {
+    const std::string dir = MakeStreamDir(std::string("seg_matrix_") +
+                                          point + "_t" +
+                                          std::to_string(threads));
+    for (int k = 2; k <= kCount; k += 5) {
+      const ToolRun run = RunTool(
+          "--dir=" + dir + kStreamFlags + kSegmentFlags + thread_flag +
+          " --crash-after=" + std::to_string(k) +
+          " --crash-point=" + point);
+      if (run.killed) {
+        ++kills;
+      } else {
+        // No lifecycle event at-or-past k occurred before the stream
+        // drained (e.g. no snapshot boundary past the last one): the
+        // run completed, and must have landed on the reference digest.
+        ASSERT_EQ(run.exit_code, 0)
+            << "crash-after=" << k << " point=" << point << ": "
+            << run.stdout_text;
+        EXPECT_EQ(FinalLine(run.stdout_text), expected)
+            << "crash-after=" << k << " point=" << point;
+      }
+      // The disk budget holds across every crash/restart cycle (slack
+      // of one segment: the budget check is pre-append).
+      EXPECT_LE(JournalBytesOnDisk(dir), kJournalBudget + 512)
+          << "crash-after=" << k << " point=" << point;
+    }
+    const ToolRun final_run = RunTool("--dir=" + dir + kStreamFlags +
+                                      kSegmentFlags + thread_flag);
+    ASSERT_FALSE(final_run.killed);
+    ASSERT_EQ(final_run.exit_code, 0) << final_run.stdout_text;
+    EXPECT_EQ(FinalLine(final_run.stdout_text), expected) << point;
+  }
+  // The sweep must have exercised real kill windows, not 21 clean runs.
+  EXPECT_GE(kills, 8);
+}
+
+TEST(StreamCrashTest, MultiWriterCrashReplayMatchesSingleWriter) {
+  const std::string control_dir = MakeStreamDir("writers_control");
+  const std::string expected = RunUninterrupted(control_dir, 1);
+
+  // Uninterrupted multi-writer run: same digest line, any writer count.
+  const std::string clean_dir = MakeStreamDir("writers_clean");
+  const ToolRun clean =
+      RunTool("--dir=" + clean_dir + kStreamFlags + " --writers=4");
+  ASSERT_FALSE(clean.killed);
+  ASSERT_EQ(clean.exit_code, 0) << clean.stdout_text;
+  EXPECT_EQ(FinalLine(clean.stdout_text), expected);
+
+  // And through SIGKILLs: the sequencing appender preserves the no-
+  // acked-loss contract at 4 producers exactly as at 1.
+  const std::string dir = MakeStreamDir("writers_matrix");
+  for (int k : {5, 17, 29}) {
+    const ToolRun crashed = RunTool(
+        "--dir=" + dir + kStreamFlags + kSegmentFlags +
+        " --writers=4 --crash-after=" + std::to_string(k) +
+        " --crash-point=append");
+    ASSERT_TRUE(crashed.killed) << "crash-after=" << k;
+  }
+  const ToolRun drained = RunTool("--dir=" + dir + kStreamFlags +
+                                  kSegmentFlags + " --writers=4");
+  ASSERT_FALSE(drained.killed);
+  ASSERT_EQ(drained.exit_code, 0) << drained.stdout_text;
+  EXPECT_EQ(FinalLine(drained.stdout_text), expected);
+}
+
 TEST(StreamCrashTest, DigestIsThreadCountInvariant) {
   const std::string serial_dir = MakeStreamDir("invariance_t1");
   const std::string parallel_dir = MakeStreamDir("invariance_t8");

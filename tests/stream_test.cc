@@ -421,6 +421,14 @@ StreamIngestorOptions FastIngestorOptions(const std::string& dir,
   return options;
 }
 
+/// Path of the journal segment the ingestor is currently appending to.
+std::string ActiveSegmentPath(const StreamIngestor& ingestor) {
+  return ingestor.journal_directory() +
+         StrFormat("/ingest.%06llu.wal",
+                   static_cast<unsigned long long>(
+                       ingestor.journal_stats().active_segment));
+}
+
 uint64_t RunCleanStream(const std::string& dir, uint64_t count,
                         size_t snapshot_interval = 0) {
   auto opened =
@@ -471,7 +479,7 @@ TEST(StreamIngestorTest, TornJournalTailIsDroppedAndReported) {
     for (uint64_t i = 0; i < 10; ++i) {
       ASSERT_TRUE(ingestor.Ingest(MakeStreamRecord(i)).ok());
     }
-    journal_path = ingestor.journal_path();
+    journal_path = ActiveSegmentPath(ingestor);
   }
   // Tear the last few bytes off the final frame — the on-disk shape a
   // crash mid-append leaves.
@@ -515,13 +523,164 @@ TEST(StreamIngestorTest, FsyncFailureNeverAcknowledgesARecord) {
   EXPECT_EQ(ingestor.resolver().StateDigest(), expected);
 }
 
+TEST(StreamIngestorTest, DiskFullNeverAcknowledgesOrLosesARecord) {
+  const std::string dir = MakeStreamDir("enospc");
+  const std::string control = MakeStreamDir("enospc_control");
+  const uint64_t expected = RunCleanStream(control, 10);
+
+  StreamIngestorOptions options = FastIngestorOptions(dir);
+  options.journal_retry.initial_backoff_ms = 0;  // no real sleeps in tests
+  auto opened = StreamIngestor::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  StreamIngestor ingestor = std::move(opened).value();
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ingestor.Ingest(MakeStreamRecord(i)).ok());
+  }
+  {
+    fault::ScopedDiskFullFault fault(/*bytes_before_enospc=*/0);
+    const Status failed = ingestor.Ingest(MakeStreamRecord(5));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kIoError);
+    EXPECT_EQ(ingestor.applied_sequence(), 5u);  // the ack was refused
+  }
+  // Space is back: the retry lands on a fresh segment (the one that saw
+  // ENOSPC was quarantined) and the stream converges on the clean digest.
+  for (uint64_t i = 5; i < 10; ++i) {
+    ASSERT_TRUE(ingestor.Ingest(MakeStreamRecord(i)).ok());
+  }
+  EXPECT_EQ(ingestor.resolver().StateDigest(), expected);
+
+  // Reopen replays to the same state: every acked record survived.
+  auto reopened = StreamIngestor::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().applied_sequence(), 10u);
+  EXPECT_EQ(reopened.value().resolver().StateDigest(), expected);
+}
+
+// ---------- Disk budget & retention ----------
+
+TEST(StreamIngestorTest, JournalStaysWithinDiskBudget) {
+  const std::string dir = MakeStreamDir("budget");
+  const std::string control = MakeStreamDir("budget_control");
+  const uint64_t kCount = 200;
+  const uint64_t expected = RunCleanStream(control, kCount);
+
+  StreamIngestorOptions options = FastIngestorOptions(dir);
+  options.max_segment_bytes = 1024;
+  options.max_journal_bytes = 4096;
+  auto opened = StreamIngestor::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  StreamIngestor ingestor = std::move(opened).value();
+
+  size_t journaled_bytes = 0;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    IngestEntry entry;
+    entry.sequence = i + 1;
+    entry.record = MakeStreamRecord(i);
+    journaled_bytes += EncodeIngestEntry(entry).size() + 8;
+    ASSERT_TRUE(ingestor.Ingest(MakeStreamRecord(i)).ok()) << "record " << i;
+    // The budget holds after EVERY ack, not just at the end.
+    ASSERT_LE(ingestor.journal_stats().live_bytes, options.max_journal_bytes)
+        << "record " << i;
+  }
+  // The run journaled several budgets' worth of bytes...
+  EXPECT_GT(journaled_bytes, 4 * options.max_journal_bytes);
+  // ...while the files actually on disk stayed within it.
+  size_t on_disk = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".wal") on_disk += entry.file_size();
+  }
+  EXPECT_LE(on_disk, options.max_journal_bytes);
+
+  const JournalStats stats = ingestor.journal_stats();
+  EXPECT_GT(stats.segments_dropped, 0u);
+  EXPECT_GT(ingestor.snapshot_count(), 0u);
+  EXPECT_EQ(stats.retention_stalls, 0u);  // retention always caught up
+  // Budget-triggered snapshots never perturb the deterministic state.
+  EXPECT_EQ(ingestor.resolver().StateDigest(), expected);
+}
+
+TEST(StreamIngestorTest, BudgetStallDegradesStructurallyWithoutDataLoss) {
+  const std::string dir = MakeStreamDir("budget_stall");
+  const std::string control = MakeStreamDir("budget_stall_control");
+  const uint64_t expected = RunCleanStream(control, 3);
+
+  StreamIngestorOptions options = FastIngestorOptions(dir);
+  // A budget smaller than a single entry: retention can never get back
+  // under it, which must degrade to a structured stall event — and keep
+  // ingesting — rather than refuse or drop data.
+  options.max_journal_bytes = 64;
+  RunDiagnostics diagnostics;
+  auto opened = StreamIngestor::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  StreamIngestor ingestor = std::move(opened).value();
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ingestor.Ingest(MakeStreamRecord(i), &diagnostics).ok());
+  }
+  EXPECT_EQ(ingestor.applied_sequence(), 3u);
+  EXPECT_GE(ingestor.journal_stats().retention_stalls, 1u);
+  EXPECT_GE(
+      diagnostics.CountKind(DegradationKind::kJournalRetentionStalled), 1u);
+
+  // "Stalled" means over budget, never lossy: a reopen replays to the
+  // exact same state.
+  auto reopened = StreamIngestor::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().applied_sequence(), 3u);
+  EXPECT_EQ(reopened.value().resolver().StateDigest(), expected);
+}
+
+// ---------- Multi-writer ingest ----------
+
+TEST(StreamIngestorTest, MultiWriterIngestMatchesSingleWriterBitForBit) {
+  const uint64_t kCount = 60;
+  auto run = [&](const std::string& name, size_t writers) -> uint64_t {
+    const std::string dir = MakeStreamDir(name);
+    StreamIngestorOptions options = FastIngestorOptions(dir);
+    options.max_segment_bytes = 2048;  // rotations under the merge too
+    auto opened = StreamIngestor::Open(options);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    StreamIngestor ingestor = std::move(opened).value();
+    const Status ran = RunMultiWriterIngest(
+        &ingestor, writers, kCount,
+        [](uint64_t i) { return MakeStreamRecord(i); });
+    EXPECT_TRUE(ran.ok()) << ran.ToString();
+    EXPECT_EQ(ingestor.applied_sequence(), kCount);
+    return ingestor.resolver().StateDigest();
+  };
+
+  const uint64_t single = run("writers_1", 1);
+  EXPECT_EQ(run("writers_4", 4), single);
+  EXPECT_EQ(run("writers_7", 7), single);  // count not divisible by writers
+
+  // And both equal the plain sequential loop.
+  const std::string control = MakeStreamDir("writers_control");
+  EXPECT_EQ(RunCleanStream(control, kCount), single);
+}
+
+TEST(StreamIngestorTest, MultiWriterIngestValidatesArguments) {
+  const std::string dir = MakeStreamDir("writers_args");
+  auto opened = StreamIngestor::Open(FastIngestorOptions(dir));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  StreamIngestor ingestor = std::move(opened).value();
+  const Status zero_writers = RunMultiWriterIngest(
+      &ingestor, 0, 4, [](uint64_t i) { return MakeStreamRecord(i); });
+  ASSERT_FALSE(zero_writers.ok());
+  EXPECT_EQ(zero_writers.code(), StatusCode::kInvalidArgument);
+  const Status no_maker = RunMultiWriterIngest(&ingestor, 2, 4, nullptr);
+  ASSERT_FALSE(no_maker.ok());
+  EXPECT_EQ(no_maker.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(StreamIngestorTest, CorruptSnapshotFallsBackToFullReplayWhenPossible) {
   const std::string dir = MakeStreamDir("fallback");
   const std::string control = MakeStreamDir("fallback_control");
   const uint64_t expected = RunCleanStream(control, 12);
 
   std::string snapshot_path;
-  std::vector<uint8_t> full_journal;
+  std::string segment_path;
+  std::vector<uint8_t> full_segment;
+  std::vector<uint8_t> manifest;
   {
     auto opened = StreamIngestor::Open(FastIngestorOptions(dir));
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
@@ -529,14 +688,20 @@ TEST(StreamIngestorTest, CorruptSnapshotFallsBackToFullReplayWhenPossible) {
     for (uint64_t i = 0; i < 12; ++i) {
       ASSERT_TRUE(ingestor.Ingest(MakeStreamRecord(i)).ok());
     }
+    segment_path = ActiveSegmentPath(ingestor);
+    ASSERT_TRUE(fault::ReadFileBytes(segment_path, &full_segment).ok());
     ASSERT_TRUE(
-        fault::ReadFileBytes(ingestor.journal_path(), &full_journal).ok());
-    ASSERT_TRUE(ingestor.Snapshot().ok());  // snapshots, then compacts
+        fault::ReadFileBytes(dir + "/ingest.manifest", &manifest).ok());
+    ASSERT_TRUE(ingestor.Snapshot().ok());  // snapshots, then retains
     snapshot_path = ingestor.snapshot_path();
   }
   // Crash scenario: the snapshot rotted but the journal still holds the
-  // complete history (restored from the pre-compaction bytes).
-  ASSERT_TRUE(fault::WriteFileBytes(dir + "/ingest.wal", full_journal).ok());
+  // complete history (segment chain + manifest restored to their
+  // pre-retention state; the newer post-rotation segment becomes an
+  // orphan past the manifest's range and is deleted on recovery).
+  ASSERT_TRUE(fault::WriteFileBytes(segment_path, full_segment).ok());
+  ASSERT_TRUE(
+      fault::WriteFileBytes(dir + "/ingest.manifest", manifest).ok());
   ASSERT_TRUE(
       fault::FlipFileByte(snapshot_path, fs::file_size(snapshot_path) / 2)
           .ok());
