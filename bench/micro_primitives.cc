@@ -176,6 +176,24 @@ class Harness {
     return ns;
   }
 
+  /// Run() in both clocks: records the usual wall-time entry and also
+  /// returns the process-CPU reading, for the thread-scaling extra.
+  template <typename F>
+  bench::WallCpuNs RunWallCpu(const std::string& name, int threads, F&& fn,
+                              double ops_per_call = 1.0) {
+    const bench::WallCpuNs ns = bench::MeasureWallCpuNsPerOp(
+        std::forward<F>(fn), ops_per_call, min_seconds_, samples_);
+    bench::PerfEntry entry;
+    entry.name = name;
+    entry.threads = threads;
+    entry.ns_per_op = ns.wall;
+    entry.ops_per_sec = ns.wall > 0.0 ? 1e9 / ns.wall : 0.0;
+    sidecar_.entries.push_back(entry);
+    std::printf("%-28s %8d %14.2f %14.3f\n", name.c_str(), threads, ns.wall,
+                entry.ops_per_sec / 1e6);
+    return ns;
+  }
+
   void Extra(const std::string& key, double value) {
     sidecar_.extras.emplace_back(key, value);
     std::printf("  %-42s %.2fx\n", (key + ":").c_str(), value);
@@ -287,7 +305,7 @@ int Main(int argc, char** argv) {
   ParallelOptions serial;
   serial.num_threads = 1;
 
-  const double batch_1t = harness.Run(
+  const bench::WallCpuNs batch_1t = harness.RunWallCpu(
       "knn_batch.tiled.t1", 1,
       [&] {
         bench::DoNotOptimize(
@@ -306,11 +324,12 @@ int Main(int argc, char** argv) {
   // perf_compare skips it when lane counts differ between baseline and
   // candidate. At --threads=1 the probe oversubscribes lanes (see
   // ResolveProbeLanes) so the parallel dispatch path is measured — and
-  // knn_batch_speedup_vs_1_thread populated — even on one core.
+  // knn_batch_speedup_vs_1_thread populated (via the CPU-time scaling
+  // projection of ThreadScalingSpeedup) — even on one core.
   const int lanes = bench::ResolveProbeLanes(threads);
   ParallelOptions wide;
   wide.num_threads = lanes;
-  const double batch_nt = harness.Run(
+  const bench::WallCpuNs batch_nt = harness.RunWallCpu(
       "knn_batch.tiled.tN", lanes,
       [&] {
         bench::DoNotOptimize(
@@ -443,8 +462,9 @@ int Main(int argc, char** argv) {
   harness.Extra("squared_l2_speedup_vs_scalar", l2_scalar / l2_kernel);
   harness.Extra("pairwise_speedup_vs_scalar", pair_scalar / pair_tiled);
   harness.Extra("knn_batch_speedup_tiled_vs_rowscan",
-                batch_rowscan / batch_1t);
-  harness.Extra("knn_batch_speedup_vs_1_thread", batch_1t / batch_nt);
+                batch_rowscan / batch_1t.wall);
+  harness.Extra("knn_batch_speedup_vs_1_thread",
+                bench::ThreadScalingSpeedup(batch_1t, batch_nt, lanes));
   harness.Extra("levenshtein_speedup_vs_naive", lev_naive / lev_banded);
   harness.Extra("sparse_dot_speedup_vs_scalar", sdot_scalar / sdot_kernel);
   harness.Extra("sparse_axpy_speedup_vs_scalar", saxpy_scalar / saxpy_kernel);

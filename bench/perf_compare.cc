@@ -4,6 +4,11 @@
 // Flags: --baseline=<path> (required), --candidate=<path> (required),
 //        --threshold=<fraction> (default 0.15: fail when a primitive is
 //        more than 15% slower than the baseline),
+//        --kernel-slack=<fraction> (default 0.05: fail when a kernel
+//        entry is more than 5% slower than its scalar counterpart *in
+//        the candidate itself* — a vectorized primitive that lost to
+//        the code it replaced is a regression no matter what the
+//        baseline machine measured),
 //        --report-only (print the comparison but never fail on
 //        regressions — CI smoke mode for machines whose absolute speed
 //        is unknown), --version.
@@ -31,9 +36,25 @@
 namespace transer {
 namespace {
 
+/// The scalar counterpart of a kernel entry's name: ".kernel" and
+/// ".tiled" segments map to ".scalar" (dot.kernel.d128 ->
+/// dot.scalar.d128, pairwise_l2.tiled -> pairwise_l2.scalar). Returns
+/// an empty string for entries with no such segment.
+std::string ScalarCounterpartName(const std::string& name) {
+  for (const char* segment : {".kernel", ".tiled"}) {
+    const size_t at = name.find(segment);
+    if (at != std::string::npos) {
+      return name.substr(0, at) + ".scalar" +
+             name.substr(at + std::string(segment).size());
+    }
+  }
+  return "";
+}
+
 int Main(int argc, char** argv) {
   const bench::Flags flags(
-      argc, argv, {"baseline", "candidate", "threshold", "report-only"});
+      argc, argv,
+      {"baseline", "candidate", "threshold", "kernel-slack", "report-only"});
   const std::string baseline_path = flags.GetString("baseline", "");
   const std::string candidate_path = flags.GetString("candidate", "");
   if (baseline_path.empty() || candidate_path.empty()) {
@@ -43,6 +64,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const double threshold = flags.GetDouble("threshold", 0.15);
+  const double kernel_slack = flags.GetDouble("kernel-slack", 0.05);
   const bool report_only = flags.GetBool("report-only", false);
 
   bench::PerfSidecar baseline;
@@ -116,12 +138,31 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Kernel-vs-scalar invariant, judged inside the candidate run alone
+  // (both sides measured on the same machine in the same session, so no
+  // cross-machine slack is needed beyond measurement noise).
+  std::printf("\nkernel vs scalar (candidate, slack %.0f%%):\n",
+              kernel_slack * 100.0);
+  for (const bench::PerfEntry& entry : candidate.entries) {
+    const std::string scalar_name = ScalarCounterpartName(entry.name);
+    if (scalar_name.empty()) continue;
+    const bench::PerfEntry* scalar =
+        candidate.Find(scalar_name, entry.threads);
+    if (scalar == nullptr || scalar->ns_per_op <= 0.0) continue;
+    const double ratio = entry.ns_per_op / scalar->ns_per_op;
+    const bool slower = ratio > 1.0 + kernel_slack;
+    std::printf("%-28s %12.2f %12.2f %8.2fx  %s\n", entry.name.c_str(),
+                entry.ns_per_op, scalar->ns_per_op,
+                scalar->ns_per_op / entry.ns_per_op,
+                slower ? "SLOWER THAN SCALAR" : "ok");
+    if (slower) regressions.push_back(entry.name + " (vs " + scalar_name + ")");
+  }
+
   if (regressions.empty()) {
     std::printf("\nno regressions past %.0f%%\n", threshold * 100.0);
     return 0;
   }
-  std::printf("\n%zu primitive(s) regressed past %.0f%%:\n",
-              regressions.size(), threshold * 100.0);
+  std::printf("\n%zu primitive(s) regressed:\n", regressions.size());
   for (const std::string& name : regressions) {
     std::printf("  %s\n", name.c_str());
   }

@@ -17,6 +17,9 @@
 //        --warm-start=<dir> (existing directory for per-cell model
 //        snapshots; re-running with the same flags warm-starts each
 //        TransER cell from its snapshot instead of retraining),
+//        --knn-backend=kdtree|brute|ann (SEL neighbour index; ann is the
+//        recall-knobbed navigable graph), --recall=R, --ef-search=N
+//        (graph beam knobs; see knn/ann_graph.h),
 //        --version (print build identity and exit).
 //
 // Also writes BENCH_table2.json: per-stage wall time and thread count.
@@ -28,6 +31,7 @@
 #include "core/experiment.h"
 #include "data/scenario.h"
 #include "eval/table_printer.h"
+#include "knn/knn_backend.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -45,7 +49,8 @@ int Main(int argc, char** argv) {
   const bench::Flags flags(argc, argv,
                            {"scale", "seed", "time-limit",
                             "memory-limit-mb", "checkpoint", "threads",
-                            "warm-start", "sparse"});
+                            "warm-start", "sparse", "knn-backend",
+                            "recall", "ef-search"});
   const int threads = bench::ConfigureThreads(flags);
   bench::BenchReport bench_report("table2", threads);
   ScenarioScale scale;
@@ -59,6 +64,17 @@ int Main(int argc, char** argv) {
   // --sparse=true trains the linear classifiers of the suite through the
   // CSR feature path (others fall back dense with a diagnostics event).
   run_options.sparse_features = flags.GetBool("sparse", false);
+  // --knn-backend=ann runs SEL's neighbourhood scans on the navigable
+  // graph; quality columns should stay within 0.5 F1 points of exact.
+  const std::string knn_backend = flags.GetString("knn-backend", "kd_tree");
+  if (!ParseKnnBackendKind(knn_backend, &run_options.knn_backend)) {
+    std::fprintf(stderr, "unknown --knn-backend '%s' (kdtree|brute|ann)\n",
+                 knn_backend.c_str());
+    return 2;
+  }
+  run_options.knn_recall_target = flags.GetDouble("recall", 0.95);
+  run_options.knn_ef_search =
+      static_cast<size_t>(flags.GetInt("ef-search", 0));
   const std::string checkpoint_path = flags.GetString("checkpoint", "");
 
   SetLogLevel(LogLevel::kError);

@@ -9,8 +9,15 @@
 //       [--on-error=strict|skip|repair]
 //       [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]
 //       [--threads=<N>] [--sparse]
+//       [--knn-backend=kdtree|brute|ann] [--recall=0.95] [--ef-search=N]
 //       [--save-model=model.tera] [--load-model=model.tera]
 //       [--version]
+//
+// --knn-backend picks the index behind SEL's neighbourhood scans:
+// kdtree (default) and brute are exact; ann is the navigable-graph
+// approximate index, answering within --recall of the true top-k in
+// sub-linear time (--recall=1.0 falls back to exact with a diagnostics
+// event; --ef-search overrides the derived beam width).
 //
 // --sparse trains through the sparse feature path: instance rows are
 // held as CSR (zeros dropped), the classifier — restricted to lr or svm,
@@ -59,6 +66,7 @@
 
 #include "core/transer.h"
 #include "eval/metrics.h"
+#include "knn/knn_backend.h"
 #include "features/feature_matrix.h"
 #include "ml/decision_tree.h"
 #include "ml/knn_classifier.h"
@@ -195,8 +203,16 @@ void PrintUsage(std::FILE* out, const char* prog) {
       "    [--on-error=strict|skip|repair]\n"
       "    [--time-limit-s=<seconds>] [--memory-limit-mb=<MB>]\n"
       "    [--threads=<N>] [--sparse]\n"
+      "    [--knn-backend=kdtree|brute|ann] [--recall=0.95]\n"
+      "    [--ef-search=N]\n"
       "    [--save-model=model.tera] [--load-model=model.tera]\n"
       "    [--version]\n"
+      "\n"
+      "--knn-backend picks the SEL neighbourhood index: kdtree (the\n"
+      "default) and brute are exact, ann is the approximate graph index\n"
+      "answering within --recall of the true top-k in sub-linear time.\n"
+      "--recall=1.0 falls back to an exact index; --ef-search overrides\n"
+      "the beam width derived from --recall.\n"
       "\n"
       "--sparse trains through the CSR sparse feature path with the\n"
       "L-BFGS solver and culled sparse snapshot weights; requires\n"
@@ -340,6 +356,31 @@ int Main(int argc, char** argv) {
   }
   SetDefaultThreadCount(static_cast<int>(threads_raw));
   run_options.num_threads = static_cast<int>(threads_raw);
+
+  const std::string backend_raw =
+      GetFlag(argc, argv, "knn-backend", "kdtree");
+  if (!ParseKnnBackendKind(backend_raw, &run_options.knn_backend)) {
+    std::fprintf(stderr,
+                 "--knn-backend=%s is invalid (kdtree|brute|ann)\n",
+                 backend_raw.c_str());
+    return 2;
+  }
+  run_options.knn_recall_target =
+      GetDoubleFlag(argc, argv, "recall", run_options.knn_recall_target);
+  if (!(run_options.knn_recall_target > 0.0 &&
+        run_options.knn_recall_target <= 1.0)) {
+    std::fprintf(stderr, "--recall=%g is out of range: must be in (0, 1]\n",
+                 run_options.knn_recall_target);
+    return 2;
+  }
+  const double ef_raw = GetDoubleFlag(argc, argv, "ef-search", 0.0);
+  if (ef_raw < 0.0 || ef_raw != std::floor(ef_raw)) {
+    std::fprintf(stderr,
+                 "--ef-search=%g is invalid: must be an integer >= 0\n",
+                 ef_raw);
+    return 2;
+  }
+  run_options.knn_ef_search = static_cast<size_t>(ef_raw);
 
   FeatureMatrix::IngestOptions ingest;
   const std::string on_error = GetFlag(argc, argv, "on-error", "strict");

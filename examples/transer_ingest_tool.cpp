@@ -14,6 +14,7 @@
 //       [--poison-every=0] [--writers=1]
 //       [--segment-mb=8] [--max-journal-mb=0]
 //       [--segment-bytes=N] [--max-journal-bytes=N]
+//       [--knn-backend=kdtree|ann] [--recall=0.95]
 //       [--bench-out=<BENCH_stream.json path>]
 //       [--crash-after=<seq>
 //        --crash-point=append|apply|rotate|snapshot|retain]
@@ -24,6 +25,12 @@
 // real crash) once that sequence reaches the chosen point. The rotate
 // point fires on the first rotation at or past the sequence; snapshot
 // and retain fire on the first snapshot covering it.
+//
+// --knn-backend picks the resolver's dynamic index: kdtree (default,
+// exact, periodic rebuilds) or ann (the grow-only navigable graph —
+// no rebuilds, approximate within --recall, still deterministic under
+// replay). The telemetry line reports the graph's size/edges/levels/
+// beam when the graph backend is active.
 //
 // --writers=N feeds the stream through N producer threads and the
 // single sequencing appender (RunMultiWriterIngest); the digest is
@@ -184,6 +191,26 @@ int Run(int argc, char** argv) {
       static_cast<size_t>(GetIntFlag(argc, argv, "rebuild-every", 24));
   options.resolver.knn.num_threads =
       static_cast<int>(GetIntFlag(argc, argv, "threads", 1));
+  const std::string knn_backend =
+      GetFlag(argc, argv, "knn-backend", "kdtree");
+  if (knn_backend == "ann" || knn_backend == "ann_graph") {
+    options.resolver.knn.backend = stream::DynamicKnnBackend::kAnnGraph;
+  } else if (knn_backend != "kdtree" && knn_backend != "kd_tree") {
+    std::fprintf(stderr, "bad --knn-backend=%s (kdtree|ann)\n",
+                 knn_backend.c_str());
+    return 2;
+  }
+  const std::string recall_raw = GetFlag(argc, argv, "recall", "");
+  if (!recall_raw.empty()) {
+    double recall = 0.0;
+    if (!ParseDouble(recall_raw, &recall) ||
+        !(recall > 0.0 && recall <= 1.0)) {
+      std::fprintf(stderr, "bad --recall=%s: must be in (0, 1]\n",
+                   recall_raw.c_str());
+      return 2;
+    }
+    options.resolver.knn.ann.recall_target = recall;
+  }
   options.snapshot_interval =
       static_cast<size_t>(GetIntFlag(argc, argv, "snapshot-every", 16));
   options.publish_directory = GetFlag(argc, argv, "publish-dir", "");
@@ -308,16 +335,26 @@ int Run(int argc, char** argv) {
 
   // Telemetry line first; the digest line below must stay LAST — the
   // crash matrix parses the final stdout line.
+  const AnnGraph* graph = resolver.knn().graph();
+  std::string knn_telemetry = "\"knn_backend\":\"kd_tree_tail\"";
+  if (graph != nullptr) {
+    knn_telemetry = StrFormat(
+        "\"knn_backend\":\"ann_graph\",\"ann_points\":%zu,"
+        "\"ann_edges\":%zu,\"ann_levels\":%zu,\"ann_ef\":%zu",
+        graph->size(), graph->EdgeCount(), graph->max_level() + 1,
+        graph->EffectiveEf(1));  // the recall-derived beam floor
+  }
   std::printf(
       "{\"schema\":\"transer.stream_ingest\",\"segments\":%zu,"
       "\"live_bytes\":%zu,\"first_segment\":%llu,\"active_segment\":%llu,"
       "\"retention_stalls\":%zu,\"segments_dropped\":%zu,"
-      "\"snapshots\":%zu,\"writers\":%zu,\"ingest_seconds\":%.6f}\n",
+      "\"snapshots\":%zu,\"writers\":%zu,\"ingest_seconds\":%.6f,%s}\n",
       stats.segments, stats.live_bytes,
       static_cast<unsigned long long>(stats.first_segment),
       static_cast<unsigned long long>(stats.active_segment),
       stats.retention_stalls, stats.segments_dropped,
-      ingestor.snapshot_count(), writers, ingest_seconds);
+      ingestor.snapshot_count(), writers, ingest_seconds,
+      knn_telemetry.c_str());
   std::printf("applied=%llu digest=%016llx matches=%zu quarantined=%zu\n",
               static_cast<unsigned long long>(resolver.applied_sequence()),
               static_cast<unsigned long long>(resolver.StateDigest()),

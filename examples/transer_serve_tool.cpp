@@ -7,6 +7,7 @@
 //       [--deadline-ms=1000] [--max-deadline-ms=30000]
 //       [--min-full-resolve-ms=10] [--memory-limit-mb=0]
 //       [--refresh-s=2] [--min-probe-sim=0.5] [--max-frame-mb=64]
+//       [--knn-backend=kdtree|brute|ann] [--recall=0.95]
 //       [--stats-out=FILE]
 //   Scans DIR for *.tera pipeline artifacts (written by transer_csv_tool
 //   --save-model), prints "SERVE_READY models=N socket=PATH" once
@@ -14,6 +15,12 @@
 //   SIGTERM/SIGINT it drains: stops admitting, finishes in-flight
 //   requests, prints "SERVE_DRAINED <stats json>" (also written to
 //   --stats-out when given) and exits 0.
+//   --knn-backend picks the index rebuilt behind knn-family classifiers
+//   as their artifacts load (artifacts never record a backend); with
+//   "ann" the recall-knobbed navigable graph answers neighbour votes and
+//   the stats JSON reports its aggregate footprint (knn_backend,
+//   ann_models, ann_points, ann_edges). --recall sets the graph's
+//   recall target.
 //
 // Client (all need --connect=PATH):
 //   --ping                     readiness probe
@@ -56,6 +63,7 @@
 #include <vector>
 
 #include "features/feature_matrix.h"
+#include "knn/knn_backend.h"
 #include "serve/server_core.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -212,6 +220,22 @@ int RunServer(int argc, char** argv) {
       GetDoubleFlag(argc, argv, "refresh-s", 2.0, &flags_ok);
   options.repository.min_probe_similarity =
       GetDoubleFlag(argc, argv, "min-probe-sim", 0.5, &flags_ok);
+  // Index behind rebuilt knn-family classifiers: exact KD-tree unless
+  // the operator opts into the approximate graph for lookup latency.
+  const std::string backend_raw =
+      GetFlag(argc, argv, "knn-backend", "kdtree");
+  if (!ParseKnnBackendKind(backend_raw, &options.repository.knn.kind)) {
+    std::fprintf(stderr, "unknown --knn-backend '%s' (kdtree|brute|ann)\n",
+                 backend_raw.c_str());
+    return 2;
+  }
+  const double recall =
+      GetDoubleFlag(argc, argv, "recall", 0.95, &flags_ok);
+  if (!(recall > 0.0 && recall <= 1.0)) {
+    std::fprintf(stderr, "--recall must be in (0, 1], got %g\n", recall);
+    return 2;
+  }
+  options.repository.knn.ann.recall_target = recall;
   options.max_concurrent_requests = static_cast<size_t>(
       GetIntFlag(argc, argv, "max-concurrent", 2, &flags_ok));
   options.queue_capacity =

@@ -78,15 +78,17 @@ Result<std::vector<size_t>> TransER::SelectInstances(
   std::optional<ExecutionContext> local_context;
   const ExecutionContext& context =
       ResolveExecutionContext(run_options, &local_context);
-  return SelectInstancesWithThresholds(source, target, context,
-                                       run_options.diagnostics, options_.t_c,
-                                       options_.t_l, run_options.num_threads);
+  return SelectInstancesWithThresholds(
+      source, target, context, run_options.diagnostics,
+      ResolveKnnBackendOptions(run_options, run_options.num_threads),
+      options_.t_c, options_.t_l, run_options.num_threads);
 }
 
 Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
     const FeatureMatrix& source, const FeatureMatrix& target,
     const ExecutionContext& context, RunDiagnostics* diagnostics,
-    double t_c, double t_l, int num_threads) const {
+    const KnnBackendOptions& knn, double t_c, double t_l,
+    int num_threads) const {
   TRANSER_RETURN_IF_ERROR(context.Check("transer", diagnostics));
 
   const Matrix x_source = source.ToMatrix();
@@ -103,14 +105,15 @@ Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
 
   // The two neighbourhood indexes are the phase's dominant allocation;
   // build them against the budget so a tiny limit surfaces as 'ME' here.
+  // The backend is the caller's choice (TransferRunOptions::knn_backend):
+  // exact KD-tree by default, the approximate graph when SEL is asked to
+  // trade a little recall for sub-linear scans.
   TRANSER_ASSIGN_OR_RETURN(
-      const KdTree source_tree,
-      KdTree::Create(x_source, context, "transer", diagnostics,
-                     num_threads));
+      const std::unique_ptr<KnnBackend> source_index,
+      CreateKnnBackend(x_source, knn, context, "transer", diagnostics));
   TRANSER_ASSIGN_OR_RETURN(
-      const KdTree target_tree,
-      KdTree::Create(x_target, context, "transer", diagnostics,
-                     num_threads));
+      const std::unique_ptr<KnnBackend> target_index,
+      CreateKnnBackend(x_target, knn, context, "transer", diagnostics));
 
   // Both neighbourhoods of every source instance come from the batched
   // query path (tiled kernels + per-thread scratch) up front: N_x^S with
@@ -121,11 +124,11 @@ Result<std::vector<size_t>> TransER::SelectInstancesWithThresholds(
   par.diagnostics = diagnostics;
   TRANSER_ASSIGN_OR_RETURN(
       const std::vector<std::vector<Neighbour>> source_neighbourhoods,
-      source_tree.QueryBatch(x_source, k_source, context, "transer", par,
-                             /*skip_self=*/true));
+      source_index->QueryBatch(x_source, k_source, context, "transer", par,
+                               /*skip_self=*/true));
   TRANSER_ASSIGN_OR_RETURN(
       const std::vector<std::vector<Neighbour>> target_neighbourhoods,
-      target_tree.QueryBatch(x_source, k_target, context, "transer", par));
+      target_index->QueryBatch(x_source, k_target, context, "transer", par));
 
   // Per-instance filters are independent; chunks fill private index
   // lists that concatenate in chunk order, so the selection matches the
@@ -353,8 +356,9 @@ Result<std::vector<int>> TransER::RunWithReport(
       double t_l = options_.t_l;
       for (size_t step = 0;; ++step) {
         auto selected = SelectInstancesWithThresholds(
-            source, target, context, budget_diag, t_c, t_l,
-            run_options.num_threads);
+            source, target, context, budget_diag,
+            ResolveKnnBackendOptions(run_options, run_options.num_threads),
+            t_c, t_l, run_options.num_threads);
         if (!selected.ok()) return selected.status();
         transferred = source.Select(selected.value());
         if (trainable(transferred)) {

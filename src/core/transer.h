@@ -112,12 +112,17 @@ class TransER : public TransferMethod {
   /// are filtered over the parallel runtime (`num_threads` lanes, 0 =
   /// process default) with per-chunk index lists concatenated in chunk
   /// order, so the selection is bit-identical at any parallelism.
-  /// Workers observe `context` per chunk; budget outcomes are recorded
-  /// in `diagnostics` (may be null).
+  /// The neighbourhood scans run on the index requested by `knn`
+  /// (exact KD-tree by default; the approximate graph trades a bounded
+  /// selection difference for sub-linear scans — see
+  /// TransferRunOptions::knn_backend). Workers observe `context` per
+  /// chunk; budget outcomes are recorded in `diagnostics` (may be
+  /// null).
   Result<std::vector<size_t>> SelectInstancesWithThresholds(
       const FeatureMatrix& source, const FeatureMatrix& target,
       const ExecutionContext& context, RunDiagnostics* diagnostics,
-      double t_c, double t_l, int num_threads) const;
+      const KnnBackendOptions& knn, double t_c, double t_l,
+      int num_threads) const;
 
   TransEROptions options_;
 };

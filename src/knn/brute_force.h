@@ -21,7 +21,7 @@ namespace transer {
 /// per query, no per-query allocation — and compute every per-pair
 /// distance with exactly the same kernel as the KD-tree leaf scans, so
 /// the two backends return bit-identical neighbour lists.
-class BruteForceKnn {
+class BruteForceKnn : public KnnBackend {
  public:
   explicit BruteForceKnn(const Matrix& points);
 
@@ -35,7 +35,7 @@ class BruteForceKnn {
 
   /// Same contract as KdTree::Query.
   std::vector<Neighbour> Query(std::span<const double> query, size_t k,
-                               ptrdiff_t skip_index = -1) const;
+                               ptrdiff_t skip_index = -1) const override;
 
   /// Context-observing query: the O(n) scan is chunked so a mid-scan
   /// deadline expiry or cancellation returns its status promptly.
@@ -43,7 +43,7 @@ class BruteForceKnn {
                                        size_t k, ptrdiff_t skip_index,
                                        const ExecutionContext& context,
                                        const std::string& scope = "brute_knn")
-      const;
+      const override;
 
   /// Batched queries over the parallel runtime; same contract as
   /// KdTree::QueryBatch (including `skip_self`). Internally each worker
@@ -53,9 +53,12 @@ class BruteForceKnn {
   Result<std::vector<std::vector<Neighbour>>> QueryBatch(
       const Matrix& queries, size_t k, const ExecutionContext& context,
       const std::string& scope = "brute_knn",
-      const ParallelOptions& options = {}, bool skip_self = false) const;
+      const ParallelOptions& options = {},
+      bool skip_self = false) const override;
 
-  size_t size() const { return points_.rows(); }
+  std::string backend_name() const override { return "brute_force"; }
+  size_t size() const override { return points_.rows(); }
+  size_t dimensions() const override { return points_.cols(); }
 
  private:
   Matrix points_;

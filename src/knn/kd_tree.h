@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "knn/knn_backend.h"
 #include "linalg/matrix.h"
 #include "util/execution_context.h"
 #include "util/parallel.h"
@@ -14,49 +15,15 @@
 
 namespace transer {
 
-/// \brief One k-NN answer: the row index of a stored point and its
-/// Euclidean distance to the query.
-///
-/// Neighbour lists are ordered by (distance, index) — the index breaks
-/// distance ties — so every top-k answer is uniquely defined and both
-/// backends return bit-identical lists at any thread count.
-struct Neighbour {
-  size_t index = 0;
-  double distance = 0.0;
-};
-
-/// The canonical (distance, index) ordering of neighbour lists.
-inline bool NeighbourBefore(const Neighbour& a, const Neighbour& b) {
-  if (a.distance != b.distance) return a.distance < b.distance;
-  return a.index < b.index;
-}
-
-/// \brief Offers `candidate` to a bounded max-heap of the k best
-/// neighbours (heap front = worst kept, ordered by NeighbourBefore).
-///
-/// Because (distance, index) is a strict total order, the kept set —
-/// and therefore the sorted top-k list — is independent of the order in
-/// which candidates arrive. Every k-NN backend (KD-tree leaf scans,
-/// brute-force single queries, and the tiled batch path) funnels
-/// through this one helper, which is what makes their answers
-/// bit-identical to each other at any thread count.
-inline void PushBoundedNeighbour(std::vector<Neighbour>* heap, size_t k,
-                                 const Neighbour& candidate) {
-  if (heap->size() < k) {
-    heap->push_back(candidate);
-    std::push_heap(heap->begin(), heap->end(), NeighbourBefore);
-  } else if (NeighbourBefore(candidate, heap->front())) {
-    std::pop_heap(heap->begin(), heap->end(), NeighbourBefore);
-    heap->back() = candidate;
-    std::push_heap(heap->begin(), heap->end(), NeighbourBefore);
-  }
-}
+// Neighbour, NeighbourBefore and PushBoundedNeighbour live in
+// knn/knn_backend.h (included above) together with the KnnBackend
+// interface every index implements.
 
 /// \brief KD-tree over the rows of a feature matrix [Bentley 1975] — the
 /// nearest-neighbour index the paper assumes for the SEL phase complexity
 /// (Section 4.1). Build is O(n log n) by median splitting; queries are
 /// branch-and-bound with a bounded max-heap of candidates.
-class KdTree {
+class KdTree : public KnnBackend {
  public:
   /// Builds the tree over all rows of `points` (copied). With
   /// `num_threads` != 1 the lower subtrees build in parallel; the
@@ -83,7 +50,7 @@ class KdTree {
   /// `skip_index`, when >= 0, excludes that stored row — used to query a
   /// point's neighbourhood within its own data set without itself.
   std::vector<Neighbour> Query(std::span<const double> query, size_t k,
-                               ptrdiff_t skip_index = -1) const;
+                               ptrdiff_t skip_index = -1) const override;
 
   /// Query that observes an execution context: returns the TE /
   /// cancellation status instead of scanning once the context expires.
@@ -91,7 +58,7 @@ class KdTree {
                                        size_t k, ptrdiff_t skip_index,
                                        const ExecutionContext& context,
                                        const std::string& scope = "kd_tree")
-      const;
+      const override;
 
   /// Answers one Query per row of `queries` over the parallel runtime.
   /// Results land in row order, bit-identical at any thread count;
@@ -101,10 +68,12 @@ class KdTree {
   Result<std::vector<std::vector<Neighbour>>> QueryBatch(
       const Matrix& queries, size_t k, const ExecutionContext& context,
       const std::string& scope = "kd_tree",
-      const ParallelOptions& options = {}, bool skip_self = false) const;
+      const ParallelOptions& options = {},
+      bool skip_self = false) const override;
 
-  size_t size() const { return points_.rows(); }
-  size_t dimensions() const { return points_.cols(); }
+  std::string backend_name() const override { return "kd_tree"; }
+  size_t size() const override { return points_.rows(); }
+  size_t dimensions() const override { return points_.cols(); }
 
   /// The stored point set (row-copied at build time). Exposed so model
   /// serialisation can persist the training set and rebuild the tree.

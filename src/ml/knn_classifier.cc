@@ -9,20 +9,30 @@
 
 namespace transer {
 
+void KnnClassifier::BuildIndex(const Matrix& x) {
+  points_ = x;
+  // The unbudgeted factory only fails on an impossible request; the
+  // kinds here are all constructible, so a failure is a programming
+  // error, not an input condition.
+  auto built = CreateKnnBackend(points_, options_.backend);
+  TRANSER_CHECK(built.ok());
+  index_ = std::move(built).value();
+}
+
 void KnnClassifier::Fit(const Matrix& x, const std::vector<int>& y,
                         const std::vector<double>& weights) {
   TRANSER_CHECK_EQ(x.rows(), y.size());
   TRANSER_CHECK(weights.empty() || weights.size() == y.size());
   TRANSER_CHECK_GT(options_.k, 0u);
   if (FitInterrupted()) return;  // caller surfaces the status via Check
-  tree_ = std::make_unique<KdTree>(x);
+  BuildIndex(x);
   labels_ = y;
   weights_ = weights;
 }
 
 double KnnClassifier::PredictProba(std::span<const double> features) const {
-  if (tree_ == nullptr || tree_->size() == 0) return 0.5;
-  const auto neighbours = tree_->Query(features, options_.k);
+  if (index_ == nullptr || index_->size() == 0) return 0.5;
+  const auto neighbours = index_->Query(features, options_.k);
   double match_w = 0.0;
   double total_w = 0.0;
   for (const auto& nb : neighbours) {
@@ -39,15 +49,14 @@ double KnnClassifier::PredictProba(std::span<const double> features) const {
 Status KnnClassifier::SaveState(artifact::Encoder* out) const {
   out->PutU64(options_.k);
   out->PutU8(options_.distance_weighted ? 1 : 0);
-  if (tree_ == nullptr) {
+  if (index_ == nullptr) {
     out->PutU64(0);
     out->PutU64(0);
     out->PutDoubleVec({});
   } else {
-    const Matrix& points = tree_->points();
-    out->PutU64(points.rows());
-    out->PutU64(points.cols());
-    out->PutDoubleVec(points.data());
+    out->PutU64(points_.rows());
+    out->PutU64(points_.cols());
+    out->PutDoubleVec(points_.data());
   }
   out->PutIntVec(labels_);
   out->PutDoubleVec(weights_);
@@ -98,15 +107,20 @@ Status KnnClassifier::LoadState(artifact::Decoder* in) {
   }
   options.k = static_cast<size_t>(k);
   options.distance_weighted = distance_weighted == 1;
+  // The backend request is a runtime choice, not part of the artifact:
+  // keep whatever this instance was configured with.
+  options.backend = options_.backend;
   options_ = options;
   if (rows == 0) {
-    tree_.reset();
+    index_.reset();
+    points_ = Matrix();
   } else {
-    // The serial KD-tree build is deterministic in the point order, so the
-    // rebuilt tree answers queries bit-identically to the saved one.
-    tree_ = std::make_unique<KdTree>(Matrix::FromRowMajor(
-        static_cast<size_t>(rows), static_cast<size_t>(cols),
-        std::move(data)));
+    // Index builds are deterministic in the point order (KD-tree and
+    // graph alike), so the rebuilt index answers queries identically to
+    // the saved one under the same backend options.
+    BuildIndex(Matrix::FromRowMajor(static_cast<size_t>(rows),
+                                    static_cast<size_t>(cols),
+                                    std::move(data)));
   }
   labels_ = std::move(labels);
   weights_ = std::move(weights);

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "knn/kd_tree.h"
+#include "knn/knn_backend.h"
 #include "ml/classifier.h"
 
 namespace transer {
@@ -15,12 +15,19 @@ struct KnnClassifierOptions {
   size_t k = 7;
   /// Weight neighbours by inverse distance rather than uniformly.
   bool distance_weighted = true;
+  /// Index behind the neighbour votes: exact KD-tree by default, the
+  /// approximate graph for large training sets where O(log n)-ish
+  /// lookups matter more than the last few percent of neighbour recall.
+  /// A runtime choice, not part of the persisted artifact — LoadState
+  /// rebuilds whatever backend the options ask for.
+  KnnBackendOptions backend;
 };
 
-/// \brief k-nearest-neighbour classifier over a KD-tree. PredictProba is
-/// the (optionally distance-weighted) match fraction among the k nearest
-/// training instances; sample weights multiply the vote weights. A simple
-/// extra classifier family whose local semantics mirror TransER's own
+/// \brief k-nearest-neighbour classifier over a pluggable kNN index
+/// (knn/knn_backend.h). PredictProba is the (optionally
+/// distance-weighted) match fraction among the k nearest training
+/// instances; sample weights multiply the vote weights. A simple extra
+/// classifier family whose local semantics mirror TransER's own
 /// neighbourhood reasoning.
 class KnnClassifier : public Classifier {
  public:
@@ -36,13 +43,23 @@ class KnnClassifier : public Classifier {
   std::string name() const override { return "knn"; }
 
   /// Persists the training set (points, labels, weights); LoadState
-  /// rebuilds the KD-tree deterministically from the stored points.
+  /// rebuilds the configured index deterministically from the stored
+  /// points (artifact layout is backend-independent).
   Status SaveState(artifact::Encoder* out) const override;
   Status LoadState(artifact::Decoder* in) override;
 
+  /// The live index, for telemetry (serving reports graph size and
+  /// memory per loaded model). Null until Fit or LoadState runs.
+  const KnnBackend* index() const { return index_.get(); }
+
  private:
+  void BuildIndex(const Matrix& x);
+
   KnnClassifierOptions options_;
-  std::unique_ptr<KdTree> tree_;
+  std::unique_ptr<KnnBackend> index_;
+  /// Training points, kept alongside the index for SaveState (the
+  /// backends own private copies but expose no uniform matrix view).
+  Matrix points_;
   std::vector<int> labels_;
   std::vector<double> weights_;
 };

@@ -70,9 +70,10 @@ Status CheckSchema(const artifact::Artifact& art,
 /// Decodes a classifier payload into a freshly constructed instance of
 /// the declared family.
 Result<std::unique_ptr<Classifier>> DecodeClassifier(
-    const std::string& name, const artifact::Section& section) {
+    const std::string& name, const artifact::Section& section,
+    const KnnBackendOptions* knn = nullptr) {
   TRANSER_ASSIGN_OR_RETURN(std::unique_ptr<Classifier> classifier,
-                           MakeClassifierByName(name));
+                           MakeClassifierByName(name, knn));
   artifact::Decoder decoder(section.payload);
   TRANSER_RETURN_IF_ERROR(classifier->LoadState(&decoder));
   TRANSER_RETURN_IF_ERROR(decoder.ExpectEnd());
@@ -82,7 +83,7 @@ Result<std::unique_ptr<Classifier>> DecodeClassifier(
 }  // namespace
 
 Result<std::unique_ptr<Classifier>> MakeClassifierByName(
-    const std::string& name) {
+    const std::string& name, const KnnBackendOptions* knn) {
   std::unique_ptr<Classifier> made;
   if (name == "decision_tree") {
     made = std::make_unique<DecisionTree>();
@@ -97,7 +98,9 @@ Result<std::unique_ptr<Classifier>> MakeClassifierByName(
   } else if (name == "naive_bayes") {
     made = std::make_unique<GaussianNaiveBayes>();
   } else if (name == "knn") {
-    made = std::make_unique<KnnClassifier>();
+    KnnClassifierOptions knn_options;
+    if (knn != nullptr) knn_options.backend = *knn;
+    made = std::make_unique<KnnClassifier>(knn_options);
   } else if (name == "mlp") {
     made = std::make_unique<Mlp>();
   } else if (name == "threshold") {
@@ -244,7 +247,7 @@ Status SaveTransERPipelineState(const TransERPipelineState& state,
 }
 
 Result<TransERPipelineState> LoadTransERPipelineState(
-    const std::string& path) {
+    const std::string& path, const KnnBackendOptions* knn) {
   TRANSER_ASSIGN_OR_RETURN(artifact::Artifact art,
                            artifact::ReadArtifact(path));
   TRANSER_RETURN_IF_ERROR(CheckKind(art, kPipelineArtifactKind));
@@ -327,12 +330,14 @@ Result<TransERPipelineState> LoadTransERPipelineState(
   TRANSER_ASSIGN_OR_RETURN(const artifact::Section* model_u,
                            RequireSection(art, kModelUSection));
   TRANSER_ASSIGN_OR_RETURN(
-      state.classifier_u, DecodeClassifier(state.classifier_name, *model_u));
+      state.classifier_u,
+      DecodeClassifier(state.classifier_name, *model_u, knn));
   if (has_v == 1) {
     TRANSER_ASSIGN_OR_RETURN(const artifact::Section* model_v,
                              RequireSection(art, kModelVSection));
     TRANSER_ASSIGN_OR_RETURN(
-        state.classifier_v, DecodeClassifier(state.classifier_name, *model_v));
+        state.classifier_v,
+        DecodeClassifier(state.classifier_name, *model_v, knn));
   }
   return state;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "knn/knn_backend.h"
 #include "ml/classifier.h"
 #include "ml/scaler.h"
 #include "util/status.h"
@@ -29,8 +30,11 @@ inline constexpr char kPipelineArtifactKind[] = "transer_pipeline";
 /// "gradient_boosting", "logistic_regression", "linear_svm",
 /// "naive_bayes", "knn", "mlp", "threshold"). Unknown names — artifacts
 /// from a newer build, or crafted files — yield FailedPrecondition.
+/// `knn`, when non-null, picks the index the "knn" family rebuilds on
+/// LoadState (the backend is a host runtime choice, never part of the
+/// artifact — see ml/knn_classifier.h); other families ignore it.
 Result<std::unique_ptr<Classifier>> MakeClassifierByName(
-    const std::string& name);
+    const std::string& name, const KnnBackendOptions* knn = nullptr);
 
 /// \brief A classifier restored from an artifact, plus the identity it
 /// was saved under.
@@ -99,9 +103,11 @@ Status SaveTransERPipelineState(const TransERPipelineState& state,
 /// Reads and fully validates a snapshot: CRC-checked container, schema
 /// fingerprint cross-checked against the stored names, label values in
 /// {0, 1}, confidences in [0, 1], vector lengths consistent, and both
-/// classifiers (when present) of the declared family.
+/// classifiers (when present) of the declared family. `knn`, when
+/// non-null, picks the index a "knn"-family classifier rebuilds (see
+/// MakeClassifierByName).
 Result<TransERPipelineState> LoadTransERPipelineState(
-    const std::string& path);
+    const std::string& path, const KnnBackendOptions* knn = nullptr);
 
 }  // namespace transer
 

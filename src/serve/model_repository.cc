@@ -120,7 +120,7 @@ RefreshReport ModelRepository::ForceRescan() {
         options_.retry, "repository",
         [&]() -> Status {
           if (options_.before_load_hook) options_.before_load_hook(path);
-          auto result = LoadTransERPipelineState(path);
+          auto result = LoadTransERPipelineState(path, &options_.knn);
           if (!result.ok()) return result.status();
           loaded = std::move(result).value();
           return Status::OK();

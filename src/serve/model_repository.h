@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "knn/knn_backend.h"
 #include "ml/model_store.h"
 #include "serve/retry.h"
 #include "util/diagnostics.h"
@@ -52,6 +53,12 @@ struct RepositoryOptions {
   double min_rescan_interval_seconds = 0.25;
   /// Bounded retry for transient load failures (see retry.h).
   RetryPolicy retry;
+  /// Index rebuilt behind every "knn"-family classifier as its artifact
+  /// loads: exact KD-tree by default, the approximate graph
+  /// (kind = kAnnGraph) when serving favours lookup latency over the
+  /// last few percent of neighbour recall. A host runtime choice —
+  /// artifacts never record a backend (ml/knn_classifier.h).
+  KnnBackendOptions knn;
   /// Floor for the SEL-style similarity probe: a fallback candidate
   /// below this is no better than no model at all.
   double min_probe_similarity = 0.5;

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <utility>
 
+#include "knn/ann_graph.h"
 #include "ml/classifier.h"
+#include "ml/knn_classifier.h"
 #include "util/string_util.h"
 
 namespace transer {
@@ -365,6 +367,23 @@ StatsSnapshot ServerCore::Stats() const {
   snapshot.load_retries = repository_.load_retry_count();
   snapshot.quarantined = repository_.quarantined_count();
   snapshot.ready = snapshot.models > 0;
+  snapshot.knn_backend = KnnBackendKindName(options_.repository.knn.kind);
+  // Aggregate ANN footprint over every live knn-family classifier, so
+  // operators can see from /stats how much index the graph backend is
+  // actually holding (exact backends contribute nothing here).
+  for (const auto& model : repository_.Models()) {
+    if (model == nullptr || model->state == nullptr) continue;
+    for (const Classifier* classifier :
+         {model->state->classifier_u.get(), model->state->classifier_v.get()}) {
+      const auto* knn = dynamic_cast<const KnnClassifier*>(classifier);
+      if (knn == nullptr) continue;
+      const auto* graph = dynamic_cast<const AnnGraph*>(knn->index());
+      if (graph == nullptr) continue;
+      ++snapshot.ann_models;
+      snapshot.ann_points += graph->size();
+      snapshot.ann_edges += graph->EdgeCount();
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(admission_mutex_);
     snapshot.active_requests = active_ + waiting_;

@@ -16,7 +16,10 @@ std::string StatsSnapshot::ToJson() const {
       << ",\"latency_samples\":" << latency_samples << ",\"p50_ms\":" << p50_ms
       << ",\"p99_ms\":" << p99_ms << ",\"models\":" << models
       << ",\"refreshes\":" << refreshes << ",\"load_retries\":" << load_retries
-      << ",\"quarantined\":" << quarantined << "}";
+      << ",\"quarantined\":" << quarantined << ",\"knn_backend\":\""
+      << knn_backend << "\",\"ann_models\":" << ann_models
+      << ",\"ann_points\":" << ann_points << ",\"ann_edges\":" << ann_edges
+      << "}";
   return out.str();
 }
 

@@ -30,6 +30,13 @@ struct StatsSnapshot {
   uint64_t active_requests = 0;
   bool ready = false;
   bool draining = false;
+  // kNN index telemetry, filled by the server core: the configured
+  // backend for rebuilt "knn"-family classifiers, and the aggregate
+  // footprint of every live ANN graph across loaded models.
+  std::string knn_backend;   ///< KnnBackendKindName of the host choice
+  uint64_t ann_models = 0;   ///< loaded classifiers backed by the graph
+  uint64_t ann_points = 0;   ///< indexed points across those graphs
+  uint64_t ann_edges = 0;    ///< links across those graphs
 
   /// One-line JSON rendering (stable key order, no external deps).
   std::string ToJson() const;

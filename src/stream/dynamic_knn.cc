@@ -23,6 +23,14 @@ Status DynamicKnn::Insert(std::vector<double> point) {
                   point.size(), dimensions_));
   }
   points_.push_back(std::move(point));
+  if (options_.backend == DynamicKnnBackend::kAnnGraph) {
+    // Grow-only path: link the point into the graph now; there is no
+    // rebuild boundary and no tail.
+    if (graph_ == nullptr) {
+      graph_ = std::make_unique<AnnGraph>(dimensions_, options_.ann);
+    }
+    return graph_->Insert(points_.back());
+  }
   if (options_.rebuild_interval > 0 &&
       points_.size() - indexed_ >= options_.rebuild_interval) {
     Rebuild();
@@ -45,6 +53,7 @@ std::vector<Neighbour> DynamicKnn::Query(std::span<const double> query,
                                          ptrdiff_t skip_index) const {
   std::vector<Neighbour> heap;
   if (k == 0 || points_.empty()) return heap;
+  if (graph_ != nullptr) return graph_->Query(query, k, skip_index);
   heap.reserve(k);
   if (tree_ != nullptr) {
     // The tree's top-k over rows [0, indexed_) are the only indexed rows

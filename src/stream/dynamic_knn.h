@@ -6,11 +6,25 @@
 #include <span>
 #include <vector>
 
+#include "knn/ann_graph.h"
 #include "knn/kd_tree.h"
 #include "util/status.h"
 
 namespace transer {
 namespace stream {
+
+/// How the dynamic index absorbs inserts.
+enum class DynamicKnnBackend {
+  /// KD-tree over the rows at the last periodic rebuild + linear tail
+  /// scan. Exact: answers are the brute-force top-k over all points.
+  kKdTreeTail = 0,
+  /// Grow-only navigable graph (knn/ann_graph): every insert links
+  /// immediately, no rebuilds, queries are approximate within the
+  /// graph's recall knob. Still deterministic — the graph is a pure
+  /// function of the insert order and seed, so a replayed stream
+  /// answers bit-identically to an uninterrupted one.
+  kAnnGraph,
+};
 
 /// \brief Options for the dynamic k-NN index.
 struct DynamicKnnOptions {
@@ -18,11 +32,15 @@ struct DynamicKnnOptions {
   /// inserts. The trigger is a pure function of the insert count — never
   /// of wall clock or thread timing — so an interrupted-and-replayed
   /// stream rebuilds at exactly the same points as an uninterrupted one.
+  /// (kKdTreeTail only; the graph backend never rebuilds.)
   size_t rebuild_interval = 64;
   /// Threads for the periodic KD-tree rebuild. The deterministic
   /// parallel build (knn/kd_tree) produces an identical tree at any
   /// value, so this is a pure throughput knob.
   int num_threads = 1;
+  DynamicKnnBackend backend = DynamicKnnBackend::kKdTreeTail;
+  /// Graph shape / recall knobs of the kAnnGraph backend.
+  AnnGraphOptions ann;
 };
 
 /// \brief Insert-friendly k-NN over a growing point set: a KD-tree over
@@ -50,9 +68,16 @@ class DynamicKnn {
 
   size_t size() const { return points_.size(); }
   size_t dimensions() const { return dimensions_; }
-  /// Rows covered by the KD-tree (the rest are the scanned tail).
-  size_t indexed_size() const { return indexed_; }
+  /// Rows covered by the index: the KD-tree rows for kKdTreeTail (the
+  /// rest are the scanned tail), every row for the grow-only graph.
+  size_t indexed_size() const {
+    return graph_ != nullptr ? graph_->size() : indexed_;
+  }
   size_t rebuild_count() const { return rebuilds_; }
+  const DynamicKnnOptions& options() const { return options_; }
+  /// The grow-only graph of the kAnnGraph backend (null otherwise);
+  /// exposed for telemetry (edge counts, levels, beam width).
+  const AnnGraph* graph() const { return graph_.get(); }
 
  private:
   void Rebuild();
@@ -63,6 +88,7 @@ class DynamicKnn {
   size_t indexed_ = 0;
   size_t rebuilds_ = 0;
   std::unique_ptr<KdTree> tree_;
+  std::unique_ptr<AnnGraph> graph_;
 };
 
 }  // namespace stream

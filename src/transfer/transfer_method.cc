@@ -8,6 +8,19 @@
 
 namespace transer {
 
+KnnBackendOptions ResolveKnnBackendOptions(
+    const TransferRunOptions& run_options, int num_threads) {
+  KnnBackendOptions knn;
+  knn.kind = run_options.knn_backend;
+  knn.ann.recall_target = run_options.knn_recall_target;
+  knn.ann.ef_search = run_options.knn_ef_search;
+  // A fixed salt keeps the graph's level stream independent of the
+  // other per-seed streams (chunk RNGs, samplers) of the same run.
+  knn.ann.seed = run_options.seed ^ 0x616e6e5f67726170ULL;
+  knn.num_threads = num_threads;
+  return knn;
+}
+
 const ExecutionContext& ResolveExecutionContext(
     const TransferRunOptions& run_options,
     std::optional<ExecutionContext>* local) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "features/feature_matrix.h"
+#include "knn/knn_backend.h"
 #include "ml/classifier.h"
 #include "util/diagnostics.h"
 #include "util/execution_context.h"
@@ -53,7 +54,30 @@ struct TransferRunOptions {
   /// run retrains from scratch; a failed save records kModelSaveFailed
   /// and never fails the run.
   std::string model_snapshot_path;
+  /// Nearest-neighbour index behind the SEL neighbourhood scans.
+  /// kKdTree (the default) and kBruteForce are exact and bit-identical
+  /// to each other; kAnnGraph answers within `knn_recall_target` of the
+  /// true top-k in sub-linear time — SEL's thresholded selection
+  /// tolerates the residual neighbour error (bounded end-to-end by the
+  /// table2 F1 gate in tests/ann_test.cc). Any backend is
+  /// deterministic: fixed inputs + seed give the same selection at any
+  /// thread count.
+  KnnBackendKind knn_backend = KnnBackendKind::kKdTree;
+  /// Recall knob of the approximate backend, in (0, 1]. 1.0 falls back
+  /// to the exact index (with a kAnnExactFallback diagnostics event).
+  /// Ignored for the exact backends.
+  double knn_recall_target = 0.95;
+  /// Explicit beam width override for the approximate backend; 0
+  /// derives the beam from `knn_recall_target`.
+  size_t knn_ef_search = 0;
 };
+
+/// Assembles the factory request for the run's kNN backend choice:
+/// kind/recall/beam from the options, the graph's level-hash seed
+/// derived from `seed`, and `num_threads` for the exact builds (pass
+/// the already-resolved lane count, not the raw option).
+KnnBackendOptions ResolveKnnBackendOptions(
+    const TransferRunOptions& run_options, int num_threads);
 
 /// Resolves the effective execution context of a run: the caller's
 /// shared context when `run_options.context` is set, otherwise a fresh

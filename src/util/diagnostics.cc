@@ -58,6 +58,8 @@ const char* DegradationKindName(DegradationKind kind) {
       return "sparse_fit_unsupported";
     case DegradationKind::kJournalRetentionStalled:
       return "journal_retention_stalled";
+    case DegradationKind::kAnnExactFallback:
+      return "ann_exact_fallback";
   }
   return "unknown";
 }

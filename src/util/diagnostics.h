@@ -38,6 +38,8 @@ enum class DegradationKind {
   kSparseFitUnsupported,     ///< classifier lacks a sparse fit; dense used
   kJournalRetentionStalled,  ///< ingest: disk budget hit, no snapshot covers
                              ///< the backlog; journal grew past the budget
+  kAnnExactFallback,         ///< knn: recall_target 1.0 served by an exact
+                             ///< backend instead of the approximate graph
 };
 
 /// Short identifier, e.g. "sel_threshold_relaxed".
